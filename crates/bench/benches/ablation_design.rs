@@ -1,0 +1,87 @@
+//! Ablations of Ladon design choices (DESIGN.md §4).
+//!
+//! (a) **Proposal-time rank refresh.** Algorithm 2 collects rank reports
+//!     during the *previous* round's commit phase, so a slow leader's
+//!     reports are up to one pacing interval stale when it finally
+//!     proposes. Our implementation refreshes the leader's own report at
+//!     proposal time; this ablation runs the literal algorithm instead
+//!     and measures the causal-strength cost of stale maxima.
+//!
+//! (b) **Epoch length `l(e)`.** Shorter epochs checkpoint more often
+//!     (faster recovery horizon, more frequent bucket rotation) but stall
+//!     all instances at every boundary waiting for the slowest one; the
+//!     sweep shows the throughput/latency trade-off around the paper's
+//!     l(e) = 64.
+
+use ladon_bench::banner;
+use ladon_types::{NetEnv, ProtocolKind};
+use ladon_workload::{cs_fmt, f2, f3, run_experiment, scale, ExperimentConfig, Table};
+
+fn main() {
+    let sc = scale();
+    banner("Ablations", "rank refresh and epoch length", sc);
+
+    // ---- (a) rank refresh on/off, 1 straggler, k = 10. ----
+    let mut t = Table::new(
+        "Ablation (a) — proposal-time rank refresh, Ladon-PBFT, n = 16, WAN, 1 straggler k = 10",
+        &["variant", "throughput (ktps)", "latency (s)", "CS", "CS (tx-only)"],
+    );
+    for (label, stale) in [("refreshed (ours)", false), ("stale (Alg. 2 literal)", true)] {
+        let mut cfg = ExperimentConfig::new(ProtocolKind::LadonPbft, 16, NetEnv::Wan)
+            .with_stragglers(1, 10.0)
+            .scaled_windows(sc);
+        if stale {
+            cfg = cfg.stale_ranks();
+        }
+        let r = run_experiment(&cfg);
+        t.row(vec![
+            label.to_string(),
+            f2(r.throughput_ktps),
+            f3(r.mean_latency_s),
+            cs_fmt(r.causal_strength),
+            cs_fmt(r.causal_strength_tx),
+        ]);
+    }
+    t.print();
+
+    // ---- (b) epoch length sweep. ----
+    let mut t = Table::new(
+        "Ablation (b) — epoch length l(e), Ladon-PBFT, n = 16, WAN, no stragglers \
+         (paper uses l(e) = 64)",
+        &["l(e)", "throughput (ktps)", "latency (s)", "epoch advances"],
+    );
+    for l in [16u64, 64, 256, 1024] {
+        let cfg = ExperimentConfig::new(ProtocolKind::LadonPbft, 16, NetEnv::Wan)
+            .scaled_windows(sc)
+            .with_epoch_length(l);
+        let r = run_experiment(&cfg);
+        t.row(vec![
+            l.to_string(),
+            f2(r.throughput_ktps),
+            f3(r.mean_latency_s),
+            r.epoch_times.len().to_string(),
+        ]);
+    }
+    t.print();
+
+    // ---- (b') epoch length under a straggler: boundaries synchronize on
+    // the slowest instance, so short epochs amplify straggler cost even
+    // for Ladon. ----
+    let mut t = Table::new(
+        "Ablation (b') — epoch length under 1 straggler (k = 10), Ladon-PBFT, n = 16, WAN",
+        &["l(e)", "throughput (ktps)", "latency (s)"],
+    );
+    for l in [16u64, 64, 256] {
+        let cfg = ExperimentConfig::new(ProtocolKind::LadonPbft, 16, NetEnv::Wan)
+            .with_stragglers(1, 10.0)
+            .scaled_windows(sc)
+            .with_epoch_length(l);
+        let r = run_experiment(&cfg);
+        t.row(vec![
+            l.to_string(),
+            f2(r.throughput_ktps),
+            f3(r.mean_latency_s),
+        ]);
+    }
+    t.print();
+}

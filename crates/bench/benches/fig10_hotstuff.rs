@@ -1,0 +1,41 @@
+//! Figure 10 (Appendix D): Ladon-HotStuff vs ISS-HotStuff, 0/1 straggler.
+//!
+//! Paper @128 replicas, 1 straggler: Ladon-HotStuff reaches 2.7× the
+//! throughput of ISS-HotStuff and 22.9 % lower latency; without stragglers
+//! the two are comparable. HotStuff's 3-chain commit makes slow instances
+//! commit even more slowly than under PBFT, so the straggler penalty is
+//! larger than for Ladon-PBFT.
+
+use ladon_bench::banner;
+use ladon_types::{NetEnv, ProtocolKind};
+use ladon_workload::{f2, f3, run_experiment, scale, ExperimentConfig, Table};
+
+fn main() {
+    let sc = scale();
+    banner("Fig 10", "Ladon-HotStuff vs ISS-HotStuff", sc);
+
+    for stragglers in [0usize, 1] {
+        let mut t = Table::new(
+            format!(
+                "Fig 10 — chained HotStuff instances, WAN, {stragglers} straggler(s) \
+                 (paper @128 1s: Ladon-HS 2.7x ISS-HS tput, -22.9% latency)"
+            ),
+            &["protocol", "n", "throughput (ktps)", "latency (s)"],
+        );
+        for proto in [ProtocolKind::LadonHotStuff, ProtocolKind::IssHotStuff] {
+            for &n in &sc.replica_counts() {
+                let cfg = ExperimentConfig::new(proto, n, NetEnv::Wan)
+                    .with_stragglers(stragglers, 10.0)
+                    .scaled_windows(sc);
+                let r = run_experiment(&cfg);
+                t.row(vec![
+                    proto.label().into(),
+                    n.to_string(),
+                    f2(r.throughput_ktps),
+                    f3(r.mean_latency_s),
+                ]);
+            }
+        }
+        t.print();
+    }
+}

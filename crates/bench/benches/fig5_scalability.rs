@@ -1,0 +1,45 @@
+//! Figure 5: throughput and latency of Ladon, ISS, RCC, Mir and DQBFT in
+//! WAN (a–d) and LAN (e–h), with 0 and 1 honest straggler, 8–128 replicas.
+//!
+//! Paper headline (WAN, 128 replicas, 1 straggler, k = 10): Ladon reaches
+//! 9.1× / 9.4× / 9.6× the throughput of ISS / RCC / Mir; pre-determined
+//! protocols lose ~90 % of their no-straggler throughput while Ladon loses
+//! ~9 % and DQBFT ~17 %.
+
+use ladon_bench::{banner, PBFT_PROTOCOLS};
+use ladon_types::NetEnv;
+use ladon_workload::{f2, f3, run_experiment, scale, ExperimentConfig, Table};
+
+fn main() {
+    let sc = scale();
+    banner("Fig 5", "scalability in WAN and LAN, 0/1 straggler", sc);
+
+    for env in [NetEnv::Wan, NetEnv::Lan] {
+        for stragglers in [0usize, 1] {
+            let label = format!(
+                "Fig 5 — {env:?}, {stragglers} straggler(s), k = 10 \
+                 (paper @128 WAN 1s: Ladon ~9x ISS tput, -62% latency)"
+            );
+            let mut t = Table::new(
+                label,
+                &["protocol", "n", "throughput (ktps)", "latency (s)", "CS"],
+            );
+            for proto in PBFT_PROTOCOLS {
+                for &n in &sc.replica_counts() {
+                    let cfg = ExperimentConfig::new(proto, n, env)
+                        .with_stragglers(stragglers, 10.0)
+                        .scaled_windows(sc);
+                    let r = run_experiment(&cfg);
+                    t.row(vec![
+                        proto.label().into(),
+                        n.to_string(),
+                        f2(r.throughput_ktps),
+                        f3(r.mean_latency_s),
+                        ladon_workload::cs_fmt(r.causal_strength),
+                    ]);
+                }
+            }
+            t.print();
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 6: throughput and latency with a varying number of honest
+//! stragglers (1–5), 16 replicas, WAN.
+//!
+//! Paper: throughput drops only 10 % / 1 % / 1 % / 2 % / 24 % (Ladon, ISS,
+//! RCC, Mir, DQBFT) from 1 to 5 stragglers — performance is limited by the
+//! *slowest* straggler, so adding more barely changes it (§6.2.1).
+
+use ladon_bench::{banner, PBFT_PROTOCOLS};
+use ladon_types::NetEnv;
+use ladon_workload::{f2, f3, run_experiment, scale, ExperimentConfig, Table};
+
+fn main() {
+    let sc = scale();
+    banner("Fig 6", "1-5 honest stragglers, n = 16, WAN", sc);
+
+    let mut t = Table::new(
+        "Fig 6 — n = 16, WAN, k = 10 (paper: largely flat vs straggler count)",
+        &["protocol", "stragglers", "throughput (ktps)", "latency (s)"],
+    );
+    for proto in PBFT_PROTOCOLS {
+        for s in 1..=5usize {
+            let cfg = ExperimentConfig::new(proto, 16, NetEnv::Wan)
+                .with_stragglers(s, 10.0)
+                .scaled_windows(sc);
+            let r = run_experiment(&cfg);
+            t.row(vec![
+                proto.label().into(),
+                s.to_string(),
+                f2(r.throughput_ktps),
+                f3(r.mean_latency_s),
+            ]);
+        }
+    }
+    t.print();
+}

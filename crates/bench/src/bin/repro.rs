@@ -1,0 +1,50 @@
+//! `repro`: one-shot driver that regenerates every table and figure in
+//! sequence (the same code paths as the individual bench targets), for
+//! producing a complete paper-vs-measured record in one run.
+//!
+//! ```sh
+//! cargo run --release -p ladon-bench --bin repro            # quick scale
+//! LADON_SCALE=full cargo run --release -p ladon-bench --bin repro
+//! ```
+
+use std::process::Command;
+
+const TARGETS: [&str; 9] = [
+    "fig2_straggler_impact",
+    "fig5_scalability",
+    "fig6_straggler_count",
+    "fig7_byzantine_stragglers",
+    "fig8_crash_recovery",
+    "tab1_resources",
+    "tab2_causality",
+    "fig10_hotstuff",
+    "appendix_complexity",
+];
+
+fn main() {
+    println!("Ladon reproduction driver — running {} figure/table targets", TARGETS.len());
+    let mut failures = Vec::new();
+    for t in TARGETS {
+        println!("\n>>> cargo bench --bench {t}");
+        let status = Command::new("cargo")
+            .args(["bench", "-p", "ladon-bench", "--bench", t])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{t} exited with {s}");
+                failures.push(t);
+            }
+            Err(e) => {
+                eprintln!("{t} failed to launch: {e}");
+                failures.push(t);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall targets completed");
+    } else {
+        eprintln!("\nfailed targets: {failures:?}");
+        std::process::exit(1);
+    }
+}

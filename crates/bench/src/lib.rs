@@ -1,0 +1,18 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one paper table or figure (DESIGN.md §3).
+//! Paper-reported values are embedded as annotations so the printed output
+//! reads as a paper-vs-measured record.
+
+use ladon_types::ProtocolKind;
+
+/// The five PBFT-family protocols in the paper's comparison order.
+pub const PBFT_PROTOCOLS: [ProtocolKind; 5] = ProtocolKind::PBFT_FAMILY;
+
+/// Standard banner for a figure/table target.
+pub fn banner(id: &str, what: &str, scale: ladon_workload::Scale) {
+    println!("\n################################################################");
+    println!("# {id}: {what}");
+    println!("# scale = {scale:?} (set LADON_SCALE=medium|full for larger sweeps)");
+    println!("################################################################");
+}

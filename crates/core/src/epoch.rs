@@ -1,0 +1,462 @@
+//! The epoch pacemaker (§5.2.1).
+//!
+//! Ladon proceeds in epochs of `l(e)` ranks. An epoch ends when every
+//! instance has partially committed its `maxRank(e)` block; replicas then
+//! broadcast a checkpoint message, and a quorum of `2f + 1` checkpoint
+//! messages forms a *stable checkpoint* that lets the replica move to
+//! epoch `e + 1` (installing the next rank range in every instance and
+//! rotating the transaction buckets).
+
+use ladon_crypto::keys::Signer;
+use ladon_crypto::{AggregateSignature, KeyRegistry, Signature};
+use ladon_types::{sizes, Epoch, Rank, ReplicaId, SystemConfig, TimeNs, WireSize};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Signing domain for checkpoint messages.
+pub const DOMAIN_CHECKPOINT: &[u8] = b"ladon/checkpoint";
+
+/// A checkpoint message: "I have partially committed the `maxRank(e)`
+/// block of every instance in epoch `e`".
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CheckpointMsg {
+    /// The completed epoch.
+    pub epoch: Epoch,
+    /// Sender signature over the epoch number.
+    pub sig: Signature,
+}
+
+impl CheckpointMsg {
+    /// Signs a checkpoint for `epoch`.
+    pub fn sign(signer: &Signer, epoch: Epoch) -> Self {
+        Self {
+            epoch,
+            sig: Signature::sign(signer, DOMAIN_CHECKPOINT, &epoch.0.to_le_bytes()),
+        }
+    }
+
+    /// Verifies the signature.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        self.sig
+            .verify(registry, DOMAIN_CHECKPOINT, &self.epoch.0.to_le_bytes())
+    }
+}
+
+impl WireSize for CheckpointMsg {
+    fn wire_size(&self) -> u64 {
+        8 + sizes::SIGNATURE + sizes::IDENTITY
+    }
+}
+
+/// A *stable checkpoint*: `2f + 1` aggregated checkpoint signatures for an
+/// epoch (§5.2.1). Lagging replicas receive it with fetched log entries as
+/// the proof that the epoch legitimately completed.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StableCheckpoint {
+    /// The completed epoch.
+    pub epoch: Epoch,
+    /// Aggregate of at least `2f + 1` checkpoint signatures.
+    pub agg: AggregateSignature,
+}
+
+impl StableCheckpoint {
+    /// Verifies quorum and every constituent signature.
+    pub fn verify(&self, registry: &KeyRegistry, quorum: usize) -> bool {
+        self.agg.has_quorum(quorum)
+            && self
+                .agg
+                .verify(registry, DOMAIN_CHECKPOINT, &self.epoch.0.to_le_bytes())
+    }
+}
+
+impl WireSize for StableCheckpoint {
+    fn wire_size(&self) -> u64 {
+        8 + self.agg.wire_size()
+    }
+}
+
+/// What the pacemaker asks the node to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EpochEvent {
+    /// Broadcast this checkpoint message (we completed the epoch).
+    BroadcastCheckpoint(CheckpointMsg),
+    /// A stable checkpoint formed: advance to the new epoch with the given
+    /// rank range.
+    Advance {
+        /// The new epoch.
+        epoch: Epoch,
+        /// `minRank(e)`.
+        min: Rank,
+        /// `maxRank(e)`.
+        max: Rank,
+    },
+}
+
+/// The per-replica epoch pacemaker.
+pub struct EpochPacemaker {
+    epoch: Epoch,
+    epoch_length: u64,
+    m: usize,
+    quorum: usize,
+    /// Instances that committed their `maxRank(e)` block this epoch.
+    reached: BTreeSet<usize>,
+    /// Checkpoint votes per epoch, with their signatures (retained for
+    /// one completed epoch so stable checkpoints can be served to
+    /// lagging replicas, §5.2.1).
+    votes: BTreeMap<Epoch, BTreeMap<ReplicaId, Signature>>,
+    /// Stable checkpoints received whole via state transfer, applied once
+    /// we finish the epoch locally (peers moved on and will not re-send
+    /// their individual checkpoint votes).
+    pending_stable: BTreeMap<Epoch, StableCheckpoint>,
+    /// Total replica count (aggregate-signature bitmap width).
+    n: usize,
+    sent_checkpoint: bool,
+    /// Timestamped epoch advances (metrics: Fig. 8 epoch-change dips).
+    pub advances: Vec<(TimeNs, Epoch)>,
+}
+
+impl EpochPacemaker {
+    /// Builds the pacemaker from the system configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        Self {
+            epoch: Epoch(0),
+            epoch_length: cfg.epoch_length,
+            m: cfg.m,
+            quorum: cfg.quorum(),
+            reached: BTreeSet::new(),
+            votes: BTreeMap::new(),
+            pending_stable: BTreeMap::new(),
+            n: cfg.n,
+            sent_checkpoint: false,
+            advances: Vec::new(),
+        }
+    }
+
+    /// The stable checkpoint of `epoch`, if this replica holds a quorum of
+    /// its checkpoint signatures (the current and previous epochs are
+    /// retained).
+    pub fn stable_checkpoint(&self, epoch: Epoch) -> Option<StableCheckpoint> {
+        if let Some(votes) = self.votes.get(&epoch) {
+            if votes.len() >= self.quorum {
+                let shares: Vec<Signature> =
+                    votes.values().take(self.quorum).copied().collect();
+                if let Some(agg) = AggregateSignature::aggregate(&shares, self.n) {
+                    return Some(StableCheckpoint { epoch, agg });
+                }
+            }
+        }
+        // A replica that itself advanced via state transfer serves the
+        // checkpoint it received rather than one built from votes.
+        self.pending_stable.get(&epoch).cloned()
+    }
+
+    /// Whether a checkpoint quorum exists for an epoch we have not
+    /// finished ourselves — evidence that the system completed an epoch
+    /// without us and we should fetch the missing log entries (§5.2.1).
+    pub fn lag_evidence(&self) -> bool {
+        self.votes.iter().any(|(e, v)| {
+            v.len() >= self.quorum
+                && (*e > self.epoch || (*e == self.epoch && !self.sent_checkpoint))
+        })
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Rank range of an epoch.
+    pub fn rank_range(&self, e: Epoch) -> (Rank, Rank) {
+        let min = e.0 * self.epoch_length;
+        (Rank(min), Rank(min + self.epoch_length - 1))
+    }
+
+    /// `maxRank` of the current epoch.
+    pub fn max_rank(&self) -> Rank {
+        self.rank_range(self.epoch).1
+    }
+
+    /// Notifies the pacemaker that `instance` partially committed a block
+    /// with `rank`. Returns a checkpoint broadcast request when all `m`
+    /// instances have reached `maxRank(e)`.
+    pub fn on_commit(
+        &mut self,
+        instance: usize,
+        rank: Rank,
+        signer: &Signer,
+    ) -> Option<EpochEvent> {
+        if rank == self.max_rank() {
+            self.reached.insert(instance);
+        }
+        if !self.sent_checkpoint && self.reached.len() == self.m {
+            self.sent_checkpoint = true;
+            let msg = CheckpointMsg::sign(signer, self.epoch);
+            // Our own vote counts.
+            self.votes
+                .entry(self.epoch)
+                .or_default()
+                .insert(signer.replica, msg.sig);
+            return Some(EpochEvent::BroadcastCheckpoint(msg));
+        }
+        None
+    }
+
+    /// Handles a checkpoint message from `from`. Returns the advance event
+    /// when the stable checkpoint (2f+1 votes) forms.
+    pub fn on_checkpoint(
+        &mut self,
+        from: ReplicaId,
+        msg: &CheckpointMsg,
+        registry: &KeyRegistry,
+        now: TimeNs,
+    ) -> Option<EpochEvent> {
+        if msg.epoch < self.epoch || from != msg.sig.signer() || !msg.verify(registry) {
+            return None;
+        }
+        let votes = self.votes.entry(msg.epoch).or_default();
+        votes.insert(from, msg.sig);
+        if msg.epoch == self.epoch && votes.len() >= self.quorum && self.sent_checkpoint {
+            return Some(self.advance_to_next(now));
+        }
+        None
+    }
+
+    /// Accepts a whole stable checkpoint learned via state transfer.
+    /// Returns the advance event when it completes the current epoch (we
+    /// must still have finished the epoch locally first).
+    pub fn on_stable_checkpoint(
+        &mut self,
+        sc: &StableCheckpoint,
+        registry: &KeyRegistry,
+        now: TimeNs,
+    ) -> Option<EpochEvent> {
+        if sc.epoch < self.epoch || !sc.verify(registry, self.quorum) {
+            return None;
+        }
+        if sc.epoch == self.epoch && self.sent_checkpoint {
+            return Some(self.advance_to_next(now));
+        }
+        self.pending_stable.insert(sc.epoch, sc.clone());
+        None
+    }
+
+    /// Applies a stashed stable checkpoint once the local epoch completes
+    /// (call after [`Self::on_commit`] returned a checkpoint broadcast).
+    pub fn try_pending_advance(&mut self, now: TimeNs) -> Option<EpochEvent> {
+        if self.sent_checkpoint && self.pending_stable.contains_key(&self.epoch) {
+            return Some(self.advance_to_next(now));
+        }
+        None
+    }
+
+    fn advance_to_next(&mut self, now: TimeNs) -> EpochEvent {
+        let next = self.epoch.next();
+        let (min, max) = self.rank_range(next);
+        self.epoch = next;
+        self.reached.clear();
+        self.sent_checkpoint = false;
+        // Keep the just-completed epoch's signatures: its stable
+        // checkpoint is what we serve to lagging replicas.
+        self.votes.retain(|e, _| e.0 + 1 >= next.0);
+        self.pending_stable.retain(|e, _| e.0 + 1 >= next.0);
+        self.advances.push((now, next));
+        EpochEvent::Advance {
+            epoch: next,
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladon_types::NetEnv;
+
+    fn setup(m: usize) -> (EpochPacemaker, KeyRegistry) {
+        let mut cfg = SystemConfig::paper_default(4, NetEnv::Lan);
+        cfg.m = m;
+        cfg.epoch_length = 8;
+        (EpochPacemaker::new(&cfg), KeyRegistry::generate(4, 1, 3))
+    }
+
+    #[test]
+    fn checkpoint_after_all_instances_reach_max() {
+        let (mut p, reg) = setup(2);
+        let signer = reg.signer(ReplicaId(0));
+        assert_eq!(p.max_rank(), Rank(7));
+        assert!(p.on_commit(0, Rank(5), &signer).is_none());
+        assert!(p.on_commit(0, Rank(7), &signer).is_none());
+        // Second instance reaches maxRank: checkpoint broadcast.
+        let ev = p.on_commit(1, Rank(7), &signer);
+        assert!(matches!(ev, Some(EpochEvent::BroadcastCheckpoint(_))));
+        // Not re-broadcast.
+        assert!(p.on_commit(0, Rank(7), &signer).is_none());
+    }
+
+    #[test]
+    fn stable_checkpoint_advances_epoch() {
+        let (mut p, reg) = setup(1);
+        let signer = reg.signer(ReplicaId(0));
+        let ev = p.on_commit(0, Rank(7), &signer).unwrap();
+        let EpochEvent::BroadcastCheckpoint(my_msg) = ev else {
+            panic!("expected checkpoint");
+        };
+        // Two more votes (quorum = 3 for n = 4).
+        let m1 = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        assert!(p
+            .on_checkpoint(ReplicaId(1), &m1, &reg, TimeNs::ZERO)
+            .is_none());
+        let m2 = CheckpointMsg::sign(&reg.signer(ReplicaId(2)), Epoch(0));
+        let adv = p.on_checkpoint(ReplicaId(2), &m2, &reg, TimeNs::from_secs(3));
+        match adv {
+            Some(EpochEvent::Advance { epoch, min, max }) => {
+                assert_eq!(epoch, Epoch(1));
+                assert_eq!(min, Rank(8));
+                assert_eq!(max, Rank(15));
+            }
+            other => panic!("expected advance, got {other:?}"),
+        }
+        assert_eq!(p.epoch(), Epoch(1));
+        assert_eq!(p.advances.len(), 1);
+        let _ = my_msg;
+    }
+
+    #[test]
+    fn forged_checkpoint_rejected() {
+        let (mut p, reg) = setup(1);
+        let signer = reg.signer(ReplicaId(0));
+        p.on_commit(0, Rank(7), &signer);
+        // Signature from replica 1 but claimed from replica 2.
+        let forged = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        assert!(p
+            .on_checkpoint(ReplicaId(2), &forged, &reg, TimeNs::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn early_checkpoints_buffer_until_local_completion() {
+        // Peers may finish the epoch before us; their votes accumulate but
+        // we only advance once we have also sent our checkpoint.
+        let (mut p, reg) = setup(1);
+        for r in 1..=3u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            assert!(p
+                .on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO)
+                .is_none());
+        }
+        // Now we finish locally; our own commit triggers the broadcast,
+        // and the next checkpoint (any, even a duplicate) completes it.
+        let signer = reg.signer(ReplicaId(0));
+        let ev = p.on_commit(0, Rank(7), &signer);
+        assert!(matches!(ev, Some(EpochEvent::BroadcastCheckpoint(_))));
+        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        let adv = p.on_checkpoint(ReplicaId(1), &m, &reg, TimeNs::ZERO);
+        assert!(matches!(adv, Some(EpochEvent::Advance { .. })));
+    }
+
+    #[test]
+    fn stable_checkpoint_built_and_verifies_after_quorum() {
+        let (mut p, reg) = setup(1);
+        let signer = reg.signer(ReplicaId(0));
+        assert!(p.stable_checkpoint(Epoch(0)).is_none());
+        p.on_commit(0, Rank(7), &signer);
+        for r in 1..=2u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            p.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
+        }
+        // Advanced to epoch 1; epoch 0's stable checkpoint is retained.
+        assert_eq!(p.epoch(), Epoch(1));
+        let sc = p.stable_checkpoint(Epoch(0)).expect("retained");
+        assert!(sc.verify(&reg, 3));
+        assert!(!sc.verify(&reg, 4), "quorum threshold enforced");
+    }
+
+    #[test]
+    fn lag_evidence_when_quorum_finished_without_us() {
+        let (mut p, reg) = setup(1);
+        assert!(!p.lag_evidence());
+        // Three peers checkpoint epoch 0 while we never committed maxRank.
+        for r in 1..=3u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            p.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
+        }
+        assert!(p.lag_evidence(), "quorum completed an epoch we did not");
+        // Once we complete it ourselves the evidence clears (we advance).
+        let signer = reg.signer(ReplicaId(0));
+        p.on_commit(0, Rank(7), &signer);
+        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        p.on_checkpoint(ReplicaId(1), &m, &reg, TimeNs::ZERO);
+        assert_eq!(p.epoch(), Epoch(1));
+        assert!(!p.lag_evidence());
+    }
+
+    #[test]
+    fn fetched_stable_checkpoint_advances_once_locally_complete() {
+        // A synced replica holds a whole stable checkpoint but has not
+        // finished the epoch: the checkpoint is stashed, and applies the
+        // moment the local commits reach maxRank.
+        let (mut p, reg) = setup(1);
+        let (mut donor, _) = setup(1);
+        let donor_signer = reg.signer(ReplicaId(1));
+        donor.on_commit(0, Rank(7), &donor_signer);
+        for r in 2..=3u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            donor.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
+        }
+        let sc = donor.stable_checkpoint(Epoch(0)).expect("donor quorum");
+
+        // Receiving it early: stashed, no advance.
+        assert!(p
+            .on_stable_checkpoint(&sc, &reg, TimeNs::ZERO)
+            .is_none());
+        assert_eq!(p.epoch(), Epoch(0));
+        // Local completion: checkpoint broadcast, then the stash applies.
+        let signer = reg.signer(ReplicaId(0));
+        let ev = p.on_commit(0, Rank(7), &signer);
+        assert!(matches!(ev, Some(EpochEvent::BroadcastCheckpoint(_))));
+        let adv = p.try_pending_advance(TimeNs::from_secs(1));
+        assert!(matches!(adv, Some(EpochEvent::Advance { .. })));
+        assert_eq!(p.epoch(), Epoch(1));
+        // The replica that advanced via a fetched checkpoint can serve it
+        // onward (it never saw the individual votes).
+        let served = p.stable_checkpoint(Epoch(0)).expect("served from stash");
+        assert!(served.verify(&reg, 3));
+    }
+
+    #[test]
+    fn tampered_stable_checkpoint_rejected() {
+        let (mut p, reg) = setup(1);
+        let (mut donor, _) = setup(1);
+        donor.on_commit(0, Rank(7), &reg.signer(ReplicaId(1)));
+        for r in 2..=3u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            donor.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
+        }
+        let mut sc = donor.stable_checkpoint(Epoch(0)).expect("donor quorum");
+        sc.epoch = Epoch(1); // signatures no longer cover the epoch
+        assert!(p
+            .on_stable_checkpoint(&sc, &reg, TimeNs::ZERO)
+            .is_none());
+        assert!(
+            p.stable_checkpoint(Epoch(1)).is_none(),
+            "a forged checkpoint must not be stashed"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_checkpoints_ignored() {
+        let (mut p, reg) = setup(1);
+        let signer = reg.signer(ReplicaId(0));
+        p.on_commit(0, Rank(7), &signer);
+        for r in 1..=2u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            p.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
+        }
+        assert_eq!(p.epoch(), Epoch(1));
+        let stale = CheckpointMsg::sign(&reg.signer(ReplicaId(3)), Epoch(0));
+        assert!(p
+            .on_checkpoint(ReplicaId(3), &stale, &reg, TimeNs::ZERO)
+            .is_none());
+    }
+}

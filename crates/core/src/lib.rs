@@ -1,0 +1,31 @@
+//! Ladon Multi-BFT: the paper's core contribution.
+//!
+//! - [`ordering`]: the dynamic global ordering layer (Algorithm 1) and the
+//!   [`ordering::GlobalOrderer`] trait.
+//! - [`predetermined`]: ISS / Mir / RCC pre-determined-ordering baselines.
+//! - [`dqbft`]: the DQBFT dedicated-ordering-instance baseline.
+//! - [`epoch`]: the epoch pacemaker with checkpoints (§5.2.1).
+//! - [`bucket`]: rotating transaction buckets and the synthetic mempool.
+//! - [`node`]: the Multi-BFT replica composing `m` consensus instances,
+//!   the shared `curRank`, an orderer, the pacemaker and fault injection —
+//!   runnable under both the simulation engine and the live runtime.
+//! - [`msg`]: the replica's network message envelope.
+//! - [`sync`]: epoch state transfer for lagging replicas (§5.2.1).
+
+pub mod bucket;
+pub mod dqbft;
+pub mod epoch;
+pub mod msg;
+pub mod node;
+pub mod ordering;
+pub mod predetermined;
+pub mod sync;
+
+pub use bucket::{Mempool, RotatingBuckets, TxGroup};
+pub use dqbft::DqbftOrderer;
+pub use epoch::{CheckpointMsg, EpochEvent, EpochPacemaker, StableCheckpoint};
+pub use msg::{ClientTxs, NodeMsg};
+pub use sync::{SyncEntry, SyncRequest, SyncResponse};
+pub use node::{Behavior, CommitRecord, ConfirmRecord, MultiBftNode, NodeConfig, NodeMetrics};
+pub use ordering::{ConfirmedBlock, GlobalOrderer, LadonOrderer};
+pub use predetermined::{BaselineKind, PredeterminedOrderer};

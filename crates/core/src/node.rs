@@ -1,0 +1,1028 @@
+//! The Multi-BFT replica node (Fig. 4).
+//!
+//! One [`MultiBftNode`] per replica hosts:
+//!
+//! - `m` consensus instances (PBFT or chained HotStuff), each a pure
+//!   state machine from `ladon-pbft` / `ladon-hotstuff`;
+//! - the shared `curRank` state (Algorithm 2's `curRank`);
+//! - a global orderer (Ladon's Algorithm 1 or a baseline);
+//! - the epoch pacemaker and rotating buckets (Ladon protocols);
+//! - the synthetic mempool fed by relayed client transaction groups;
+//! - per-instance proposal pacing (the paper's fixed total block rate),
+//!   straggler / Byzantine / crash behavior injection;
+//! - metrics used by every figure and table.
+//!
+//! The node implements `ladon-sim`'s [`Actor`] trait, so it runs under the
+//! deterministic engine and the live threaded runtime unchanged.
+
+use crate::bucket::{Mempool, RotatingBuckets, TxGroup};
+use crate::dqbft::DqbftOrderer;
+use crate::epoch::{EpochEvent, EpochPacemaker};
+use crate::msg::{ClientTxs, NodeMsg};
+use crate::ordering::{ConfirmedBlock, GlobalOrderer, LadonOrderer};
+use crate::predetermined::{BaselineKind, PredeterminedOrderer};
+use crate::sync::{SyncEntry, SyncRequest, SyncResponse};
+use ladon_crypto::{KeyRegistry, RankCert};
+use ladon_hotstuff::{HsConfig, HsInstance, HsRankMode};
+use ladon_pbft::{InstanceConfig, PbftInstance, RankMode, RankStrategy};
+use ladon_sim::{Actor, ActorId, Context};
+use ladon_types::{
+    Batch, Block, InstanceId, ProtocolKind, Rank, ReplicaId, Round, SystemConfig, TimeNs,
+    View,
+};
+
+/// Fault/behavior injection for one replica (§6.1 straggler settings).
+#[derive(Clone, Debug, Default)]
+pub struct Behavior {
+    /// Honest straggler factor `k`: the replica's leader proposals run at
+    /// `1/k` of the normal rate and carry empty batches (§6.1).
+    pub straggler_k: Option<f64>,
+    /// Byzantine straggler: additionally manipulate rank selection by
+    /// using the lowest 2f+1 collected ranks (§6.3.1).
+    pub rank_minimize: bool,
+    /// Ablation: skip the leader's proposal-time refresh of its own rank
+    /// report (Algorithm 2 taken literally; see
+    /// [`ladon_pbft::RankStrategy::HonestStale`]).
+    pub stale_rank_reports: bool,
+    /// Crash at this instant (Fig. 8).
+    pub crash_at: Option<TimeNs>,
+}
+
+/// Node configuration.
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// System-wide parameters.
+    pub sys: SystemConfig,
+    /// Which Multi-BFT protocol composition to run.
+    pub protocol: ProtocolKind,
+    /// This replica.
+    pub me: ReplicaId,
+    /// The PKI oracle.
+    pub registry: KeyRegistry,
+    /// Behavior injection.
+    pub behavior: Behavior,
+    /// Sample cumulative confirmed transactions at this interval
+    /// (Fig. 8 timeline); `None` disables sampling.
+    pub sample_interval: Option<TimeNs>,
+}
+
+/// A commit observation (for cross-replica f+1 aggregation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Producing instance.
+    pub instance: u32,
+    /// Round within the instance.
+    pub round: u64,
+    /// Block rank.
+    pub rank: u64,
+    /// Local partial-commit time.
+    pub time: TimeNs,
+}
+
+/// A global confirmation observation.
+#[derive(Clone, Debug)]
+pub struct ConfirmRecord {
+    /// Global ordering index.
+    pub sn: u64,
+    /// Producing instance.
+    pub instance: u32,
+    /// Round within the instance.
+    pub round: u64,
+    /// Block rank.
+    pub rank: u64,
+    /// Transactions in the block.
+    pub tx_count: u32,
+    /// Sum of member transactions' submission times.
+    pub arrival_sum_ns: u128,
+    /// Leader-side generation time (causality metric).
+    pub proposed_at: TimeNs,
+    /// Local confirmation time.
+    pub time: TimeNs,
+    /// Nil / dummy block?
+    pub is_nil: bool,
+}
+
+/// Metrics collected by one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeMetrics {
+    /// Partial commits in arrival order.
+    pub commits: Vec<CommitRecord>,
+    /// Global confirmations in `sn` order.
+    pub confirms: Vec<ConfirmRecord>,
+    /// Cumulative confirmed transactions.
+    pub confirmed_txs: u64,
+    /// Timeline samples `(time, cumulative confirmed txs)`.
+    pub samples: Vec<(TimeNs, u64)>,
+    /// View changes started `(time, instance, view)`.
+    pub view_changes: Vec<(TimeNs, u32, u64)>,
+    /// New views installed `(time, instance, view)`.
+    pub new_views: Vec<(TimeNs, u32, u64)>,
+    /// Epoch advances `(time, epoch)`.
+    pub epochs: Vec<(TimeNs, u64)>,
+    /// Transactions deposited into the local mempool.
+    pub deposited_txs: u64,
+    /// State-transfer requests sent (§5.2.1).
+    pub sync_requests: u64,
+    /// Blocks installed from peers' sync responses.
+    pub sync_installed: u64,
+}
+
+enum Slot {
+    Pbft(PbftInstance),
+    Hs(HsInstance),
+}
+
+enum Orderer {
+    Ladon(LadonOrderer),
+    Pre(PredeterminedOrderer),
+    Dqbft(DqbftOrderer),
+}
+
+// Timer encoding: kind in bits 0..4, instance in 4..20, view in 20..36,
+// round/height in 36..64.
+const T_PACE: u64 = 1;
+const T_ROUND: u64 = 2;
+const T_VC: u64 = 3;
+const T_CRASH: u64 = 4;
+const T_SAMPLE: u64 = 5;
+const T_QUIET: u64 = 6;
+const T_SYNC: u64 = 7;
+
+/// State-transfer probe period.
+const SYNC_PERIOD: TimeNs = TimeNs::from_millis(1000);
+
+fn enc(kind: u64, instance: u64, view: u64, round: u64) -> u64 {
+    kind | (instance << 4) | (view << 20) | (round << 36)
+}
+
+fn dec(t: u64) -> (u64, u64, u64, u64) {
+    (t & 0xf, (t >> 4) & 0xffff, (t >> 20) & 0xffff, t >> 36)
+}
+
+/// The Multi-BFT replica.
+pub struct MultiBftNode {
+    cfg: NodeConfig,
+    slots: Vec<Slot>,
+    cur_rank: RankCert,
+    orderer: Orderer,
+    pacemaker: Option<EpochPacemaker>,
+    buckets: RotatingBuckets,
+    mempool: Mempool,
+    /// Pace timer fired but the instance was not ready to propose.
+    want_propose: Vec<bool>,
+    /// Per-instance partial-commit counts, for the quiet-leader detector
+    /// (the SB failure detector `D`): a quiet timer that fires with an
+    /// unchanged count means the instance delivered nothing in a full
+    /// timeout window.
+    inst_commits: Vec<u64>,
+    /// Round-robin cursor over peers for state-transfer requests.
+    sync_rr: usize,
+    /// Per-instance proposal-vs-commit gap observed at the previous sync
+    /// probe (hysteresis: a gap that persists across two probes means the
+    /// missing rounds will never commit here on their own).
+    sync_gap_snapshot: Vec<Round>,
+    /// Metrics sink.
+    pub metrics: NodeMetrics,
+    crashed: bool,
+}
+
+impl MultiBftNode {
+    /// Builds the node for `cfg.me`.
+    pub fn new(cfg: NodeConfig) -> Self {
+        let sys = &cfg.sys;
+        let m = sys.m;
+        let (emin, emax) = sys.rank_range(ladon_types::Epoch(0));
+        let is_hs = cfg.protocol.is_hotstuff();
+        let signer = cfg.registry.signer(cfg.me);
+
+        let strategy = if cfg.behavior.rank_minimize {
+            RankStrategy::MinimizeLowest
+        } else if cfg.behavior.stale_rank_reports {
+            RankStrategy::HonestStale
+        } else {
+            RankStrategy::Honest
+        };
+        let rank_mode = match cfg.protocol {
+            ProtocolKind::LadonPbft => RankMode::Plain,
+            ProtocolKind::LadonOptPbft => RankMode::Opt,
+            _ => RankMode::None,
+        };
+
+        // DQBFT gets one extra vanilla instance (index m) for sequencing.
+        let extra = usize::from(cfg.protocol == ProtocolKind::DqbftPbft);
+        let mut slots = Vec::with_capacity(m + extra);
+        for i in 0..(m + extra) {
+            if is_hs {
+                let mode = if cfg.protocol == ProtocolKind::LadonHotStuff {
+                    HsRankMode::Ladon
+                } else {
+                    HsRankMode::None
+                };
+                slots.push(Slot::Hs(HsInstance::new(
+                    HsConfig {
+                        instance: InstanceId(i as u32),
+                        me: cfg.me,
+                        n: sys.n,
+                        registry: cfg.registry.clone(),
+                        signer: signer.clone(),
+                        mode,
+                    },
+                    emin,
+                    emax,
+                )));
+            } else {
+                // Ladon instances use the epoch range; vanilla instances
+                // never stop for epochs.
+                let (lo, hi) = if rank_mode == RankMode::None || i == m {
+                    (Rank(0), Rank(u64::MAX))
+                } else {
+                    (emin, emax)
+                };
+                slots.push(Slot::Pbft(PbftInstance::new(
+                    InstanceConfig {
+                        instance: InstanceId(i as u32),
+                        me: cfg.me,
+                        n: sys.n,
+                        registry: cfg.registry.clone(),
+                        signer: signer.clone(),
+                        mode: if i == m { RankMode::None } else { rank_mode },
+                        strategy,
+                    },
+                    lo,
+                    hi,
+                )));
+            }
+        }
+
+        let orderer = match cfg.protocol {
+            ProtocolKind::LadonPbft
+            | ProtocolKind::LadonOptPbft
+            | ProtocolKind::LadonHotStuff => Orderer::Ladon(LadonOrderer::new(m)),
+            ProtocolKind::IssPbft | ProtocolKind::IssHotStuff => {
+                Orderer::Pre(PredeterminedOrderer::new(BaselineKind::Iss, m))
+            }
+            ProtocolKind::MirPbft => {
+                Orderer::Pre(PredeterminedOrderer::new(BaselineKind::Mir, m))
+            }
+            ProtocolKind::RccPbft => {
+                let mut p = PredeterminedOrderer::new(BaselineKind::Rcc, m);
+                p.rcc_lag_threshold = sys.rcc_lag_threshold;
+                Orderer::Pre(p)
+            }
+            ProtocolKind::DqbftPbft => {
+                // The ordering instance (index m) is led by replica m % n.
+                Orderer::Dqbft(DqbftOrderer::new(cfg.me.as_usize() == m % sys.n))
+            }
+        };
+
+        let pacemaker = match cfg.protocol {
+            ProtocolKind::LadonPbft
+            | ProtocolKind::LadonOptPbft
+            | ProtocolKind::LadonHotStuff => Some(EpochPacemaker::new(sys)),
+            _ => None,
+        };
+
+        Self {
+            buckets: RotatingBuckets::new(m),
+            mempool: Mempool::new(m, sys.tx_bytes),
+            want_propose: vec![false; m + extra],
+            inst_commits: vec![0; m + extra],
+            sync_rr: 0,
+            sync_gap_snapshot: vec![Round(0); m],
+            slots,
+            cur_rank: RankCert::genesis(emin),
+            orderer,
+            pacemaker,
+            metrics: NodeMetrics::default(),
+            crashed: false,
+            cfg,
+        }
+    }
+
+    /// Read access to the orderer's confirmed count.
+    pub fn confirmed_count(&self) -> u64 {
+        match &self.orderer {
+            Orderer::Ladon(o) => o.confirmed_count(),
+            Orderer::Pre(o) => o.confirmed_count(),
+            Orderer::Dqbft(o) => o.confirmed_count(),
+        }
+    }
+
+    /// Blocks partially committed but awaiting global confirmation.
+    pub fn waiting_count(&self) -> usize {
+        match &self.orderer {
+            Orderer::Ladon(o) => o.waiting_count(),
+            Orderer::Pre(o) => o.waiting_count(),
+            Orderer::Dqbft(o) => o.waiting_count(),
+        }
+    }
+
+    /// The replica's current certified rank.
+    pub fn cur_rank(&self) -> Rank {
+        self.cur_rank.rank
+    }
+
+    /// Current epoch (Ladon protocols; 0 otherwise).
+    pub fn epoch(&self) -> u64 {
+        self.pacemaker.as_ref().map(|p| p.epoch().0).unwrap_or(0)
+    }
+
+    fn pace_interval(&self) -> TimeNs {
+        let base = self.cfg.sys.proposal_interval();
+        match self.cfg.behavior.straggler_k {
+            Some(k) => base.mul_f64(k),
+            None => base,
+        }
+    }
+
+    fn is_straggler(&self) -> bool {
+        self.cfg.behavior.straggler_k.is_some()
+    }
+
+    /// All replica actor ids except ours (actor id == replica id).
+    fn peers(&self) -> Vec<ActorId> {
+        (0..self.cfg.sys.n)
+            .filter(|&r| r != self.cfg.me.as_usize())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Action plumbing
+    // ------------------------------------------------------------------
+
+    fn handle_pbft_actions(
+        &mut self,
+        i: usize,
+        actions: Vec<ladon_pbft::Action>,
+        ctx: &mut dyn Context<NodeMsg>,
+    ) {
+        for a in actions {
+            match a {
+                ladon_pbft::Action::Broadcast(msg) => {
+                    let wrapped = NodeMsg::Pbft {
+                        instance: InstanceId(i as u32),
+                        msg,
+                    };
+                    for p in self.peers() {
+                        ctx.send(p, wrapped.clone());
+                    }
+                }
+                ladon_pbft::Action::Send(r, msg) => {
+                    let wrapped = NodeMsg::Pbft {
+                        instance: InstanceId(i as u32),
+                        msg,
+                    };
+                    if r == self.cfg.me {
+                        self.on_node_msg(self.cfg.me, wrapped, ctx);
+                    } else {
+                        ctx.send(r.as_usize(), wrapped);
+                    }
+                }
+                ladon_pbft::Action::Committed(block) => {
+                    self.on_committed(i, block, ctx);
+                }
+                ladon_pbft::Action::StartRoundTimer { round, view } => {
+                    ctx.set_timer(
+                        self.cfg.sys.view_change_timeout,
+                        enc(T_ROUND, i as u64, view.0, round.0),
+                    );
+                }
+                ladon_pbft::Action::StartViewChangeTimer { view } => {
+                    ctx.set_timer(
+                        self.cfg.sys.view_change_timeout,
+                        enc(T_VC, i as u64, view.0, 0),
+                    );
+                }
+                ladon_pbft::Action::ViewChangeStarted { view } => {
+                    self.metrics
+                        .view_changes
+                        .push((ctx.now(), i as u32, view.0));
+                }
+                ladon_pbft::Action::NewViewInstalled { view } => {
+                    self.metrics.new_views.push((ctx.now(), i as u32, view.0));
+                }
+            }
+        }
+    }
+
+    fn handle_hs_actions(
+        &mut self,
+        i: usize,
+        actions: Vec<ladon_hotstuff::Action>,
+        ctx: &mut dyn Context<NodeMsg>,
+    ) {
+        for a in actions {
+            match a {
+                ladon_hotstuff::Action::Broadcast(msg) => {
+                    let wrapped = NodeMsg::Hs {
+                        instance: InstanceId(i as u32),
+                        msg,
+                    };
+                    for p in self.peers() {
+                        ctx.send(p, wrapped.clone());
+                    }
+                }
+                ladon_hotstuff::Action::Send(r, msg) => {
+                    let wrapped = NodeMsg::Hs {
+                        instance: InstanceId(i as u32),
+                        msg,
+                    };
+                    if r == self.cfg.me {
+                        self.on_node_msg(self.cfg.me, wrapped, ctx);
+                    } else {
+                        ctx.send(r.as_usize(), wrapped);
+                    }
+                }
+                ladon_hotstuff::Action::Committed(block) => {
+                    self.on_committed(i, block, ctx);
+                }
+                ladon_hotstuff::Action::StartHeightTimer { height, view } => {
+                    ctx.set_timer(
+                        self.cfg.sys.view_change_timeout,
+                        enc(T_ROUND, i as u64, view.0, height.0),
+                    );
+                }
+                ladon_hotstuff::Action::ViewChangeStarted { view } => {
+                    self.metrics
+                        .view_changes
+                        .push((ctx.now(), i as u32, view.0));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / confirm pipeline
+    // ------------------------------------------------------------------
+
+    fn on_committed(&mut self, i: usize, block: Block, ctx: &mut dyn Context<NodeMsg>) {
+        let now = ctx.now();
+        self.inst_commits[i] += 1;
+        self.metrics.commits.push(CommitRecord {
+            instance: block.index().0,
+            round: block.round().0,
+            rank: block.rank().0,
+            time: now,
+        });
+
+        // Epoch pacemaker (Ladon protocols, real instances only).
+        if i < self.cfg.sys.m {
+            let mut broadcast = None;
+            let mut pending_advance = None;
+            if let Some(pm) = &mut self.pacemaker {
+                let signer = self.cfg.registry.signer(self.cfg.me);
+                if let Some(EpochEvent::BroadcastCheckpoint(msg)) =
+                    pm.on_commit(i, block.rank(), &signer)
+                {
+                    broadcast = Some(msg);
+                    // A stable checkpoint fetched earlier via state
+                    // transfer may already prove this epoch complete.
+                    pending_advance = pm.try_pending_advance(now);
+                }
+            }
+            if let Some(msg) = broadcast {
+                let wrapped = NodeMsg::Checkpoint(msg);
+                for p in self.peers() {
+                    ctx.send(p, wrapped.clone());
+                }
+            }
+            if let Some(EpochEvent::Advance { epoch, min, max }) = pending_advance {
+                self.apply_epoch_advance(epoch, min, max, ctx);
+            }
+        }
+
+        // Ordering layer.
+        let confirmed: Vec<ConfirmedBlock> = match &mut self.orderer {
+            Orderer::Ladon(o) => o.on_partial_commit(block, now),
+            Orderer::Pre(o) => o.on_partial_commit(block, now),
+            Orderer::Dqbft(o) => {
+                if i == self.cfg.sys.m {
+                    // The ordering instance sequenced a reference batch.
+                    o.on_sequenced(&block.batch.refs, now)
+                } else {
+                    o.on_partial_commit(block, now)
+                }
+            }
+        };
+        self.record_confirms(confirmed, now);
+
+        // A commit can unblock proposals (rank sets complete, HS QCs form,
+        // DQBFT refs accumulate).
+        self.try_propose_all(ctx);
+    }
+
+    fn record_confirms(&mut self, confirmed: Vec<ConfirmedBlock>, now: TimeNs) {
+        for c in confirmed {
+            let b = &c.block;
+            if !b.is_nil() {
+                self.metrics.confirmed_txs += b.batch.count as u64;
+            }
+            self.metrics.confirms.push(ConfirmRecord {
+                sn: c.sn,
+                instance: b.index().0,
+                round: b.round().0,
+                rank: b.rank().0,
+                tx_count: b.batch.count,
+                arrival_sum_ns: b.batch.arrival_sum_ns,
+                proposed_at: b.proposed_at,
+                time: now,
+                is_nil: b.is_nil(),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proposing
+    // ------------------------------------------------------------------
+
+    fn try_propose_all(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        for i in 0..self.slots.len() {
+            self.try_propose(i, ctx);
+        }
+    }
+
+    fn try_propose(&mut self, i: usize, ctx: &mut dyn Context<NodeMsg>) {
+        if !self.want_propose[i] {
+            return;
+        }
+        let now = ctx.now();
+        let m = self.cfg.sys.m;
+        let batch_size = self.cfg.sys.batch_size;
+
+        // Phase 1 (immutable): readiness and batch characteristics.
+        let (ready, is_dummy) = match &self.slots[i] {
+            Slot::Pbft(inst) => (inst.can_propose(), false),
+            Slot::Hs(inst) => (inst.can_propose(), inst.next_is_dummy()),
+        };
+        if !ready {
+            return;
+        }
+
+        // Phase 2: cut the batch from the appropriate source.
+        let batch = if i == m {
+            // DQBFT ordering instance: propose pending refs.
+            let Orderer::Dqbft(o) = &mut self.orderer else {
+                unreachable!("instance m exists only under DQBFT");
+            };
+            if !o.has_pending_refs() {
+                return;
+            }
+            Batch::of_refs(o.cut_refs(256))
+        } else if self.is_straggler() || is_dummy {
+            // Honest stragglers propose empty batches (§6.1); HotStuff
+            // epoch-flush dummies are empty by definition.
+            Batch::empty(0)
+        } else {
+            let buckets = self.buckets.buckets_of(InstanceId(i as u32));
+            self.mempool.cut_batch(&buckets, batch_size)
+        };
+
+        // Phase 3 (mutable): propose and plumb the actions.
+        self.want_propose[i] = false;
+        match &mut self.slots[i] {
+            Slot::Pbft(inst) => {
+                let actions = inst.propose(batch, now, &mut self.cur_rank);
+                self.handle_pbft_actions(i, actions, ctx);
+            }
+            Slot::Hs(inst) => {
+                let actions = inst.propose(batch, now, &mut self.cur_rank);
+                self.handle_hs_actions(i, actions, ctx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    fn on_node_msg(&mut self, from: ReplicaId, msg: NodeMsg, ctx: &mut dyn Context<NodeMsg>) {
+        match msg {
+            NodeMsg::Pbft { instance, msg } => {
+                let i = instance.as_usize();
+                if i >= self.slots.len() {
+                    return;
+                }
+                let now = ctx.now();
+                if let Slot::Pbft(inst) = &mut self.slots[i] {
+                    let actions = inst.on_message(from, msg, now, &mut self.cur_rank);
+                    self.handle_pbft_actions(i, actions, ctx);
+                    self.try_propose(i, ctx);
+                }
+            }
+            NodeMsg::Hs { instance, msg } => {
+                let i = instance.as_usize();
+                if i >= self.slots.len() {
+                    return;
+                }
+                let now = ctx.now();
+                if let Slot::Hs(inst) = &mut self.slots[i] {
+                    let actions = inst.on_message(from, msg, now, &mut self.cur_rank);
+                    self.handle_hs_actions(i, actions, ctx);
+                    self.try_propose(i, ctx);
+                }
+            }
+            NodeMsg::Checkpoint(cp) => {
+                let now = ctx.now();
+                let Some(pm) = &mut self.pacemaker else {
+                    return;
+                };
+                let ev = pm.on_checkpoint(from, &cp, &self.cfg.registry, now);
+                if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
+                    self.apply_epoch_advance(epoch, min, max, ctx);
+                }
+            }
+            NodeMsg::SyncReq(req) => self.on_sync_request(from, req, ctx),
+            NodeMsg::SyncResp(resp) => self.on_sync_response(resp, ctx),
+            NodeMsg::ClientTxs(group) => self.on_client_txs(group, ctx),
+        }
+    }
+
+    /// Installs the next epoch in every instance and rotates the buckets.
+    fn apply_epoch_advance(
+        &mut self,
+        epoch: ladon_types::Epoch,
+        min: Rank,
+        max: Rank,
+        ctx: &mut dyn Context<NodeMsg>,
+    ) {
+        let now = ctx.now();
+        self.metrics.epochs.push((now, epoch.0));
+        self.buckets.rotate();
+        for i in 0..self.cfg.sys.m {
+            match &mut self.slots[i] {
+                Slot::Pbft(inst) => {
+                    let actions = inst.advance_epoch(min, max, now, &mut self.cur_rank);
+                    self.handle_pbft_actions(i, actions, ctx);
+                }
+                Slot::Hs(inst) => inst.advance_epoch(min, max),
+            }
+        }
+        self.try_propose_all(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch state transfer (§5.2.1)
+    // ------------------------------------------------------------------
+
+    /// Evidence of having fallen behind: buffered future-epoch proposals,
+    /// a checkpoint quorum for an epoch we have not completed, or an
+    /// instance whose commit frontier stays far behind its highest seen
+    /// proposal across two probe periods. The last covers every
+    /// missed-message case — a round whose vote phases we missed can
+    /// never commit here on its own, because peers do not re-send votes —
+    /// and keeps a recovering replica syncing until it reaches the live
+    /// edge and its own votes start counting again. (Healthy Ladon-PBFT
+    /// instances pipeline one round, so their gap never nears the
+    /// threshold.) Call once per probe: refreshes the hysteresis state.
+    fn sync_lagging(&mut self) -> bool {
+        const LIVE_EDGE_GAP: u64 = 4;
+        let mut lagging = self.pacemaker.as_ref().is_some_and(|p| p.lag_evidence());
+        for i in 0..self.cfg.sys.m {
+            let Slot::Pbft(inst) = &self.slots[i] else {
+                continue;
+            };
+            if inst.epoch_backlog() > 0 {
+                lagging = true;
+            }
+            // A view change in flight counts as an unbounded gap: either
+            // we started it alone because we missed commits (state
+            // transfer both repairs the log and abandons it), or it is a
+            // real one — a spurious sync request then costs one
+            // round-trip.
+            let gap_now = if inst.in_view_change() {
+                u64::MAX
+            } else {
+                inst.highest_seen_round().0.saturating_sub(inst.committed_upto().0)
+            };
+            let gap_before = self.sync_gap_snapshot[i].0;
+            if gap_now >= LIVE_EDGE_GAP && gap_before >= LIVE_EDGE_GAP {
+                lagging = true;
+            }
+            self.sync_gap_snapshot[i] = Round(gap_now);
+        }
+        lagging
+    }
+
+    /// Sends one state-transfer request to the next peer in round-robin
+    /// order.
+    fn send_sync_request(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        let m = self.cfg.sys.m;
+        let frontier: Vec<Round> = (0..m)
+            .map(|i| match &self.slots[i] {
+                Slot::Pbft(inst) => inst.committed_upto(),
+                Slot::Hs(inst) => inst.committed_upto(),
+            })
+            .collect();
+        let req = SyncRequest {
+            epoch: ladon_types::Epoch(self.epoch()),
+            frontier,
+        };
+        let n = self.cfg.sys.n;
+        let mut target = self.sync_rr % n;
+        if target == self.cfg.me.as_usize() {
+            target = (target + 1) % n;
+        }
+        self.sync_rr = (target + 1) % n;
+        self.metrics.sync_requests += 1;
+        ctx.send(target, NodeMsg::SyncReq(req));
+    }
+
+    /// Serves a peer's state-transfer request from our committed log.
+    fn on_sync_request(
+        &mut self,
+        from: ReplicaId,
+        req: SyncRequest,
+        ctx: &mut dyn Context<NodeMsg>,
+    ) {
+        let m = self.cfg.sys.m;
+        if from.as_usize() >= self.cfg.sys.n || req.frontier.len() != m {
+            return;
+        }
+        let mut entries = Vec::new();
+        'outer: for i in 0..m {
+            if let Slot::Pbft(inst) = &self.slots[i] {
+                for (block, qc) in
+                    inst.committed_entries_from(req.frontier[i], crate::sync::SYNC_PER_INSTANCE)
+                {
+                    entries.push(SyncEntry {
+                        instance: InstanceId(i as u32),
+                        block,
+                        qc,
+                    });
+                    if entries.len() >= crate::sync::SYNC_MAX_BLOCKS {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let checkpoint = self
+            .pacemaker
+            .as_ref()
+            .and_then(|p| p.stable_checkpoint(req.epoch));
+        if entries.is_empty() && checkpoint.is_none() {
+            return;
+        }
+        ctx.send(from.as_usize(), NodeMsg::SyncResp(SyncResponse { checkpoint, entries }));
+    }
+
+    /// Verifies and installs a peer's sync response.
+    fn on_sync_response(&mut self, resp: SyncResponse, ctx: &mut dyn Context<NodeMsg>) {
+        let now = ctx.now();
+        if let Some(cp) = &resp.checkpoint {
+            let ev = self
+                .pacemaker
+                .as_mut()
+                .and_then(|p| p.on_stable_checkpoint(cp, &self.cfg.registry, now));
+            if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
+                self.apply_epoch_advance(epoch, min, max, ctx);
+            }
+        }
+        for e in resp.entries {
+            let i = e.instance.as_usize();
+            if i >= self.cfg.sys.m {
+                continue;
+            }
+            if let Slot::Pbft(inst) = &mut self.slots[i] {
+                let actions = inst.install_committed(e.block, e.qc, now, &mut self.cur_rank);
+                if !actions.is_empty() {
+                    self.metrics.sync_installed += 1;
+                }
+                self.handle_pbft_actions(i, actions, ctx);
+            }
+        }
+    }
+
+    /// Step ① relay semantics: deposit if we lead the bucket's instance,
+    /// otherwise forward once toward the leader we believe is current.
+    fn on_client_txs(&mut self, group: ClientTxs, ctx: &mut dyn Context<NodeMsg>) {
+        let instance = self.buckets.instance_of(group.bucket);
+        let i = instance.as_usize();
+        let leader = match &self.slots[i] {
+            Slot::Pbft(inst) => inst.leader_of(inst.view()),
+            Slot::Hs(inst) => inst.leader_of(inst.view()),
+        };
+        if leader == self.cfg.me || group.forwarded {
+            self.metrics.deposited_txs += group.count as u64;
+            self.mempool.deposit(
+                group.bucket,
+                TxGroup {
+                    first_tx: group.first_tx,
+                    count: group.count,
+                    arrival_sum_ns: group.arrival_sum_ns,
+                    earliest: group.earliest,
+                },
+            );
+        } else {
+            let mut fwd = group;
+            fwd.forwarded = true;
+            ctx.send(leader.as_usize(), NodeMsg::ClientTxs(fwd));
+        }
+    }
+}
+
+impl Actor<NodeMsg> for MultiBftNode {
+    fn on_start(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        // Stagger per-instance pace timers so leaders do not fire in
+        // lockstep; the per-leader interval is m / total_block_rate.
+        let interval = self.pace_interval();
+        let m_total = self.slots.len();
+        for i in 0..m_total {
+            let phase = interval.mul(i as u64 % self.cfg.sys.m as u64).0
+                / self.cfg.sys.m as u64;
+            ctx.set_timer(TimeNs(phase) + TimeNs::from_millis(1), enc(T_PACE, i as u64, 0, 0));
+        }
+        if let Some(at) = self.cfg.behavior.crash_at {
+            ctx.set_timer(at, enc(T_CRASH, 0, 0, 0));
+        }
+        // SB failure detector D (pre-determined orderers only): watch each
+        // instance for quiet leaders.
+        if matches!(self.orderer, Orderer::Pre(_)) {
+            for i in 0..self.cfg.sys.m {
+                ctx.set_timer(
+                    self.cfg.sys.quiet_leader_timeout,
+                    enc(T_QUIET, i as u64, 0, 0),
+                );
+            }
+        }
+        // State-transfer probe (epoch-running protocols only, §5.2.1).
+        if self.pacemaker.is_some() {
+            ctx.set_timer(SYNC_PERIOD, enc(T_SYNC, 0, 0, 0));
+        }
+        if let Some(every) = self.cfg.sample_interval {
+            ctx.set_timer(every, enc(T_SAMPLE, 0, 0, 0));
+        }
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: NodeMsg, ctx: &mut dyn Context<NodeMsg>) {
+        if self.crashed {
+            return;
+        }
+        // Client fleet actors have ids >= n; treat them as replica 0 for
+        // instance-level sender checks (client messages never carry
+        // consensus payloads).
+        let from = if from < self.cfg.sys.n {
+            ReplicaId(from as u32)
+        } else {
+            ReplicaId(u32::MAX)
+        };
+        self.on_node_msg(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut dyn Context<NodeMsg>) {
+        if self.crashed {
+            return;
+        }
+        let (kind, i, view, round) = dec(timer);
+        let i = i as usize;
+        match kind {
+            T_PACE => {
+                // Re-arm and mark the instance as wanting a proposal.
+                ctx.set_timer(self.pace_interval(), enc(T_PACE, i as u64, 0, 0));
+                if i < self.slots.len() {
+                    let leads = match &self.slots[i] {
+                        Slot::Pbft(inst) => inst.is_leader(),
+                        Slot::Hs(inst) => inst.is_leader(),
+                    };
+                    if leads {
+                        self.want_propose[i] = true;
+                        self.try_propose(i, ctx);
+                    }
+                }
+            }
+            T_ROUND => {
+                if i < self.slots.len() {
+                    match &mut self.slots[i] {
+                        Slot::Pbft(inst) => {
+                            let actions = inst.on_round_timer(Round(round), View(view));
+                            self.handle_pbft_actions(i, actions, ctx);
+                        }
+                        Slot::Hs(inst) => {
+                            let actions = inst.on_height_timer(Round(round), View(view));
+                            self.handle_hs_actions(i, actions, ctx);
+                        }
+                    }
+                }
+            }
+            T_VC => {
+                if i < self.slots.len() {
+                    if let Slot::Pbft(inst) = &mut self.slots[i] {
+                        let actions = inst.on_view_change_timer(View(view));
+                        self.handle_pbft_actions(i, actions, ctx);
+                    }
+                }
+            }
+            T_CRASH => {
+                self.crashed = true;
+                ctx.crash(ctx.self_id());
+            }
+            T_SAMPLE => {
+                self.metrics.samples.push((ctx.now(), self.metrics.confirmed_txs));
+                if let Some(every) = self.cfg.sample_interval {
+                    ctx.set_timer(every, enc(T_SAMPLE, 0, 0, 0));
+                }
+            }
+            T_SYNC => {
+                if self.sync_lagging() {
+                    self.send_sync_request(ctx);
+                }
+                ctx.set_timer(SYNC_PERIOD, enc(T_SYNC, 0, 0, 0));
+            }
+            T_QUIET => {
+                // `round` carries the commit count captured at arming time:
+                // an unchanged count means a full quiet window elapsed.
+                if i < self.cfg.sys.m {
+                    let count = self.inst_commits[i] & 0x0fff_ffff;
+                    if count == round {
+                        if let Orderer::Pre(o) = &mut self.orderer {
+                            let confirmed =
+                                o.on_quiet_leader(InstanceId(i as u32), ctx.now());
+                            let now = ctx.now();
+                            self.record_confirms(confirmed, now);
+                        }
+                    }
+                    ctx.set_timer(
+                        self.cfg.sys.quiet_leader_timeout,
+                        enc(T_QUIET, i as u64, 0, count),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_encoding_roundtrips() {
+        let t = enc(T_ROUND, 130, 17, 99_999);
+        assert_eq!(dec(t), (T_ROUND, 130, 17, 99_999));
+        let t = enc(T_PACE, 0, 0, 0);
+        assert_eq!(dec(t), (T_PACE, 0, 0, 0));
+    }
+
+    #[test]
+    fn node_construction_per_protocol() {
+        let sys = SystemConfig::paper_default(4, ladon_types::NetEnv::Lan);
+        let registry = KeyRegistry::generate(4, sys.opt_keys, 1);
+        for proto in [
+            ProtocolKind::LadonPbft,
+            ProtocolKind::LadonOptPbft,
+            ProtocolKind::IssPbft,
+            ProtocolKind::RccPbft,
+            ProtocolKind::MirPbft,
+            ProtocolKind::DqbftPbft,
+            ProtocolKind::LadonHotStuff,
+            ProtocolKind::IssHotStuff,
+        ] {
+            let node = MultiBftNode::new(NodeConfig {
+                sys: sys.clone(),
+                protocol: proto,
+                me: ReplicaId(0),
+                registry: registry.clone(),
+                behavior: Behavior::default(),
+                sample_interval: None,
+            });
+            let expect_slots = sys.m + usize::from(proto == ProtocolKind::DqbftPbft);
+            assert_eq!(node.slots.len(), expect_slots, "{proto:?}");
+            assert_eq!(node.confirmed_count(), 0);
+        }
+    }
+
+    #[test]
+    fn straggler_pace_is_k_times_slower() {
+        let sys = SystemConfig::paper_default(4, ladon_types::NetEnv::Lan);
+        let registry = KeyRegistry::generate(4, sys.opt_keys, 1);
+        let normal = MultiBftNode::new(NodeConfig {
+            sys: sys.clone(),
+            protocol: ProtocolKind::LadonPbft,
+            me: ReplicaId(0),
+            registry: registry.clone(),
+            behavior: Behavior::default(),
+            sample_interval: None,
+        });
+        let slow = MultiBftNode::new(NodeConfig {
+            sys,
+            protocol: ProtocolKind::LadonPbft,
+            me: ReplicaId(1),
+            registry,
+            behavior: Behavior {
+                straggler_k: Some(10.0),
+                ..Default::default()
+            },
+            sample_interval: None,
+        });
+        assert_eq!(slow.pace_interval().0, normal.pace_interval().0 * 10);
+        assert!(slow.is_straggler());
+    }
+}

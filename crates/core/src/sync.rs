@@ -1,0 +1,158 @@
+//! Epoch state transfer (§5.2.1).
+//!
+//! "When a replica starts receiving messages for a future epoch `e + 1`,
+//! it fetches the missing log entries of epoch `e` along with their
+//! corresponding stable checkpoint, which prove the integrity of the
+//! data."
+//!
+//! A replica detects that it fell behind in two ways: its instances
+//! buffer pre-prepares whose ranks belong to a future epoch
+//! ([`ladon_pbft::PbftInstance::epoch_backlog`]), or the epoch pacemaker
+//! sees a checkpoint quorum for an epoch it has not completed
+//! ([`crate::epoch::EpochPacemaker::lag_evidence`]). It then sends a
+//! [`SyncRequest`] carrying its per-instance commit frontier to one peer
+//! (rotating through peers so a single unhelpful — or Byzantine — peer
+//! cannot starve recovery). The peer answers with a [`SyncResponse`]:
+//! the stable checkpoint of the completed epoch plus the blocks past the
+//! requester's frontier, each certified by its prepare QC. The requester
+//! verifies every certificate before installing anything, so a Byzantine
+//! responder can serve correct data or nothing at all.
+//!
+//! Fetched blocks flow through the normal commit pipeline (global
+//! ordering, epoch pacemaker), so catching up eventually re-arms the
+//! pacemaker and the replica rejoins the current epoch.
+
+use crate::epoch::StableCheckpoint;
+use ladon_crypto::QuorumCert;
+use ladon_types::{sizes, Block, Epoch, InstanceId, Round, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Maximum blocks per instance served in one response.
+pub const SYNC_PER_INSTANCE: usize = 32;
+/// Maximum total blocks served in one response (bounds message size; a
+/// deeply lagging replica catches up over several request rounds). Sized
+/// so one response per probe period outruns block production by a wide
+/// margin — a cap at or below the production rate would leave the lagger
+/// in a permanent one-epoch-behind equilibrium.
+pub const SYNC_MAX_BLOCKS: usize = 128;
+
+/// A lagging replica's request for missing log entries.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SyncRequest {
+    /// The requester's current epoch (the one it is stuck in).
+    pub epoch: Epoch,
+    /// The requester's highest contiguously committed round, per instance
+    /// (`frontier[i]` for instance `i`; length `m`).
+    pub frontier: Vec<Round>,
+}
+
+impl WireSize for SyncRequest {
+    fn wire_size(&self) -> u64 {
+        sizes::MSG_HEADER + 8 + 8 * self.frontier.len() as u64
+    }
+}
+
+/// One fetched log entry: a committed block and the prepare QC binding its
+/// `(digest, rank)` to `(instance, round)`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SyncEntry {
+    /// The instance the block belongs to.
+    pub instance: InstanceId,
+    /// The committed block (with payload — this is the one transfer that
+    /// genuinely re-ships data the replica missed).
+    pub block: Block,
+    /// Certificate for the block.
+    pub qc: QuorumCert,
+}
+
+impl WireSize for SyncEntry {
+    fn wire_size(&self) -> u64 {
+        4 + self.block.wire_size() + self.qc.wire_size()
+    }
+}
+
+/// A peer's response: integrity proof plus missing entries.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SyncResponse {
+    /// Stable checkpoint of the requested epoch, when the responder has
+    /// completed it (absent when the responder is in the same epoch as
+    /// the requester and merely further along within it).
+    pub checkpoint: Option<StableCheckpoint>,
+    /// Missing log entries past the requester's frontier.
+    pub entries: Vec<SyncEntry>,
+}
+
+impl WireSize for SyncResponse {
+    fn wire_size(&self) -> u64 {
+        sizes::MSG_HEADER
+            + self.checkpoint.as_ref().map_or(0, WireSize::wire_size)
+            + self.entries.iter().map(WireSize::wire_size).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladon_types::{Batch, BlockHeader, Digest, Rank, TimeNs};
+
+    #[test]
+    fn request_wire_size_scales_with_frontier() {
+        let small = SyncRequest {
+            epoch: Epoch(1),
+            frontier: vec![Round(0); 4],
+        };
+        let big = SyncRequest {
+            epoch: Epoch(1),
+            frontier: vec![Round(0); 128],
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size() - small.wire_size(), 8 * 124);
+    }
+
+    #[test]
+    fn response_wire_size_counts_block_payload() {
+        let block = Block {
+            header: BlockHeader {
+                index: InstanceId(0),
+                round: Round(1),
+                rank: Rank(1),
+                payload_digest: Digest([1; 32]),
+            },
+            batch: Batch {
+                first_tx: ladon_types::TxId(0),
+                count: 100,
+                payload_bytes: 50_000,
+                arrival_sum_ns: 0,
+                earliest_arrival: TimeNs::ZERO,
+                bucket: 0,
+                refs: Vec::new(),
+            },
+            proposed_at: TimeNs::ZERO,
+        };
+        let reg = ladon_crypto::KeyRegistry::generate(4, 1, 1);
+        let share = QuorumCert::sign_share(
+            &reg.signer(ladon_types::ReplicaId(0)),
+            ladon_types::View(0),
+            Round(1),
+            &Digest([1; 32]),
+            InstanceId(0),
+            Rank(1),
+        );
+        let qc =
+            QuorumCert::from_shares(&[share], 4, ladon_types::View(0), Round(1), InstanceId(0), Digest([1; 32]), Rank(1))
+                .unwrap();
+        let entry = SyncEntry {
+            instance: InstanceId(0),
+            block,
+            qc,
+        };
+        let resp = SyncResponse {
+            checkpoint: None,
+            entries: vec![entry],
+        };
+        assert!(
+            resp.wire_size() > 50_000,
+            "payload must dominate the response size"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Quorum certificates.
+//!
+//! Algorithm 2 aggregates `2f + 1` prepare signatures into a `QC` that
+//! certifies a block's `(digest, rank)` at `(view, round, instance)`. The
+//! same certificate doubles as the *rank certificate* a replica attaches to
+//! its rank messages (Line 25: `curRank.QC ← agg(premsg)`), which is how a
+//! leader proves the highest collected rank is authentic and not stale.
+
+use crate::agg::AggregateSignature;
+use crate::keys::{KeyRegistry, Signer};
+use crate::sig::Signature;
+use ladon_types::{Digest, InstanceId, Rank, Round, View, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Signing domain for prepare-phase messages.
+pub const DOMAIN_PREPARE: &[u8] = b"ladon/prepare";
+
+/// Signing domain for chained-HotStuff votes. Lives here (not in the
+/// hotstuff crate) because a HotStuff vote QC doubles as a rank
+/// certificate, so [`QuorumCert::verify`] must know its bytes.
+pub const DOMAIN_HS_VOTE: &[u8] = b"ladon/hs/vote";
+
+/// Which signing domain a [`QuorumCert`]'s shares were produced under.
+///
+/// PBFT rank certificates aggregate prepare signatures (Algorithm 2 line
+/// 25); Ladon-HotStuff rank certificates aggregate the 2f+1 votes that
+/// form a node's QC (Appendix D: `generateQC` output certifies the node's
+/// rank). Both cover the same canonical `(view, round, digest, instance,
+/// rank)` bytes, so the certificate only needs to remember the domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CertDomain {
+    /// PBFT prepare shares.
+    Prepare,
+    /// Chained-HotStuff vote shares.
+    HsVote,
+}
+
+impl CertDomain {
+    /// The domain-separation bytes signatures in this domain cover.
+    pub fn bytes(self) -> &'static [u8] {
+        match self {
+            CertDomain::Prepare => DOMAIN_PREPARE,
+            CertDomain::HsVote => DOMAIN_HS_VOTE,
+        }
+    }
+}
+
+/// Canonical byte encoding of the prepare message body
+/// `⟨prepare, v, n, d, i, rank⟩` that every prepare signature covers.
+pub fn prepare_bytes(
+    view: View,
+    round: Round,
+    digest: &Digest,
+    instance: InstanceId,
+    rank: Rank,
+) -> [u8; 60] {
+    let mut out = [0u8; 60];
+    out[0..8].copy_from_slice(&view.0.to_le_bytes());
+    out[8..16].copy_from_slice(&round.0.to_le_bytes());
+    out[16..48].copy_from_slice(&digest.0);
+    out[48..52].copy_from_slice(&instance.0.to_le_bytes());
+    out[52..60].copy_from_slice(&rank.0.to_le_bytes());
+    out
+}
+
+/// A quorum certificate over `(view, round, instance, digest, rank)`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct QuorumCert {
+    /// View the prepares were sent in.
+    pub view: View,
+    /// Round of the certified block.
+    pub round: Round,
+    /// Producing instance.
+    pub instance: InstanceId,
+    /// Certified payload digest.
+    pub digest: Digest,
+    /// Certified rank.
+    pub rank: Rank,
+    /// Signing domain of the aggregated shares.
+    pub domain: CertDomain,
+    /// The aggregated share signatures.
+    pub agg: AggregateSignature,
+}
+
+impl QuorumCert {
+    /// Signs one prepare share for this certificate's contents.
+    pub fn sign_share(
+        signer: &Signer,
+        view: View,
+        round: Round,
+        digest: &Digest,
+        instance: InstanceId,
+        rank: Rank,
+    ) -> Signature {
+        let bytes = prepare_bytes(view, round, digest, instance, rank);
+        Signature::sign(signer, DOMAIN_PREPARE, &bytes)
+    }
+
+    /// Aggregates prepare shares into a certificate.
+    ///
+    /// Returns `None` if aggregation fails (empty/duplicate signers).
+    pub fn from_shares(
+        shares: &[Signature],
+        n: usize,
+        view: View,
+        round: Round,
+        instance: InstanceId,
+        digest: Digest,
+        rank: Rank,
+    ) -> Option<Self> {
+        Self::from_shares_in(
+            shares,
+            n,
+            view,
+            round,
+            instance,
+            digest,
+            rank,
+            CertDomain::Prepare,
+        )
+    }
+
+    /// Aggregates shares signed under `domain` into a certificate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_shares_in(
+        shares: &[Signature],
+        n: usize,
+        view: View,
+        round: Round,
+        instance: InstanceId,
+        digest: Digest,
+        rank: Rank,
+        domain: CertDomain,
+    ) -> Option<Self> {
+        let agg = AggregateSignature::aggregate(shares, n)?;
+        Some(Self {
+            view,
+            round,
+            instance,
+            digest,
+            rank,
+            domain,
+            agg,
+        })
+    }
+
+    /// Verifies the certificate: quorum of distinct signers over the
+    /// canonical bytes.
+    pub fn verify(&self, registry: &KeyRegistry, quorum: usize) -> bool {
+        if !self.agg.has_quorum(quorum) {
+            return false;
+        }
+        let bytes = prepare_bytes(self.view, self.round, &self.digest, self.instance, self.rank);
+        self.agg.verify(registry, self.domain.bytes(), &bytes)
+    }
+}
+
+impl WireSize for QuorumCert {
+    fn wire_size(&self) -> u64 {
+        ladon_types::sizes::MSG_HEADER + ladon_types::sizes::DIGEST + self.agg.wire_size()
+    }
+}
+
+/// A replica's certified current-highest rank (`curRank` in Algorithm 2).
+///
+/// A rank equal to the epoch's `minRank` needs no certificate (nothing has
+/// been certified yet in this epoch — Algorithm 2's prepare-phase check:
+/// "if `rank_m ≠ minRank`, QC is a valid aggregate signature"). Any higher
+/// rank must carry the QC of a block that actually achieved that rank.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RankCert {
+    /// The claimed rank.
+    pub rank: Rank,
+    /// Certificate, absent only for the epoch-minimum rank.
+    pub cert: Option<QuorumCert>,
+}
+
+impl RankCert {
+    /// A certificate-free rank claim at the epoch minimum.
+    pub fn genesis(min_rank: Rank) -> Self {
+        Self {
+            rank: min_rank,
+            cert: None,
+        }
+    }
+
+    /// A certified rank claim.
+    pub fn certified(cert: QuorumCert) -> Self {
+        Self {
+            rank: cert.rank,
+            cert: Some(cert),
+        }
+    }
+
+    /// Validates the claim: either it is the epoch minimum, or the attached
+    /// QC verifies and certifies exactly this rank.
+    pub fn validate(&self, registry: &KeyRegistry, quorum: usize, min_rank: Rank) -> bool {
+        match &self.cert {
+            None => self.rank == min_rank,
+            Some(qc) => qc.rank == self.rank && qc.verify(registry, quorum),
+        }
+    }
+}
+
+impl WireSize for RankCert {
+    fn wire_size(&self) -> u64 {
+        8 + self.cert.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladon_types::ReplicaId;
+
+    fn make_qc(reg: &KeyRegistry, signer_ids: &[u32], rank: Rank) -> QuorumCert {
+        let view = View(0);
+        let round = Round(3);
+        let instance = InstanceId(1);
+        let digest = Digest([7u8; 32]);
+        let shares: Vec<Signature> = signer_ids
+            .iter()
+            .map(|&r| {
+                QuorumCert::sign_share(&reg.signer(ReplicaId(r)), view, round, &digest, instance, rank)
+            })
+            .collect();
+        QuorumCert::from_shares(&shares, reg.n(), view, round, instance, digest, rank).unwrap()
+    }
+
+    #[test]
+    fn qc_roundtrip() {
+        let reg = KeyRegistry::generate(4, 1, 5);
+        let qc = make_qc(&reg, &[0, 1, 2], Rank(9));
+        assert!(qc.verify(&reg, 3));
+        assert!(!qc.verify(&reg, 4)); // not enough signers for q=4
+    }
+
+    #[test]
+    fn qc_tamper_rank_fails() {
+        let reg = KeyRegistry::generate(4, 1, 5);
+        let mut qc = make_qc(&reg, &[0, 1, 2], Rank(9));
+        qc.rank = Rank(10);
+        assert!(!qc.verify(&reg, 3));
+    }
+
+    #[test]
+    fn qc_tamper_digest_fails() {
+        let reg = KeyRegistry::generate(4, 1, 5);
+        let mut qc = make_qc(&reg, &[0, 1, 2], Rank(9));
+        qc.digest = Digest([8u8; 32]);
+        assert!(!qc.verify(&reg, 3));
+    }
+
+    #[test]
+    fn rank_cert_genesis_only_at_min() {
+        let reg = KeyRegistry::generate(4, 1, 5);
+        let rc = RankCert::genesis(Rank(64));
+        assert!(rc.validate(&reg, 3, Rank(64)));
+        // Claiming a certificate-free rank above the minimum is rejected —
+        // this is the stale-rank attack the QCs exist to prevent.
+        let forged = RankCert {
+            rank: Rank(70),
+            cert: None,
+        };
+        assert!(!forged.validate(&reg, 3, Rank(64)));
+    }
+
+    #[test]
+    fn rank_cert_certified_roundtrip() {
+        let reg = KeyRegistry::generate(4, 1, 5);
+        let qc = make_qc(&reg, &[0, 1, 2], Rank(9));
+        let rc = RankCert::certified(qc);
+        assert_eq!(rc.rank, Rank(9));
+        assert!(rc.validate(&reg, 3, Rank(0)));
+    }
+
+    #[test]
+    fn rank_cert_mismatched_claim_fails() {
+        let reg = KeyRegistry::generate(4, 1, 5);
+        let qc = make_qc(&reg, &[0, 1, 2], Rank(9));
+        let rc = RankCert {
+            rank: Rank(12), // claims more than the QC certifies
+            cert: Some(qc),
+        };
+        assert!(!rc.validate(&reg, 3, Rank(0)));
+    }
+
+    #[test]
+    fn prepare_bytes_field_sensitivity() {
+        let base = prepare_bytes(View(1), Round(2), &Digest([3; 32]), InstanceId(4), Rank(5));
+        assert_ne!(
+            base,
+            prepare_bytes(View(2), Round(2), &Digest([3; 32]), InstanceId(4), Rank(5))
+        );
+        assert_ne!(
+            base,
+            prepare_bytes(View(1), Round(2), &Digest([3; 32]), InstanceId(4), Rank(6))
+        );
+    }
+}

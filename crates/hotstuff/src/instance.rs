@@ -1,0 +1,867 @@
+//! The chained HotStuff instance state machine (Appendix D, Algorithm 3).
+//!
+//! Mirrors [`ladon-pbft`]'s instance structure: a pure state machine with
+//! an [`Action`] output vocabulary, hosted by the Multi-BFT node. The
+//! chain grows one node per proposal; a node commits when its 3-chain
+//! successor is certified (observed through the justify QC of a later
+//! proposal). Ladon rank collection rides the vote path: every vote
+//! carries the voter's `curRank` and its certificate.
+//!
+//! [`ladon-pbft`]: ../ladon_pbft/index.html
+
+use crate::msg::{
+    node_bytes, HsGeneric, HsMsg, HsNewView, HsNode, HsQc, HsVote, DOMAIN_GENERIC,
+    DOMAIN_NEWVIEW, DOMAIN_VOTE,
+};
+use ladon_crypto::keys::Signer;
+use ladon_crypto::{AggregateSignature, KeyRegistry, RankCert, Sha256, Signature};
+use ladon_types::{
+    Batch, Block, BlockHeader, Digest, InstanceId, Rank, ReplicaId, Round, TimeNs, View,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Rank participation mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HsRankMode {
+    /// Vanilla chained HotStuff (ISS-HotStuff baseline).
+    None,
+    /// Ladon-HotStuff: rank piggybacking per Algorithm 3.
+    Ladon,
+}
+
+/// Static configuration of one instance on one replica.
+#[derive(Clone)]
+pub struct HsConfig {
+    /// This instance's index.
+    pub instance: InstanceId,
+    /// The local replica.
+    pub me: ReplicaId,
+    /// Total replicas.
+    pub n: usize,
+    /// Verification oracle.
+    pub registry: KeyRegistry,
+    /// Local signing handle.
+    pub signer: Signer,
+    /// Rank mode.
+    pub mode: HsRankMode,
+}
+
+impl HsConfig {
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * ((self.n - 1) / 3) + 1
+    }
+}
+
+/// Effects requested by the state machine.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Send to every other replica.
+    Broadcast(HsMsg),
+    /// Send to one replica.
+    Send(ReplicaId, HsMsg),
+    /// A block became partially committed (never emitted for dummies).
+    Committed(Block),
+    /// Start the liveness timer for the next height.
+    StartHeightTimer {
+        /// Height that must be certified before the timer fires.
+        height: Round,
+        /// View the timer belongs to.
+        view: View,
+    },
+    /// A view change was initiated.
+    ViewChangeStarted {
+        /// The view being requested.
+        view: View,
+    },
+}
+
+struct NodeEntry {
+    node: HsNode,
+    committed: bool,
+}
+
+/// The chained HotStuff instance.
+pub struct HsInstance {
+    cfg: HsConfig,
+    view: View,
+    /// All known nodes by digest.
+    nodes: HashMap<Digest, NodeEntry>,
+    /// Nodes by height (happy path: exactly one per height).
+    by_height: BTreeMap<Round, Digest>,
+    /// Highest certified node (the `genericQC`).
+    generic_qc: HsQc,
+    /// Votes collected by the leader for its latest proposal.
+    votes: HashMap<Digest, BTreeMap<ReplicaId, HsVote>>,
+    /// Highest height proposed by the local leader.
+    proposed_height: Round,
+    /// Highest contiguously committed height.
+    committed_upto: Round,
+    /// Epoch rank range.
+    epoch_min: Rank,
+    epoch_max: Rank,
+    /// Dummy nodes still to propose to flush the epoch (footnote 4).
+    dummies_left: u32,
+    stopped_for_epoch: bool,
+    /// New-view messages collected by a prospective leader.
+    new_views: BTreeMap<View, BTreeMap<ReplicaId, HsNewView>>,
+    /// Count of rejected messages (observability).
+    pub rejected: u64,
+    /// Count of view changes completed.
+    pub view_changes_completed: u64,
+}
+
+/// Computes a node's digest from its identifying fields.
+fn node_digest(
+    instance: InstanceId,
+    height: Round,
+    parent: &Digest,
+    batch: &Batch,
+    rank: Rank,
+    dummy: bool,
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"ladon/hs/node");
+    h.update(&instance.0.to_le_bytes());
+    h.update(&height.0.to_le_bytes());
+    h.update(&parent.0);
+    h.update(&ladon_crypto::digest_batch(batch).0);
+    h.update(&rank.0.to_le_bytes());
+    h.update(&[dummy as u8]);
+    Digest(h.finalize())
+}
+
+impl HsInstance {
+    /// Creates the instance at view 0 with the epoch-0 rank range.
+    pub fn new(cfg: HsConfig, epoch_min: Rank, epoch_max: Rank) -> Self {
+        Self {
+            generic_qc: HsQc::genesis(cfg.n, cfg.instance),
+            cfg,
+            view: View(0),
+            nodes: HashMap::new(),
+            by_height: BTreeMap::new(),
+            votes: HashMap::new(),
+            proposed_height: Round(0),
+            committed_upto: Round(0),
+            epoch_min,
+            epoch_max,
+            dummies_left: 0,
+            stopped_for_epoch: false,
+            new_views: BTreeMap::new(),
+            rejected: 0,
+            view_changes_completed: 0,
+        }
+    }
+
+    /// Leader of `view` (rotates from the instance index).
+    pub fn leader_of(&self, view: View) -> ReplicaId {
+        ReplicaId(((self.cfg.instance.0 as u64 + view.0) % self.cfg.n as u64) as u32)
+    }
+
+    /// Whether the local replica leads the current view.
+    pub fn is_leader(&self) -> bool {
+        self.leader_of(self.view) == self.cfg.me
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The key registry this instance verifies against.
+    pub fn cfg_registry(&self) -> ladon_crypto::KeyRegistry {
+        self.cfg.registry.clone()
+    }
+
+    /// Highest contiguously committed height.
+    pub fn committed_upto(&self) -> Round {
+        self.committed_upto
+    }
+
+    /// Whether the leader has flushed and stopped for this epoch.
+    pub fn stopped_for_epoch(&self) -> bool {
+        self.stopped_for_epoch
+    }
+
+    /// The leader may propose when it holds the QC for its previous node
+    /// (or is at genesis / resuming a view).
+    pub fn can_propose(&self) -> bool {
+        if !self.is_leader() || self.stopped_for_epoch {
+            return false;
+        }
+        self.generic_qc.height >= self.proposed_height
+    }
+
+    /// Whether the next proposal would be an epoch-flush dummy.
+    pub fn next_is_dummy(&self) -> bool {
+        self.dummies_left > 0
+    }
+
+    /// Installs the next epoch's rank range.
+    pub fn advance_epoch(&mut self, min: Rank, max: Rank) {
+        assert!(min > self.epoch_max, "epochs must advance forward");
+        self.epoch_min = min;
+        self.epoch_max = max;
+        self.stopped_for_epoch = false;
+        self.dummies_left = 0;
+    }
+
+    /// Leader entry point: extend the chain with `batch` (or a dummy when
+    /// flushing the epoch — the batch is ignored then).
+    ///
+    /// # Panics
+    /// Panics if [`Self::can_propose`] is false.
+    pub fn propose(&mut self, batch: Batch, now: TimeNs, cur: &mut RankCert) -> Vec<Action> {
+        assert!(self.can_propose(), "propose() called while not ready");
+        let mut out = Vec::new();
+
+        let parent_qc = self.generic_qc.clone();
+        let height = parent_qc.height.next();
+        let dummy = self.dummies_left > 0;
+        let batch = if dummy { Batch::empty(0) } else { batch };
+
+        let rank = match self.cfg.mode {
+            HsRankMode::None => Rank(height.0),
+            HsRankMode::Ladon => Rank((cur.rank.0 + 1).min(self.epoch_max.0)),
+        };
+        let digest = node_digest(self.cfg.instance, height, &parent_qc.node, &batch, rank, dummy);
+        let node = HsNode {
+            height,
+            digest,
+            parent: parent_qc.node,
+            batch,
+            rank,
+            proposed_at: now,
+            dummy,
+        };
+
+        // Ladon epoch flush: after the maxRank node, schedule 3 dummies.
+        if self.cfg.mode == HsRankMode::Ladon && !dummy && rank == self.epoch_max {
+            self.dummies_left = 3;
+        }
+        if dummy {
+            self.dummies_left -= 1;
+            if self.dummies_left == 0 {
+                self.stopped_for_epoch = true;
+            }
+        }
+
+        // The vote set justifying the rank (the votes for the parent).
+        let vote_set: Vec<HsVote> = if self.cfg.mode == HsRankMode::Ladon {
+            self.votes
+                .get(&parent_qc.node)
+                .map(|m| m.values().take(self.cfg.quorum()).cloned().collect())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        let bytes = node_bytes(self.view, height, &digest, self.cfg.instance, rank);
+        let sig = Signature::sign(&self.cfg.signer, DOMAIN_GENERIC, &bytes);
+        let generic = HsGeneric {
+            view: self.view,
+            instance: self.cfg.instance,
+            node,
+            justify: parent_qc,
+            rank_m: cur.rank,
+            rank_qc: cur.cert.clone(),
+            vote_set,
+            sig,
+        };
+        self.proposed_height = height;
+        out.push(Action::Broadcast(HsMsg::Generic(generic.clone())));
+        self.handle_generic(self.cfg.me, generic, now, cur, &mut out);
+        out
+    }
+
+    /// Main entry point for network messages.
+    pub fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: HsMsg,
+        now: TimeNs,
+        cur: &mut RankCert,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        match msg {
+            HsMsg::Generic(g) => self.handle_generic(from, g, now, cur, &mut out),
+            HsMsg::Vote(v) => self.handle_vote(from, v, cur, &mut out),
+            HsMsg::NewView(nv) => self.handle_new_view(from, nv, now, cur, &mut out),
+        }
+        out
+    }
+
+    fn handle_generic(
+        &mut self,
+        from: ReplicaId,
+        g: HsGeneric,
+        _now: TimeNs,
+        cur: &mut RankCert,
+        out: &mut Vec<Action>,
+    ) {
+        if g.instance != self.cfg.instance || g.view < self.view {
+            self.rejected += 1;
+            return;
+        }
+        if from != self.leader_of(g.view) {
+            self.rejected += 1;
+            return;
+        }
+        let q = self.cfg.quorum();
+        if from != self.cfg.me {
+            let bytes = node_bytes(g.view, g.node.height, &g.node.digest, g.instance, g.node.rank);
+            if !g.sig.verify(&self.cfg.registry, DOMAIN_GENERIC, &bytes) {
+                self.rejected += 1;
+                return;
+            }
+            // Structural checks: digest integrity, parent linkage, QC.
+            let expect = node_digest(
+                g.instance,
+                g.node.height,
+                &g.node.parent,
+                &g.node.batch,
+                g.node.rank,
+                g.node.dummy,
+            );
+            if expect != g.node.digest
+                || g.node.parent != g.justify.node
+                || g.node.height != g.justify.height.next()
+                || !g.justify.verify(&self.cfg.registry, q)
+            {
+                self.rejected += 1;
+                return;
+            }
+            if self.cfg.mode == HsRankMode::Ladon && !self.validate_rank(&g, q) {
+                self.rejected += 1;
+                return;
+            }
+        }
+
+        // Implicit view synchronisation: a valid proposal from the leader
+        // of a higher view moves us there.
+        if g.view > self.view {
+            self.view = g.view;
+        }
+
+        // Update curRank from the leader's disclosure (lines 15–17).
+        if self.cfg.mode == HsRankMode::Ladon && g.rank_m > cur.rank {
+            if let Some(qc) = &g.rank_qc {
+                if qc.rank == g.rank_m && qc.verify(&self.cfg.registry, q) {
+                    *cur = RankCert {
+                        rank: g.rank_m,
+                        cert: g.rank_qc.clone(),
+                    };
+                }
+            }
+        }
+
+        // Adopt the certified parent QC. Its 2f+1 votes also certify the
+        // parent's rank, so it doubles as a rank certificate (Appendix D);
+        // adopting it keeps curRank in step with the pipelined chain even
+        // before the parent commits.
+        if g.justify.height > self.generic_qc.height {
+            self.generic_qc = g.justify.clone();
+        }
+        if self.cfg.mode == HsRankMode::Ladon && !g.justify.is_genesis() && g.justify.rank > cur.rank
+        {
+            *cur = RankCert::certified(g.justify.to_rank_qc());
+        }
+
+        // Store the node.
+        self.by_height.insert(g.node.height, g.node.digest);
+        self.nodes
+            .entry(g.node.digest)
+            .or_insert(NodeEntry {
+                node: g.node.clone(),
+                committed: false,
+            });
+
+        // Commit rule: the proposal's justify certifies height h − 1; the
+        // 3-chain predecessor (height h − 3) and everything below commit.
+        if g.node.height.0 >= 3 {
+            self.commit_through(Round(g.node.height.0 - 3), out);
+        }
+
+        // Vote for the proposal (Algorithm 3 lines 24–26), updating the
+        // leader with our curRank.
+        let vote_sig = Signature::sign(
+            &self.cfg.signer,
+            DOMAIN_VOTE,
+            &node_bytes(g.view, g.node.height, &g.node.digest, g.instance, g.node.rank),
+        );
+        let vote = HsVote {
+            view: g.view,
+            height: g.node.height,
+            instance: self.cfg.instance,
+            node: g.node.digest,
+            rank: g.node.rank,
+            rank_m: cur.rank,
+            rank_qc: cur.cert.clone(),
+            sig: vote_sig,
+        };
+        let leader = self.leader_of(self.view);
+        if leader == self.cfg.me {
+            self.handle_vote(self.cfg.me, vote, cur, out);
+        } else {
+            out.push(Action::Send(leader, HsMsg::Vote(vote)));
+        }
+        out.push(Action::StartHeightTimer {
+            height: g.node.height.next(),
+            view: self.view,
+        });
+    }
+
+    /// Validates a Ladon proposal's rank: `rank = min(rank_m + 1, maxRank)`
+    /// where `rank_m` is certified by `rank_qc` and consistent with the
+    /// carried vote set.
+    fn validate_rank(&self, g: &HsGeneric, q: usize) -> bool {
+        // Certificate for the leader's claimed rank_m.
+        let claim = RankCert {
+            rank: g.rank_m,
+            cert: g.rank_qc.clone(),
+        };
+        if !claim.validate(&self.cfg.registry, q, self.epoch_min) {
+            return false;
+        }
+        // Dummies reuse maxRank.
+        let expect = if g.node.dummy {
+            self.epoch_max
+        } else {
+            Rank((g.rank_m.0 + 1).min(self.epoch_max.0))
+        };
+        if g.node.rank != expect {
+            return false;
+        }
+        // Vote-set consistency: after the first proposal of a view, 2f+1
+        // votes for the parent must justify that no higher certified rank
+        // was hidden (each vote's rank_m <= claimed rank_m).
+        if !g.vote_set.is_empty() {
+            let mut signers = std::collections::BTreeSet::new();
+            for v in &g.vote_set {
+                if v.node != g.justify.node || v.rank_m > g.rank_m {
+                    return false;
+                }
+                if !v.sig.verify(&self.cfg.registry, DOMAIN_VOTE, &v.signing_bytes()) {
+                    return false;
+                }
+                signers.insert(v.sig.signer());
+            }
+            if signers.len() < q {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Commits all uncommitted non-dummy nodes up to `height` (in order).
+    fn commit_through(&mut self, height: Round, out: &mut Vec<Action>) {
+        while self.committed_upto < height {
+            let next = self.committed_upto.next();
+            let Some(digest) = self.by_height.get(&next) else {
+                return; // Hole (possible right after a view change).
+            };
+            let entry = self.nodes.get_mut(digest).expect("indexed node exists");
+            if entry.committed {
+                self.committed_upto = next;
+                continue;
+            }
+            entry.committed = true;
+            self.committed_upto = next;
+            if !entry.node.dummy {
+                out.push(Action::Committed(Block {
+                    header: BlockHeader {
+                        index: self.cfg.instance,
+                        round: entry.node.height,
+                        rank: entry.node.rank,
+                        payload_digest: entry.node.digest,
+                    },
+                    batch: entry.node.batch.clone(),
+                    proposed_at: entry.node.proposed_at,
+                }));
+            }
+        }
+    }
+
+    fn handle_vote(
+        &mut self,
+        from: ReplicaId,
+        v: HsVote,
+        cur: &mut RankCert,
+        _out: &mut [Action],
+    ) {
+        if v.instance != self.cfg.instance
+            || self.leader_of(self.view) != self.cfg.me
+            || from != v.sig.signer()
+        {
+            self.rejected += 1;
+            return;
+        }
+        if from != self.cfg.me
+            && !v
+                .sig
+                .verify(&self.cfg.registry, DOMAIN_VOTE, &v.signing_bytes())
+        {
+            self.rejected += 1;
+            return;
+        }
+        // Leader-side curRank update (Algorithm 3 lines 38–42).
+        if self.cfg.mode == HsRankMode::Ladon && v.rank_m > cur.rank {
+            let ok = match &v.rank_qc {
+                Some(qc) => qc.rank >= v.rank_m && qc.verify(&self.cfg.registry, self.cfg.quorum()),
+                None => v.rank_m == self.epoch_min,
+            };
+            if ok {
+                *cur = RankCert {
+                    rank: v.rank_m,
+                    cert: v.rank_qc.clone(),
+                };
+            }
+        }
+        let votes = self.votes.entry(v.node).or_default();
+        votes.insert(from, v.clone());
+        if votes.len() >= self.cfg.quorum() && self.generic_qc.node != v.node {
+            // Form the QC for this node (generateQC, Algorithm 3 line 3).
+            let shares: Vec<Signature> = votes
+                .values()
+                .take(self.cfg.quorum())
+                .map(|x| x.sig)
+                .collect();
+            if let Some(agg) = AggregateSignature::aggregate(&shares, self.cfg.n) {
+                let qc = HsQc {
+                    view: v.view,
+                    height: v.height,
+                    instance: v.instance,
+                    node: v.node,
+                    rank: v.rank,
+                    agg,
+                };
+                // Forming the QC certifies the node's rank (the HotStuff
+                // analog of Algorithm 2 line 25): without this the pipelined
+                // leader would reuse a stale curRank and assign its next node
+                // the same rank, breaking Lemma 2's intra-instance
+                // monotonicity — and with it global-order agreement, since
+                // ordering keys are (rank, instance).
+                if self.cfg.mode == HsRankMode::Ladon && qc.rank > cur.rank {
+                    *cur = RankCert::certified(qc.to_rank_qc());
+                }
+                if qc.height > self.generic_qc.height {
+                    self.generic_qc = qc;
+                }
+            }
+        }
+        // Garbage-collect vote maps for long-committed heights.
+        if self.votes.len() > 64 {
+            let horizon = self.committed_upto;
+            let nodes = &self.nodes;
+            self.votes.retain(|d, _| {
+                nodes
+                    .get(d)
+                    .map(|e| e.node.height > horizon)
+                    .unwrap_or(true)
+            });
+        }
+    }
+
+    /// Node callback: the height timer fired; request a view change if the
+    /// chain did not advance.
+    pub fn on_height_timer(&mut self, height: Round, view: View) -> Vec<Action> {
+        let mut out = Vec::new();
+        if view != self.view || self.stopped_for_epoch {
+            return out;
+        }
+        if self.by_height.contains_key(&height) {
+            return out;
+        }
+        let new_view = self.view.next();
+        let nv_sig = Signature::sign(&self.cfg.signer, DOMAIN_NEWVIEW, &new_view.0.to_le_bytes());
+        let nv = HsNewView {
+            view: new_view,
+            instance: self.cfg.instance,
+            justify: self.generic_qc.clone(),
+            sig: nv_sig,
+        };
+        out.push(Action::ViewChangeStarted { view: new_view });
+        let leader = self.leader_of(new_view);
+        if leader == self.cfg.me {
+            let mut cur = RankCert::genesis(self.epoch_min);
+            self.handle_new_view(self.cfg.me, nv, TimeNs::ZERO, &mut cur, &mut out);
+        } else {
+            out.push(Action::Send(leader, HsMsg::NewView(nv)));
+        }
+        out
+    }
+
+    fn handle_new_view(
+        &mut self,
+        from: ReplicaId,
+        nv: HsNewView,
+        _now: TimeNs,
+        _cur: &mut RankCert,
+        _out: &mut Vec<Action>,
+    ) {
+        if nv.instance != self.cfg.instance
+            || nv.view <= self.view
+            || self.leader_of(nv.view) != self.cfg.me
+        {
+            self.rejected += 1;
+            return;
+        }
+        if from != self.cfg.me {
+            if from != nv.sig.signer()
+                || !nv
+                    .sig
+                    .verify(&self.cfg.registry, DOMAIN_NEWVIEW, &nv.view.0.to_le_bytes())
+                || !nv.justify.verify(&self.cfg.registry, self.cfg.quorum())
+            {
+                self.rejected += 1;
+                return;
+            }
+        }
+        if nv.justify.height > self.generic_qc.height {
+            self.generic_qc = nv.justify.clone();
+        }
+        let entry = self.new_views.entry(nv.view).or_default();
+        entry.insert(from, nv.clone());
+        if entry.len() >= self.cfg.quorum() {
+            // Install the new view; the next propose() extends generic_qc.
+            self.view = nv.view;
+            self.proposed_height = self.generic_qc.height;
+            self.new_views.retain(|v, _| *v > nv.view);
+            self.view_changes_completed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(first: u64, count: u32) -> Batch {
+        Batch {
+            first_tx: ladon_types::TxId(first),
+            count,
+            payload_bytes: count as u64 * 500,
+            arrival_sum_ns: 0,
+            earliest_arrival: TimeNs::ZERO,
+            bucket: 0,
+            refs: Vec::new(),
+        }
+    }
+
+    /// Mini-cluster driving `n` HS instances over an in-memory queue.
+    struct HsCluster {
+        nodes: Vec<HsInstance>,
+        curs: Vec<RankCert>,
+        committed: Vec<Vec<Block>>,
+        queue: std::collections::VecDeque<(usize, ReplicaId, HsMsg)>,
+        n: usize,
+    }
+
+    impl HsCluster {
+        fn new(n: usize, mode: HsRankMode, epoch_max: u64) -> Self {
+            let registry = KeyRegistry::generate(n, 1, 77);
+            let nodes = (0..n)
+                .map(|r| {
+                    HsInstance::new(
+                        HsConfig {
+                            instance: InstanceId(0),
+                            me: ReplicaId(r as u32),
+                            n,
+                            registry: registry.clone(),
+                            signer: registry.signer(ReplicaId(r as u32)),
+                            mode,
+                        },
+                        Rank(0),
+                        Rank(epoch_max),
+                    )
+                })
+                .collect();
+            Self {
+                nodes,
+                curs: vec![RankCert::genesis(Rank(0)); n],
+                committed: vec![Vec::new(); n],
+                queue: Default::default(),
+                n,
+            }
+        }
+
+        fn absorb(&mut self, who: usize, actions: Vec<Action>) {
+            for a in actions {
+                match a {
+                    Action::Broadcast(m) => {
+                        for to in 0..self.n {
+                            if to != who {
+                                self.queue.push_back((to, ReplicaId(who as u32), m.clone()));
+                            }
+                        }
+                    }
+                    Action::Send(to, m) => {
+                        self.queue.push_back((to.as_usize(), ReplicaId(who as u32), m))
+                    }
+                    Action::Committed(b) => self.committed[who].push(b),
+                    _ => {}
+                }
+            }
+        }
+
+        fn run(&mut self) {
+            while let Some((to, from, m)) = self.queue.pop_front() {
+                let acts = self.nodes[to].on_message(from, m, TimeNs::ZERO, &mut self.curs[to]);
+                self.absorb(to, acts);
+            }
+        }
+
+        fn propose(&mut self, leader: usize, b: Batch) {
+            assert!(self.nodes[leader].can_propose());
+            let acts = self.nodes[leader].propose(b, TimeNs::ZERO, &mut self.curs[leader]);
+            self.absorb(leader, acts);
+            self.run();
+        }
+    }
+
+    #[test]
+    fn three_chain_commit_rule() {
+        let mut c = HsCluster::new(4, HsRankMode::Ladon, 1000);
+        // Heights 1..=3 proposed: nothing commits yet (3-chain not full).
+        for i in 0..3u64 {
+            c.propose(0, batch(i * 10, 5));
+        }
+        assert!(c.committed.iter().all(|l| l.is_empty()));
+        // Height 4 commits height 1.
+        c.propose(0, batch(30, 5));
+        for l in &c.committed {
+            assert_eq!(l.len(), 1);
+            assert_eq!(l[0].round(), Round(1));
+        }
+        // Height 5 commits height 2.
+        c.propose(0, batch(40, 5));
+        for l in &c.committed {
+            assert_eq!(l.len(), 2);
+        }
+    }
+
+    #[test]
+    fn ranks_monotone_and_vanilla_uses_heights() {
+        let mut lad = HsCluster::new(4, HsRankMode::Ladon, 1000);
+        let mut iss = HsCluster::new(4, HsRankMode::None, 1000);
+        for i in 0..6u64 {
+            lad.propose(0, batch(i * 10, 5));
+            iss.propose(0, batch(i * 10, 5));
+        }
+        let lblocks = &lad.committed[1];
+        assert!(lblocks.len() >= 3);
+        for w in lblocks.windows(2) {
+            assert!(w[1].rank() > w[0].rank());
+        }
+        let iblocks = &iss.committed[1];
+        for b in iblocks {
+            assert_eq!(b.rank().0, b.round().0, "vanilla rank = height");
+        }
+    }
+
+    #[test]
+    fn epoch_flush_with_dummies_commits_max_rank_block() {
+        // Epoch max rank 3: heights 1..=3 get ranks 1..=3; the rank-3 node
+        // triggers 3 dummy proposals that flush it through the 3-chain.
+        let mut c = HsCluster::new(4, HsRankMode::Ladon, 3);
+        for i in 0..3u64 {
+            c.propose(0, batch(i * 10, 5));
+        }
+        // Flush dummies.
+        while !c.nodes[0].stopped_for_epoch() {
+            assert!(c.nodes[0].can_propose());
+            c.propose(0, Batch::empty(0));
+        }
+        // All three real blocks committed everywhere; dummies excluded.
+        for l in &c.committed {
+            assert_eq!(l.len(), 3);
+            assert_eq!(l.last().unwrap().rank(), Rank(3));
+            assert!(l.iter().all(|b| !b.is_nil()));
+        }
+        // Epoch advance re-enables proposing.
+        for r in 0..4 {
+            c.nodes[r].advance_epoch(Rank(4), Rank(7));
+        }
+        assert!(c.nodes[0].can_propose());
+    }
+
+    #[test]
+    fn view_change_rotates_leader() {
+        let mut c = HsCluster::new(4, HsRankMode::Ladon, 1000);
+        c.propose(0, batch(0, 5));
+        // Leader 0 goes quiet; height-2 timers fire on the backups.
+        for r in 1..4 {
+            let acts = c.nodes[r].on_height_timer(Round(2), View(0));
+            c.absorb(r, acts);
+        }
+        c.run();
+        assert_eq!(c.nodes[1].view(), View(1));
+        assert!(c.nodes[1].is_leader());
+        assert!(c.nodes[1].can_propose());
+        // The new leader restarts from the genesis QC (the quiet leader
+        // never shared the height-1 QC), so five proposals re-build heights
+        // 1..=5 in view 1 and the 3-chain commits heights 1 and 2.
+        for i in 0..5u64 {
+            c.propose(1, batch(100 + i * 10, 3));
+        }
+        assert!(c.committed[2].len() >= 2);
+        // No backup rejected the new leader's chain.
+        for node in &c.nodes {
+            assert_eq!(node.rejected, 0);
+        }
+    }
+
+    #[test]
+    fn tampered_generic_is_rejected() {
+        let mut c = HsCluster::new(4, HsRankMode::Ladon, 1000);
+        let acts = c.nodes[0].propose(batch(0, 5), TimeNs::ZERO, &mut c.curs[0].clone());
+        for a in acts {
+            if let Action::Broadcast(HsMsg::Generic(mut g)) = a {
+                g.node.rank = Rank(50); // forge the rank
+                let before = c.nodes[1].rejected;
+                c.nodes[1].on_message(ReplicaId(0), HsMsg::Generic(g), TimeNs::ZERO, &mut c.curs[1]);
+                assert!(c.nodes[1].rejected > before);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ranks_strictly_increase_within_instance() {
+        // The regression behind the Ladon-HotStuff agreement failure: a
+        // leader whose curRank never advanced would assign the same rank
+        // to consecutive pipelined nodes, colliding their (rank, index)
+        // ordering keys. Forming a node QC must certify its rank.
+        let mut c = HsCluster::new(4, HsRankMode::Ladon, 1000);
+        for i in 0..8u64 {
+            c.propose(0, batch(i * 10, 3));
+        }
+        // Leader-side curRank tracked the chain (its own QCs certify it).
+        assert!(c.curs[0].rank >= Rank(7), "leader curRank = {:?}", c.curs[0].rank);
+        assert!(c.curs[0].cert.is_some());
+        // Backups adopt certified ranks from the justify QC they verify.
+        for r in 1..4 {
+            assert!(
+                c.curs[r].rank >= Rank(6),
+                "backup {r} curRank = {:?}",
+                c.curs[r].rank
+            );
+        }
+        // And the vote QC re-verifies as a rank certificate.
+        let qc = c.curs[0].cert.clone().expect("certified");
+        assert!(qc.verify(&c.nodes[0].cfg_registry(), 3));
+    }
+
+    #[test]
+    fn rank_certificate_rejects_wrong_quorum_or_tamper() {
+        let mut c = HsCluster::new(4, HsRankMode::Ladon, 1000);
+        for i in 0..4u64 {
+            c.propose(0, batch(i * 10, 3));
+        }
+        let mut qc = c.curs[0].cert.clone().expect("certified");
+        let reg = c.nodes[0].cfg_registry();
+        assert!(qc.verify(&reg, 3));
+        assert!(!qc.verify(&reg, 4), "quorum threshold enforced");
+        qc.rank = Rank(qc.rank.0 + 1);
+        assert!(!qc.verify(&reg, 3), "rank is bound by the signatures");
+    }
+}

@@ -1,0 +1,270 @@
+//! Chained HotStuff message types with Ladon rank piggybacking
+//! (Appendix D, Algorithm 3).
+//!
+//! Generic messages carry the proposed node, the QC for its parent, and
+//! the leader's rank information; votes flow back to the leader carrying
+//! each replica's current highest rank (`rank_m`) and its certificate, so
+//! rank collection rides the consensus traffic exactly as in Ladon-PBFT.
+
+use ladon_crypto::qc::CertDomain;
+use ladon_crypto::{AggregateSignature, QuorumCert, Signature};
+use ladon_types::{sizes, Batch, Digest, InstanceId, Rank, Round, TimeNs, View, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Signing domain for generic (proposal) messages.
+pub const DOMAIN_GENERIC: &[u8] = b"ladon/hs/generic";
+/// Signing domain for votes (shared with [`ladon_crypto::qc`] so a vote QC
+/// can be re-verified as a rank certificate).
+pub const DOMAIN_VOTE: &[u8] = ladon_crypto::qc::DOMAIN_HS_VOTE;
+/// Signing domain for new-view messages.
+pub const DOMAIN_NEWVIEW: &[u8] = b"ladon/hs/newview";
+
+/// Canonical bytes covered by a vote / node signature:
+/// `(view, height, node digest, instance, rank)`.
+pub fn node_bytes(
+    view: View,
+    height: Round,
+    digest: &Digest,
+    instance: InstanceId,
+    rank: Rank,
+) -> [u8; 60] {
+    ladon_crypto::qc::prepare_bytes(view, height, digest, instance, rank)
+}
+
+/// A quorum certificate over a tree node (aggregated votes).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HsQc {
+    /// View the votes were cast in.
+    pub view: View,
+    /// Height of the certified node.
+    pub height: Round,
+    /// Instance the node belongs to.
+    pub instance: InstanceId,
+    /// Digest of the certified node.
+    pub node: Digest,
+    /// Rank of the certified node.
+    pub rank: Rank,
+    /// The aggregated vote signatures.
+    pub agg: AggregateSignature,
+}
+
+impl HsQc {
+    /// The genesis certificate (height 0, nil digest).
+    pub fn genesis(n: usize, instance: InstanceId) -> Self {
+        Self {
+            view: View(0),
+            height: Round(0),
+            instance,
+            node: Digest::NIL,
+            rank: Rank(0),
+            agg: AggregateSignature {
+                signers: Vec::new(),
+                combined: [0u8; 32],
+                n: n as u32,
+            },
+        }
+    }
+
+    /// True for the genesis certificate.
+    pub fn is_genesis(&self) -> bool {
+        self.height == Round(0)
+    }
+
+    /// Verifies the certificate (genesis verifies vacuously).
+    pub fn verify(&self, registry: &ladon_crypto::KeyRegistry, quorum: usize) -> bool {
+        if self.is_genesis() {
+            return true;
+        }
+        if !self.agg.has_quorum(quorum) {
+            return false;
+        }
+        let bytes = node_bytes(self.view, self.height, &self.node, self.instance, self.rank);
+        self.agg.verify(registry, DOMAIN_VOTE, &bytes)
+    }
+
+    /// Re-casts this vote QC as a rank certificate (Appendix D: the QC
+    /// produced by `generateQC` certifies the node's rank, playing the role
+    /// PBFT's aggregated prepares play in Algorithm 2 line 25). The shares
+    /// cover the same canonical bytes, so the certificate verifies under
+    /// [`CertDomain::HsVote`].
+    pub fn to_rank_qc(&self) -> QuorumCert {
+        QuorumCert {
+            view: self.view,
+            round: self.height,
+            instance: self.instance,
+            digest: self.node,
+            rank: self.rank,
+            domain: CertDomain::HsVote,
+            agg: self.agg.clone(),
+        }
+    }
+}
+
+impl WireSize for HsQc {
+    fn wire_size(&self) -> u64 {
+        sizes::MSG_HEADER + sizes::DIGEST + self.agg.wire_size()
+    }
+}
+
+/// A proposed tree node (leaf of the proposed branch).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HsNode {
+    /// Height in the chain (monotone per instance).
+    pub height: Round,
+    /// Digest of this node (computed over parent ‖ batch ‖ rank).
+    pub digest: Digest,
+    /// Parent node digest.
+    pub parent: Digest,
+    /// The transaction batch (empty for the epoch-flush dummy nodes).
+    pub batch: Batch,
+    /// Assigned monotonic rank (0 for vanilla mode).
+    pub rank: Rank,
+    /// Leader-side generation timestamp.
+    pub proposed_at: TimeNs,
+    /// Whether this is an epoch-flush dummy node (footnote 4: dummies are
+    /// committed to advance the 3-chain but never enter the global log).
+    pub dummy: bool,
+}
+
+impl WireSize for HsNode {
+    fn wire_size(&self) -> u64 {
+        sizes::MSG_HEADER + 2 * sizes::DIGEST + self.batch.wire_size()
+    }
+}
+
+/// A vote: `⟨⟨genmsg⟩σ, curRank.rank, curRank.QC⟩` (Algorithm 3 line 25).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HsVote {
+    /// View of the vote.
+    pub view: View,
+    /// Height of the node voted for.
+    pub height: Round,
+    /// Instance.
+    pub instance: InstanceId,
+    /// Digest of the node voted for.
+    pub node: Digest,
+    /// Rank of the node voted for.
+    pub rank: Rank,
+    /// The voter's current highest rank (`rank_m`).
+    pub rank_m: Rank,
+    /// Certificate for `rank_m` (absent at the epoch minimum).
+    pub rank_qc: Option<QuorumCert>,
+    /// Signature over the node bytes.
+    pub sig: Signature,
+}
+
+impl HsVote {
+    /// The bytes this vote signs.
+    pub fn signing_bytes(&self) -> [u8; 60] {
+        node_bytes(self.view, self.height, &self.node, self.instance, self.rank)
+    }
+}
+
+impl WireSize for HsVote {
+    fn wire_size(&self) -> u64 {
+        sizes::MSG_HEADER
+            + sizes::DIGEST
+            + 16
+            + self.rank_qc.as_ref().map_or(0, WireSize::wire_size)
+            + sizes::SIGNATURE
+            + sizes::IDENTITY
+    }
+}
+
+/// A generic (proposal) message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HsGeneric {
+    /// View.
+    pub view: View,
+    /// Instance.
+    pub instance: InstanceId,
+    /// The proposed node.
+    pub node: HsNode,
+    /// QC for the node's parent.
+    pub justify: HsQc,
+    /// The leader's current highest rank when proposing (`rank_m`),
+    /// propagated so backups can update their own `curRank` (lines 15–17).
+    pub rank_m: Rank,
+    /// Certificate for `rank_m`.
+    pub rank_qc: Option<QuorumCert>,
+    /// The 2f+1 votes justifying the rank choice (the Ladon `voteSet`;
+    /// empty in vanilla mode).
+    pub vote_set: Vec<HsVote>,
+    /// Leader signature over the node bytes.
+    pub sig: Signature,
+}
+
+impl WireSize for HsGeneric {
+    fn wire_size(&self) -> u64 {
+        self.node.wire_size()
+            + self.justify.wire_size()
+            + 8
+            + self.rank_qc.as_ref().map_or(0, WireSize::wire_size)
+            + self.vote_set.iter().map(WireSize::wire_size).sum::<u64>()
+            + sizes::SIGNATURE
+    }
+}
+
+/// New-view message: the sender's highest generic QC (view-change path).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HsNewView {
+    /// The view being requested.
+    pub view: View,
+    /// Instance.
+    pub instance: InstanceId,
+    /// The sender's highest QC.
+    pub justify: HsQc,
+    /// Sender signature.
+    pub sig: Signature,
+}
+
+impl WireSize for HsNewView {
+    fn wire_size(&self) -> u64 {
+        sizes::MSG_HEADER + self.justify.wire_size() + sizes::SIGNATURE
+    }
+}
+
+/// All chained-HotStuff instance messages.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum HsMsg {
+    /// Leader proposal.
+    Generic(HsGeneric),
+    /// Replica vote (sent to the leader).
+    Vote(HsVote),
+    /// View-change request.
+    NewView(HsNewView),
+}
+
+impl WireSize for HsMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            HsMsg::Generic(m) => m.wire_size(),
+            HsMsg::Vote(m) => m.wire_size(),
+            HsMsg::NewView(m) => m.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_qc_verifies_vacuously() {
+        let reg = ladon_crypto::KeyRegistry::generate(4, 1, 1);
+        let qc = HsQc::genesis(4, InstanceId(0));
+        assert!(qc.is_genesis());
+        assert!(qc.verify(&reg, 3));
+    }
+
+    #[test]
+    fn node_bytes_sensitive_to_height_and_rank() {
+        let d = Digest([1; 32]);
+        let a = node_bytes(View(0), Round(1), &d, InstanceId(0), Rank(1));
+        let b = node_bytes(View(0), Round(2), &d, InstanceId(0), Rank(1));
+        let c = node_bytes(View(0), Round(1), &d, InstanceId(0), Rank(2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

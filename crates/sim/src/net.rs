@@ -1,0 +1,248 @@
+//! Network models: how a sent message becomes a delivery event.
+//!
+//! The default [`NicNetwork`] charges every message to the sender's
+//! outbound NIC queue and the receiver's inbound NIC queue at the
+//! configured bandwidth, then adds the topology's propagation latency plus
+//! multiplicative jitter. This reproduces the two first-order effects the
+//! paper's evaluation depends on:
+//!
+//! 1. **Leader bandwidth bottleneck** — a leader broadcasting a 2 MB block
+//!    to `n − 1` peers serializes those sends, which is what caps total
+//!    block rate and motivates Multi-BFT in the first place (§1).
+//! 2. **Single-sink saturation** — DQBFT's ordering leader receives from
+//!    everyone; its inbound queue grows with `n`, which is why DQBFT's
+//!    throughput declines at 64–128 replicas (§6.2.1).
+
+use crate::rng::SimRng;
+use crate::topology::Topology;
+use ladon_types::TimeNs;
+
+/// Decides when (and whether) a message sent now arrives.
+pub trait Network {
+    /// Returns the delivery time for a message of `bytes` bytes sent at
+    /// `now` from `from` to `to`, or `None` if the message is dropped.
+    fn delivery_time(
+        &mut self,
+        now: TimeNs,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        rng: &mut SimRng,
+    ) -> Option<TimeNs>;
+}
+
+/// The standard model: per-NIC queues + propagation latency + jitter.
+#[derive(Clone, Debug)]
+pub struct NicNetwork {
+    topo: Topology,
+    /// Earliest instant each actor's outbound NIC is free.
+    tx_free: Vec<TimeNs>,
+    /// Earliest instant each actor's inbound NIC is free.
+    rx_free: Vec<TimeNs>,
+    /// Probability a message is silently dropped (default 0; the paper
+    /// assumes reliable links, §3.1 — exposed for robustness tests).
+    pub drop_probability: f64,
+    /// Extra per-message processing overhead at the sender (syscall,
+    /// serialization CPU); default 5 µs.
+    pub per_msg_overhead: TimeNs,
+    /// Partition windows `(actor, from, until)`: every message to or from
+    /// `actor` inside `[from, until)` is dropped. Models a transiently
+    /// disconnected replica for state-transfer / catch-up experiments.
+    partitions: Vec<(usize, TimeNs, TimeNs)>,
+}
+
+impl NicNetwork {
+    /// Builds the model over a topology.
+    pub fn new(topo: Topology) -> Self {
+        let n = topo.len();
+        Self {
+            topo,
+            tx_free: vec![TimeNs::ZERO; n],
+            rx_free: vec![TimeNs::ZERO; n],
+            drop_probability: 0.0,
+            per_msg_overhead: TimeNs::from_micros(5),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Disconnects `actor` from everyone during `[from, until)`.
+    pub fn partition(&mut self, actor: usize, from: TimeNs, until: TimeNs) {
+        self.partitions.push((actor, from, until));
+    }
+
+    fn is_partitioned(&self, endpoint: usize, now: TimeNs) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(a, from, until)| a == endpoint && now >= from && now < until)
+    }
+
+    /// Self-sends skip the NIC entirely (loopback), modeled as 10 µs.
+    const LOOPBACK: TimeNs = TimeNs(10_000);
+}
+
+impl Network for NicNetwork {
+    fn delivery_time(
+        &mut self,
+        now: TimeNs,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        rng: &mut SimRng,
+    ) -> Option<TimeNs> {
+        if from == to {
+            return Some(now + Self::LOOPBACK);
+        }
+        if self.is_partitioned(from, now) || self.is_partitioned(to, now) {
+            return None;
+        }
+        if self.drop_probability > 0.0 && rng.chance(self.drop_probability) {
+            return None;
+        }
+
+        let tx_delay = self.topo.tx_delay(bytes) + self.per_msg_overhead;
+        // Outbound serialization: wait for the NIC, then transmit.
+        let tx_start = self.tx_free[from].max(now);
+        let tx_done = tx_start + tx_delay;
+        self.tx_free[from] = tx_done;
+
+        // Propagation with multiplicative jitter.
+        let base = self.topo.base_latency(from, to);
+        let jitter = 1.0 + rng.range_f64(0.0, self.topo.jitter);
+        let arrival = tx_done + base.mul_f64(jitter);
+
+        // Inbound serialization at the receiver.
+        let rx_delay = self.topo.tx_delay(bytes);
+        let rx_start = self.rx_free[to].max(arrival);
+        let rx_done = rx_start + rx_delay;
+        self.rx_free[to] = rx_done;
+
+        Some(rx_done)
+    }
+}
+
+/// A trivial constant-latency network for unit tests of protocol logic:
+/// every message arrives exactly `latency` later, no bandwidth, no jitter.
+#[derive(Clone, Debug)]
+pub struct IdealNetwork {
+    /// Fixed one-way latency.
+    pub latency: TimeNs,
+}
+
+impl Network for IdealNetwork {
+    fn delivery_time(
+        &mut self,
+        now: TimeNs,
+        _from: usize,
+        _to: usize,
+        _bytes: u64,
+        _rng: &mut SimRng,
+    ) -> Option<TimeNs> {
+        Some(now + self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladon_types::NetEnv;
+
+    fn net(n: usize) -> NicNetwork {
+        NicNetwork::new(Topology::paper(NetEnv::Lan, n))
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let mut n = net(2);
+        let mut rng = SimRng::new(1);
+        let t = n
+            .delivery_time(TimeNs::from_secs(1), 0, 0, 1_000_000, &mut rng)
+            .unwrap();
+        assert_eq!(t, TimeNs::from_secs(1) + NicNetwork::LOOPBACK);
+    }
+
+    #[test]
+    fn big_messages_serialize_sequentially() {
+        let mut n = net(3);
+        let mut rng = SimRng::new(1);
+        // Two 2 MB messages from the same sender: second waits for the NIC.
+        let t1 = n.delivery_time(TimeNs::ZERO, 0, 1, 2_000_000, &mut rng).unwrap();
+        let t2 = n.delivery_time(TimeNs::ZERO, 0, 2, 2_000_000, &mut rng).unwrap();
+        // 2 MB at 1 Gbps = 16 ms tx each; t2's transmit starts after t1's.
+        assert!(t2 > t1);
+        assert!(t2.saturating_sub(TimeNs::ZERO) >= TimeNs::from_secs_f64(0.032));
+    }
+
+    #[test]
+    fn inbound_queue_congests_single_sink() {
+        let mut n = net(8);
+        let mut rng = SimRng::new(1);
+        // Seven senders each push 2 MB to actor 0 at t=0; deliveries
+        // serialize on actor 0's inbound NIC (~16 ms apart).
+        let mut times: Vec<TimeNs> = (1..8)
+            .map(|s| n.delivery_time(TimeNs::ZERO, s, 0, 2_000_000, &mut rng).unwrap())
+            .collect();
+        times.sort_unstable();
+        let span = times[6].saturating_sub(times[0]);
+        assert!(
+            span >= TimeNs::from_secs_f64(0.09),
+            "span {span:?} should reflect 6 serialized receives"
+        );
+    }
+
+    #[test]
+    fn drops_honour_probability() {
+        let mut n = net(2);
+        n.drop_probability = 1.0;
+        let mut rng = SimRng::new(1);
+        assert!(n.delivery_time(TimeNs::ZERO, 0, 1, 100, &mut rng).is_none());
+        n.drop_probability = 0.0;
+        assert!(n.delivery_time(TimeNs::ZERO, 0, 1, 100, &mut rng).is_some());
+    }
+
+    #[test]
+    fn partition_window_drops_both_directions() {
+        let mut n = net(3);
+        n.partition(1, TimeNs::from_secs(1), TimeNs::from_secs(2));
+        let mut rng = SimRng::new(1);
+        let in_window = TimeNs::from_secs_f64(1.5);
+        assert!(n.delivery_time(in_window, 0, 1, 100, &mut rng).is_none());
+        assert!(n.delivery_time(in_window, 1, 0, 100, &mut rng).is_none());
+        // Unrelated links unaffected; window boundaries respected.
+        assert!(n.delivery_time(in_window, 0, 2, 100, &mut rng).is_some());
+        assert!(n
+            .delivery_time(TimeNs::from_secs(2), 0, 1, 100, &mut rng)
+            .is_some());
+        assert!(n
+            .delivery_time(TimeNs::from_secs_f64(0.9), 0, 1, 100, &mut rng)
+            .is_some());
+    }
+
+    #[test]
+    fn ideal_network_is_constant() {
+        let mut n = IdealNetwork {
+            latency: TimeNs::from_millis(3),
+        };
+        let mut rng = SimRng::new(1);
+        for _ in 0..5 {
+            assert_eq!(
+                n.delivery_time(TimeNs::from_secs(1), 0, 1, 1 << 20, &mut rng),
+                Some(TimeNs::from_secs(1) + TimeNs::from_millis(3))
+            );
+        }
+    }
+
+    #[test]
+    fn wan_cross_region_dominated_by_latency() {
+        let mut n = NicNetwork::new(Topology::paper(NetEnv::Wan, 4));
+        let mut rng = SimRng::new(1);
+        // France -> Sydney small message: ≥ 140 ms one-way.
+        let t = n.delivery_time(TimeNs::ZERO, 0, 2, 100, &mut rng).unwrap();
+        assert!(t >= TimeNs::from_millis(140));
+        assert!(t <= TimeNs::from_millis(170)); // + jitter bound
+    }
+}

@@ -1,0 +1,145 @@
+//! Network statistics: message and byte counters per actor.
+//!
+//! These counters feed Table 1 (bandwidth usage) and Appendix A (message
+//! complexity). The engine updates them on every send/delivery; experiment
+//! code snapshots them over measurement windows.
+
+use ladon_types::TimeNs;
+
+/// Per-run network statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Messages sent per actor.
+    pub msgs_sent: Vec<u64>,
+    /// Bytes sent per actor.
+    pub bytes_sent: Vec<u64>,
+    /// Messages delivered per actor.
+    pub msgs_recv: Vec<u64>,
+    /// Bytes delivered per actor.
+    pub bytes_recv: Vec<u64>,
+    /// Messages dropped by the network model.
+    pub dropped: u64,
+}
+
+impl NetStats {
+    /// Counters for `n` actors.
+    pub fn new(n: usize) -> Self {
+        Self {
+            msgs_sent: vec![0; n],
+            bytes_sent: vec![0; n],
+            msgs_recv: vec![0; n],
+            bytes_recv: vec![0; n],
+            dropped: 0,
+        }
+    }
+
+    /// Grows the counters when actors are added after construction.
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.msgs_sent.len() < n {
+            self.msgs_sent.resize(n, 0);
+            self.bytes_sent.resize(n, 0);
+            self.msgs_recv.resize(n, 0);
+            self.bytes_recv.resize(n, 0);
+        }
+    }
+
+    /// Records a send.
+    #[inline]
+    pub fn on_send(&mut self, from: usize, bytes: u64) {
+        self.msgs_sent[from] += 1;
+        self.bytes_sent[from] += bytes;
+    }
+
+    /// Records a delivery.
+    #[inline]
+    pub fn on_recv(&mut self, to: usize, bytes: u64) {
+        self.msgs_recv[to] += 1;
+        self.bytes_recv[to] += bytes;
+    }
+
+    /// Total messages sent across all actors.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().sum()
+    }
+
+    /// Total bytes sent across all actors.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+
+    /// Mean per-actor (send + receive) bandwidth over a window, in MB/s —
+    /// the quantity Table 1 reports per replica.
+    pub fn mean_bandwidth_mbs(&self, actors: usize, window: TimeNs) -> f64 {
+        if actors == 0 || window == TimeNs::ZERO {
+            return 0.0;
+        }
+        let traffic: u64 = self.bytes_sent.iter().take(actors).sum::<u64>()
+            + self.bytes_recv.iter().take(actors).sum::<u64>();
+        traffic as f64 / actors as f64 / window.as_secs_f64() / 1e6
+    }
+
+    /// Element-wise difference `self − earlier` (window accounting).
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .zip(b.iter().chain(std::iter::repeat(&0)))
+                .map(|(x, y)| x - y)
+                .collect()
+        };
+        Self {
+            msgs_sent: sub(&self.msgs_sent, &earlier.msgs_sent),
+            bytes_sent: sub(&self.bytes_sent, &earlier.bytes_sent),
+            msgs_recv: sub(&self.msgs_recv, &earlier.msgs_recv),
+            bytes_recv: sub(&self.bytes_recv, &earlier.bytes_recv),
+            dropped: self.dropped - earlier.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = NetStats::new(3);
+        s.on_send(0, 100);
+        s.on_send(0, 50);
+        s.on_send(2, 25);
+        s.on_recv(1, 150);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 175);
+        assert_eq!(s.msgs_recv[1], 1);
+    }
+
+    #[test]
+    fn bandwidth_window() {
+        let mut s = NetStats::new(2);
+        s.on_send(0, 10_000_000);
+        s.on_recv(1, 10_000_000);
+        // 20 MB over 2 actors over 2 s = 5 MB/s each.
+        let bw = s.mean_bandwidth_mbs(2, TimeNs::from_secs(2));
+        assert!((bw - 5.0).abs() < 1e-9);
+        assert_eq!(s.mean_bandwidth_mbs(0, TimeNs::from_secs(2)), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut s = NetStats::new(1);
+        s.on_send(0, 10);
+        let a = s.clone();
+        s.on_send(0, 30);
+        let d = s.since(&a);
+        assert_eq!(d.msgs_sent[0], 1);
+        assert_eq!(d.bytes_sent[0], 30);
+    }
+
+    #[test]
+    fn ensure_len_grows() {
+        let mut s = NetStats::new(1);
+        s.ensure_len(4);
+        s.on_send(3, 7);
+        assert_eq!(s.bytes_sent[3], 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property and scenario tests for the network models: conservation,
+//! monotonicity of NIC queues, WAN/LAN separation, and end-to-end
+//! determinism of engine runs under the full NIC model.
+
+use ladon_sim::{Actor, ActorId, Context, Engine, Network, NicNetwork, SimRng, Topology};
+use ladon_types::{NetEnv, TimeNs, WireSize};
+use proptest::prelude::*;
+
+proptest! {
+    /// Delivery never happens before the physically minimal time:
+    /// transmit delay + base latency.
+    #[test]
+    fn delivery_respects_physical_floor(
+        bytes in 1u64..5_000_000,
+        from in 0usize..8,
+        to in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(from != to);
+        let topo = Topology::paper(NetEnv::Wan, 8);
+        let floor = topo.tx_delay(bytes) + topo.base_latency(from, to);
+        let mut net = NicNetwork::new(topo);
+        let mut rng = SimRng::new(seed);
+        let now = TimeNs::from_secs(1);
+        let at = net.delivery_time(now, from, to, bytes, &mut rng).unwrap();
+        prop_assert!(at >= now + floor);
+    }
+
+    /// Back-to-back sends from one sender serialize: delivery times are
+    /// non-decreasing in the per-destination schedule order when all
+    /// destinations share a region.
+    #[test]
+    fn outbound_nic_serializes(seed in any::<u64>(), bytes in 100_000u64..2_000_000) {
+        let topo = Topology::paper(NetEnv::Lan, 4);
+        let mut net = NicNetwork::new(topo);
+        let mut rng = SimRng::new(seed);
+        let t1 = net.delivery_time(TimeNs::ZERO, 0, 1, bytes, &mut rng).unwrap();
+        let t2 = net.delivery_time(TimeNs::ZERO, 0, 2, bytes, &mut rng).unwrap();
+        let t3 = net.delivery_time(TimeNs::ZERO, 0, 3, bytes, &mut rng).unwrap();
+        // Each transmission must wait for the previous one to clear the NIC.
+        prop_assert!(t2 >= t1);
+        prop_assert!(t3 >= t2);
+        let tx = ladon_types::TimeNs::from_secs_f64(bytes as f64 / 125_000_000.0);
+        prop_assert!(t3.saturating_sub(t1) >= tx); // at least one extra serialization
+    }
+}
+
+#[derive(Clone)]
+struct Blob(u64);
+impl WireSize for Blob {
+    fn wire_size(&self) -> u64 {
+        self.0
+    }
+}
+
+struct Chatter {
+    peers: usize,
+    msgs: u32,
+    got: Vec<(TimeNs, ActorId)>,
+}
+impl Actor<Blob> for Chatter {
+    fn on_start(&mut self, ctx: &mut dyn Context<Blob>) {
+        ctx.set_timer(TimeNs::from_millis(1), 0);
+    }
+    fn on_message(&mut self, from: ActorId, _m: Blob, ctx: &mut dyn Context<Blob>) {
+        self.got.push((ctx.now(), from));
+    }
+    fn on_timer(&mut self, _id: u64, ctx: &mut dyn Context<Blob>) {
+        for _ in 0..self.msgs {
+            for p in 0..self.peers {
+                if p != ctx.self_id() {
+                    let size = 1000 + ctx.rng().next_below(10_000);
+                    ctx.send(p, Blob(size));
+                }
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn run_chatter(seed: u64) -> Vec<Vec<(TimeNs, ActorId)>> {
+    let n = 6;
+    let mut e = Engine::new(NicNetwork::new(Topology::paper(NetEnv::Wan, n)), seed);
+    for _ in 0..n {
+        e.add_actor(Box::new(Chatter {
+            peers: n,
+            msgs: 20,
+            got: vec![],
+        }));
+    }
+    e.run_until(TimeNs::from_secs(5));
+    (0..n)
+        .map(|i| e.actor_as::<Chatter>(i).unwrap().got.clone())
+        .collect()
+}
+
+#[test]
+fn full_engine_run_is_deterministic() {
+    let a = run_chatter(31337);
+    let b = run_chatter(31337);
+    assert_eq!(a, b, "same seed must give identical delivery traces");
+    let c = run_chatter(31338);
+    assert_ne!(a, c, "different seeds should perturb jittered deliveries");
+}
+
+#[test]
+fn all_messages_delivered_without_drops() {
+    let traces = run_chatter(1);
+    let n = traces.len();
+    // Every actor sent 20 msgs to each of n-1 peers.
+    for (i, t) in traces.iter().enumerate() {
+        assert_eq!(t.len(), 20 * (n - 1), "actor {i} missed deliveries");
+    }
+}
+
+#[test]
+fn wan_regions_shape_latency() {
+    // Two actors in the same region talk much faster than cross-region.
+    let topo = Topology::paper(NetEnv::Wan, 8);
+    let mut net = NicNetwork::new(topo);
+    let mut rng = SimRng::new(5);
+    // Actors 0 and 4 are both France (round-robin over 4 regions).
+    let same = net
+        .delivery_time(TimeNs::ZERO, 0, 4, 100, &mut rng)
+        .unwrap();
+    let mut net2 = NicNetwork::new(Topology::paper(NetEnv::Wan, 8));
+    // Actors 0 (France) and 2 (Sydney).
+    let cross = net2
+        .delivery_time(TimeNs::ZERO, 0, 2, 100, &mut rng)
+        .unwrap();
+    assert!(cross.0 > same.0 * 20, "cross-region must dominate: {same:?} vs {cross:?}");
+}

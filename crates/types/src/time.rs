@@ -1,0 +1,182 @@
+//! Simulated time: a monotonically increasing nanosecond counter.
+//!
+//! The discrete-event engine in `ladon-sim` advances a single logical clock;
+//! all protocol timers, latencies and metrics are expressed in [`TimeNs`].
+//! Keeping the type here (rather than in the simulator) lets protocol crates
+//! talk about timeouts without depending on the engine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Nanoseconds in a microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds in a millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds in a second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// A point in (simulated) time, in nanoseconds since the start of the run.
+///
+/// Also used for durations: `TimeNs` is closed under addition and
+/// (saturating) subtraction, and the zero value is the run origin.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeNs(pub u64);
+
+impl TimeNs {
+    /// The run origin.
+    pub const ZERO: Self = Self(0);
+    /// The maximum representable time (used as an "infinite" deadline).
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// Builds a time from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * NS_PER_MS)
+    }
+
+    /// Builds a time from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * NS_PER_US)
+    }
+
+    /// Builds a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * NS_PER_SEC)
+    }
+
+    /// Builds a time from fractional seconds (rounds to nanoseconds).
+    ///
+    /// # Panics
+    /// Panics if `s` is negative or not finite.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Self((s * NS_PER_SEC as f64).round() as u64)
+    }
+
+    /// This time expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_SEC as f64
+    }
+
+    /// This time expressed in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_MS as f64
+    }
+
+    /// Saturating subtraction, handy for "elapsed since" computations that
+    /// may race with clock origins.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    #[must_use]
+    pub fn checked_add(self, other: Self) -> Option<Self> {
+        self.0.checked_add(other.0).map(Self)
+    }
+
+    /// Multiplies a duration by an integer factor.
+    #[inline]
+    #[must_use]
+    pub fn mul(self, k: u64) -> Self {
+        Self(self.0 * k)
+    }
+
+    /// Scales a duration by a float factor (rounds to nanoseconds).
+    #[inline]
+    #[must_use]
+    pub fn mul_f64(self, k: f64) -> Self {
+        Self((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for TimeNs {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeNs {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeNs {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= NS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= NS_PER_MS {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(TimeNs::from_secs(2).0, 2 * NS_PER_SEC);
+        assert_eq!(TimeNs::from_millis(5).0, 5 * NS_PER_MS);
+        assert_eq!(TimeNs::from_micros(7).0, 7 * NS_PER_US);
+        let t = TimeNs::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = TimeNs::from_millis(10);
+        let b = TimeNs::from_millis(4);
+        assert_eq!(a + b, TimeNs::from_millis(14));
+        assert_eq!(a - b, TimeNs::from_millis(6));
+        assert_eq!(b.saturating_sub(a), TimeNs::ZERO);
+        assert_eq!(b.mul(3), TimeNs::from_millis(12));
+        assert_eq!(TimeNs::from_secs(1).mul_f64(0.25), TimeNs::from_millis(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = TimeNs::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn debug_formatting_picks_unit() {
+        assert_eq!(format!("{:?}", TimeNs::from_secs(3)), "3.000s");
+        assert_eq!(format!("{:?}", TimeNs::from_millis(3)), "3.000ms");
+        assert_eq!(format!("{:?}", TimeNs(42)), "42ns");
+    }
+}

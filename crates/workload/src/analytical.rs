@@ -1,0 +1,110 @@
+//! The analytical straggler model of §2.1 (Fig. 2a).
+//!
+//! With `m` instances where one straggling instance produces a block every
+//! `k` rounds and the rest produce one per round, the per-round rates are
+//!
+//! - partially committed: `R = 1/k + m − 1`
+//! - globally confirmed (pre-determined ordering): `R' = m/k`
+//!
+//! so `R − R'` blocks queue every round and the waiting time of a newly
+//! committed block grows linearly: the queue drains at `R'`, giving
+//! `delay(t) ≈ queue(t) / R'`.
+
+/// One point of the analytical series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StragglerPoint {
+    /// Round index (time in rounds).
+    pub round: u64,
+    /// Partially committed blocks so far.
+    pub partially_committed: f64,
+    /// Globally confirmed blocks so far (pre-determined ordering).
+    pub globally_confirmed: f64,
+    /// Blocks queued waiting for confirmation.
+    pub waiting_blocks: f64,
+    /// Waiting time (in rounds) for a block committed at this round.
+    pub waiting_time_rounds: f64,
+}
+
+/// The per-round partial-commit rate `R = 1/k + m − 1`.
+pub fn partial_rate(m: usize, k: f64) -> f64 {
+    1.0 / k + (m as f64 - 1.0)
+}
+
+/// The per-round confirmation rate `R' = m/k` under pre-determined
+/// ordering with one straggler.
+pub fn confirm_rate(m: usize, k: f64) -> f64 {
+    m as f64 / k
+}
+
+/// Generates the Fig. 2a series for `rounds` rounds.
+pub fn straggler_series(m: usize, k: f64, rounds: u64) -> Vec<StragglerPoint> {
+    assert!(m >= 1 && k >= 1.0, "need at least one instance and k >= 1");
+    let r = partial_rate(m, k);
+    let rc = confirm_rate(m, k).min(r);
+    (1..=rounds)
+        .map(|round| {
+            let t = round as f64;
+            let committed = r * t;
+            let confirmed = rc * t;
+            let waiting = committed - confirmed;
+            StragglerPoint {
+                round,
+                partially_committed: committed,
+                globally_confirmed: confirmed,
+                waiting_blocks: waiting,
+                waiting_time_rounds: if rc > 0.0 { waiting / rc } else { f64::INFINITY },
+            }
+        })
+        .collect()
+}
+
+/// The throughput ratio `R'/R` — §2.1's "about 1/k of the ideal scenario".
+pub fn throughput_fraction(m: usize, k: f64) -> f64 {
+    confirm_rate(m, k) / partial_rate(m, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_paper_formulas() {
+        // m = 16, k = 10: R = 0.1 + 15 = 15.1, R' = 1.6.
+        assert!((partial_rate(16, 10.0) - 15.1).abs() < 1e-12);
+        assert!((confirm_rate(16, 10.0) - 1.6).abs() < 1e-12);
+        // Throughput collapses to ≈ 1/k of ideal: 1.6/15.1 ≈ 0.106.
+        let frac = throughput_fraction(16, 10.0);
+        assert!((frac - 1.6 / 15.1).abs() < 1e-12);
+        assert!(frac < 0.11);
+    }
+
+    #[test]
+    fn queue_and_delay_grow_linearly() {
+        let s = straggler_series(16, 10.0, 100);
+        assert_eq!(s.len(), 100);
+        // Strictly growing queue and delay.
+        for w in s.windows(2) {
+            assert!(w[1].waiting_blocks > w[0].waiting_blocks);
+            assert!(w[1].waiting_time_rounds > w[0].waiting_time_rounds);
+        }
+        // Queue slope = R − R' = 13.5 blocks/round.
+        let slope = s[99].waiting_blocks - s[98].waiting_blocks;
+        assert!((slope - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_straggler_means_no_queue() {
+        // k = 1: R = m, R' = m — nothing waits.
+        let s = straggler_series(16, 1.0, 10);
+        for p in &s {
+            assert!(p.waiting_blocks.abs() < 1e-9);
+        }
+        assert!((throughput_fraction(16, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn invalid_k_panics() {
+        straggler_series(4, 0.5, 1);
+    }
+}

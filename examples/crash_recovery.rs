@@ -1,0 +1,45 @@
+//! Crash-fault recovery (Fig. 8): a leader crashes at t = 11 s; the PBFT
+//! view change (10 s timeout) replaces it and throughput recovers.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use ladon::types::{NetEnv, ProtocolKind};
+use ladon::workload::{run_experiment, ExperimentConfig};
+
+fn main() {
+    println!("Ladon-PBFT, n = 16, WAN; replica 3 crashes at t = 11 s; timeout 10 s\n");
+    let r = run_experiment(
+        &ExperimentConfig::new(ProtocolKind::LadonPbft, 16, NetEnv::Wan)
+            .duration_secs(40.0)
+            .warmup_secs(0.0)
+            .with_crash(3, 11.0)
+            .with_view_timeout(10.0)
+            .sampled(1.0),
+    );
+
+    println!("t (s) | throughput (ktps)");
+    println!("------+------------------");
+    for &(t, ktps) in &r.timeline {
+        let bar = "#".repeat((ktps.min(80.0) / 2.0) as usize);
+        println!("{t:>5.0} | {ktps:>7.2} {bar}");
+    }
+    println!(
+        "\nview changes started: {:?}",
+        r.view_change_times.iter().map(|s| format!("{s:.1}s")).collect::<Vec<_>>()
+    );
+    println!(
+        "new views installed : {:?}",
+        r.new_view_times.iter().map(|s| format!("{s:.1}s")).collect::<Vec<_>>()
+    );
+    println!(
+        "epoch advances      : {:?}",
+        r.epoch_times.iter().map(|s| format!("{s:.1}s")).collect::<Vec<_>>()
+    );
+    println!(
+        "\nExpected shape (paper Fig. 8): throughput dips to ~0 after the crash,\n\
+         the view change completes ~10 s later, and throughput recovers; later\n\
+         brief dips are epoch changes."
+    );
+}

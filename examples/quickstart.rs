@@ -1,0 +1,33 @@
+//! Quickstart: run a 4-replica Ladon-PBFT deployment in the deterministic
+//! simulator, submit client load, and inspect the global log.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ladon::types::{NetEnv, ProtocolKind};
+use ladon::workload::{run_experiment, ExperimentConfig};
+
+fn main() {
+    // Paper-default system (m = n, 500 B txs, 4096-tx batches), scaled to
+    // a laptop-friendly 4-replica LAN run.
+    let cfg = ExperimentConfig::new(ProtocolKind::LadonPbft, 4, NetEnv::Lan)
+        .duration_secs(5.0)
+        .warmup_secs(2.0)
+        .with_seed(2024);
+
+    println!("running Ladon-PBFT, n = 4, LAN, 5 s measurement window…");
+    let report = run_experiment(&cfg);
+
+    println!("\n=== results ===");
+    println!("throughput     : {:.1} ktps", report.throughput_ktps);
+    println!("mean latency   : {:.3} s", report.mean_latency_s);
+    println!("confirmed txs  : {}", report.committed_txs);
+    println!("global blocks  : {}", report.confirmed_blocks);
+    println!("causal strength: {:.3} (1.0 = no front-running window)", report.causal_strength);
+    println!("bandwidth      : {:.1} MB/s per replica", report.bandwidth_mbs);
+
+    assert!(report.committed_txs > 0, "the cluster should confirm transactions");
+    assert!(report.causal_strength > 0.99, "Ladon preserves causality");
+    println!("\nok: the cluster reached consensus with dynamic global ordering.");
+}

@@ -1,0 +1,56 @@
+//! The paper's headline scenario: one straggling leader in a 16-replica
+//! WAN deployment. Pre-determined global ordering (ISS) collapses; Ladon's
+//! dynamic ordering keeps confirming.
+//!
+//! ```sh
+//! cargo run --release --example straggler_comparison
+//! ```
+
+use ladon::types::{NetEnv, ProtocolKind};
+use ladon::workload::{run_experiment, ExperimentConfig};
+
+fn run(proto: ProtocolKind, stragglers: usize) -> ladon::workload::Report {
+    run_experiment(
+        &ExperimentConfig::new(proto, 16, NetEnv::Wan)
+            .duration_secs(10.0)
+            .warmup_secs(5.0)
+            .with_stragglers(stragglers, 10.0),
+    )
+}
+
+fn main() {
+    println!("n = 16, WAN, straggler k = 10 (proposes at 1/10 the normal rate)\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>10}",
+        "protocol", "stragglers", "tput (ktps)", "latency (s)", "waiting"
+    );
+    let mut results = Vec::new();
+    for proto in [ProtocolKind::IssPbft, ProtocolKind::LadonPbft] {
+        for s in [0usize, 1] {
+            let r = run(proto, s);
+            println!(
+                "{:<10} {:>12} {:>14.2} {:>12.3} {:>10}",
+                proto.label(),
+                s,
+                r.throughput_ktps,
+                r.mean_latency_s,
+                r.waiting_blocks
+            );
+            results.push((proto, s, r));
+        }
+    }
+
+    let iss_1 = &results.iter().find(|(p, s, _)| *p == ProtocolKind::IssPbft && *s == 1).unwrap().2;
+    let ladon_1 = &results.iter().find(|(p, s, _)| *p == ProtocolKind::LadonPbft && *s == 1).unwrap().2;
+    if iss_1.throughput_ktps > 0.0 {
+        println!(
+            "\nWith one straggler, Ladon confirms {:.1}x the transactions of ISS \
+             (paper reports ~8-9x at larger scales).",
+            ladon_1.throughput_ktps / iss_1.throughput_ktps
+        );
+    }
+    println!(
+        "ISS leaves {} blocks stuck behind the straggler's holes; Ladon leaves {}.",
+        iss_1.waiting_blocks, ladon_1.waiting_blocks
+    );
+}

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core invariants:
+//! ordering determinism, rank monotonicity, crypto roundtrips.
+
+use ladon::core::{GlobalOrderer, LadonOrderer, PredeterminedOrderer};
+use ladon::crypto::{sha256, AggregateSignature, KeyRegistry, Sha256, Signature};
+use ladon::types::{
+    Batch, Block, BlockHeader, Digest, InstanceId, Rank, ReplicaId, Round, TimeNs,
+};
+use proptest::prelude::*;
+
+fn blk(instance: u32, round: u64, rank: u64) -> Block {
+    Block {
+        header: BlockHeader {
+            index: InstanceId(instance),
+            round: Round(round),
+            rank: Rank(rank),
+            payload_digest: Digest([instance as u8; 32]),
+        },
+        batch: Batch::empty(0),
+        proposed_at: TimeNs::ZERO,
+    }
+}
+
+/// A per-instance schedule of strictly increasing ranks, as MR-Monotonicity
+/// guarantees (Lemma 2), plus a delivery permutation.
+fn rank_schedules() -> impl Strategy<Value = (Vec<Vec<u64>>, Vec<usize>)> {
+    // 2..4 instances, 1..8 blocks each, rank increments 1..4.
+    (2usize..4, proptest::collection::vec(1u64..4, 1..20)).prop_flat_map(|(m, incs)| {
+        let mut schedules: Vec<Vec<u64>> = vec![Vec::new(); m];
+        let mut rank = 0u64;
+        for (i, inc) in incs.iter().enumerate() {
+            rank += inc;
+            schedules[i % m].push(rank);
+        }
+        let total: usize = schedules.iter().map(Vec::len).sum();
+        (Just(schedules), Just(()), proptest::collection::vec(any::<usize>(), total))
+            .prop_map(|(s, (), perm)| (s, perm))
+    })
+}
+
+/// Expands schedules into blocks and delivers them in a permutation-driven
+/// interleaving (respecting per-instance commit order, as SB guarantees).
+fn deliver_interleaved(
+    schedules: &[Vec<u64>],
+    perm: &[usize],
+) -> Vec<(u64, u32, u64)> {
+    let m = schedules.len();
+    let mut orderer = LadonOrderer::new(m);
+    let mut next: Vec<usize> = vec![0; m];
+    let mut out = Vec::new();
+    let mut p = 0usize;
+    loop {
+        // Instances that still have blocks to deliver.
+        let avail: Vec<usize> = (0..m).filter(|&i| next[i] < schedules[i].len()).collect();
+        if avail.is_empty() {
+            break;
+        }
+        let pick = avail[perm.get(p).copied().unwrap_or(0) % avail.len()];
+        p += 1;
+        let round = next[pick] as u64 + 1;
+        let rank = schedules[pick][next[pick]];
+        next[pick] += 1;
+        for c in orderer.on_partial_commit(blk(pick as u32, round, rank), TimeNs::ZERO) {
+            out.push((c.sn, c.block.index().0, c.block.round().0));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// G-Agreement determinism: any two delivery interleavings of the same
+    /// per-instance logs confirm the same global prefix in the same order.
+    #[test]
+    fn ordering_agreement_across_interleavings(
+        (schedules, perm1) in rank_schedules(),
+        perm2 in proptest::collection::vec(any::<usize>(), 0..40),
+    ) {
+        let a = deliver_interleaved(&schedules, &perm1);
+        let b = deliver_interleaved(&schedules, &perm2);
+        let shared = a.len().min(b.len());
+        prop_assert_eq!(&a[..shared], &b[..shared]);
+    }
+
+    /// The confirmed log is sorted by the ≺ relation and sns are dense.
+    #[test]
+    fn ordering_log_sorted_by_precedence((schedules, perm) in rank_schedules()) {
+        let m = schedules.len();
+        let mut orderer = LadonOrderer::new(m);
+        let mut next = vec![0usize; m];
+        let mut keys = Vec::new();
+        let mut p = 0usize;
+        loop {
+            let avail: Vec<usize> = (0..m).filter(|&i| next[i] < schedules[i].len()).collect();
+            if avail.is_empty() { break; }
+            let pick = avail[perm.get(p).copied().unwrap_or(0) % avail.len()];
+            p += 1;
+            let round = next[pick] as u64 + 1;
+            let rank = schedules[pick][next[pick]];
+            next[pick] += 1;
+            for c in orderer.on_partial_commit(blk(pick as u32, round, rank), TimeNs::ZERO) {
+                prop_assert_eq!(c.sn, keys.len() as u64);
+                keys.push(c.block.key());
+            }
+        }
+        for w in keys.windows(2) {
+            prop_assert!(w[0] < w[1], "log out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Pre-determined ordering confirms exactly in sn order regardless of
+    /// arrival interleaving.
+    #[test]
+    fn predetermined_confirms_in_sn_order(perm in proptest::collection::vec(any::<usize>(), 0..40)) {
+        let m = 3usize;
+        let rounds = 5u64;
+        let mut orderer = PredeterminedOrderer::new(ladon::core::BaselineKind::Iss, m);
+        let mut next = vec![0u64; m];
+        let mut sns = Vec::new();
+        let mut p = 0usize;
+        loop {
+            let avail: Vec<usize> = (0..m).filter(|&i| next[i] < rounds).collect();
+            if avail.is_empty() { break; }
+            let pick = avail[perm.get(p).copied().unwrap_or(0) % avail.len()];
+            p += 1;
+            next[pick] += 1;
+            for c in orderer.on_partial_commit(blk(pick as u32, next[pick], next[pick]), TimeNs::ZERO) {
+                sns.push(c.sn);
+            }
+        }
+        prop_assert_eq!(sns.len() as u64, rounds * m as u64);
+        for (i, sn) in sns.iter().enumerate() {
+            prop_assert_eq!(*sn, i as u64);
+        }
+    }
+
+    /// SHA-256 incremental hashing equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let oneshot = sha256(&data);
+        let mut h = Sha256::new();
+        let mut idx = 0usize;
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+        points.sort_unstable();
+        for p in points {
+            if p > idx {
+                h.update(&data[idx..p]);
+                idx = p;
+            }
+        }
+        h.update(&data[idx..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Aggregate signatures verify for any distinct signer subset and fail
+    /// under message tampering.
+    #[test]
+    fn aggregate_roundtrip_any_subset(
+        subset in proptest::collection::btree_set(0u32..16, 1..16),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let reg = KeyRegistry::generate(16, 2, 99);
+        let sigs: Vec<Signature> = subset
+            .iter()
+            .map(|&r| Signature::sign(&reg.signer(ReplicaId(r)), b"prop", &msg))
+            .collect();
+        let agg = AggregateSignature::aggregate(&sigs, 16).expect("distinct signers");
+        prop_assert!(agg.verify(&reg, b"prop", &msg));
+        let mut tampered = msg.clone();
+        tampered[0] ^= 0xff;
+        prop_assert!(!agg.verify(&reg, b"prop", &tampered));
+    }
+
+    /// Bucket rotation is always a permutation of instances.
+    #[test]
+    fn bucket_rotation_is_permutation(m in 1usize..32, rotations in 0usize..64) {
+        let mut rb = ladon::core::RotatingBuckets::new(m);
+        for _ in 0..rotations {
+            rb.rotate();
+        }
+        let mut targets: Vec<u32> = (0..m as u32).map(|b| rb.instance_of(b).0).collect();
+        targets.sort_unstable();
+        prop_assert_eq!(targets, (0..m as u32).collect::<Vec<_>>());
+    }
+}

@@ -24,9 +24,18 @@ fn main() {
     // ---- (a) rank refresh on/off, 1 straggler, k = 10. ----
     let mut t = Table::new(
         "Ablation (a) — proposal-time rank refresh, Ladon-PBFT, n = 16, WAN, 1 straggler k = 10",
-        &["variant", "throughput (ktps)", "latency (s)", "CS", "CS (tx-only)"],
+        &[
+            "variant",
+            "throughput (ktps)",
+            "latency (s)",
+            "CS",
+            "CS (tx-only)",
+        ],
     );
-    for (label, stale) in [("refreshed (ours)", false), ("stale (Alg. 2 literal)", true)] {
+    for (label, stale) in [
+        ("refreshed (ours)", false),
+        ("stale (Alg. 2 literal)", true),
+    ] {
         let mut cfg = ExperimentConfig::new(ProtocolKind::LadonPbft, 16, NetEnv::Wan)
             .with_stragglers(1, 10.0)
             .scaled_windows(sc);

@@ -56,7 +56,9 @@ fn measure(n: usize, mode: RankMode, rounds: u64) -> PhaseStats {
             c.absorb(who, acts);
         }
     }
-    stats.auth_ops = CryptoCounters::snapshot().since(&before).authenticator_ops();
+    stats.auth_ops = CryptoCounters::snapshot()
+        .since(&before)
+        .authenticator_ops();
     stats
 }
 

@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of the hot paths: SHA-256, simulated
-//! signatures, aggregate verification, the global ordering algorithm and
-//! raw engine event throughput.
+//! Microbenchmarks of the hot paths: SHA-256, simulated signatures,
+//! aggregate verification, the global ordering algorithm and raw engine
+//! event throughput. Plain timing loops (see `ladon_bench::microbench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ladon_bench::microbench;
 use ladon_core::{GlobalOrderer, LadonOrderer};
 use ladon_crypto::{sha256, AggregateSignature, KeyRegistry, Signature};
 use ladon_sim::{Actor, ActorId, Context, Engine, IdealNetwork};
@@ -11,54 +11,52 @@ use ladon_types::{
 };
 use std::hint::black_box;
 
-fn bench_crypto(c: &mut Criterion) {
-    c.bench_function("sha256_1kib", |b| {
-        let data = vec![0xa5u8; 1024];
-        b.iter(|| sha256(black_box(&data)))
-    });
+fn bench_crypto() {
+    let data = vec![0xa5u8; 1024];
+    microbench("sha256_1kib", 20_000, || sha256(black_box(&data)));
 
     let reg = KeyRegistry::generate(32, 4, 1);
     let signer = reg.signer(ReplicaId(0));
-    c.bench_function("sign_64b", |b| {
-        b.iter(|| Signature::sign(&signer, b"bench", black_box(b"0123456789abcdef0123456789abcdef")))
+    microbench("sign_64b", 50_000, || {
+        Signature::sign(
+            &signer,
+            b"bench",
+            black_box(b"0123456789abcdef0123456789abcdef"),
+        )
     });
 
     let sig = Signature::sign(&signer, b"bench", b"msg");
-    c.bench_function("verify_64b", |b| {
-        b.iter(|| black_box(sig.verify(&reg, b"bench", b"msg")))
-    });
+    microbench("verify_64b", 50_000, || sig.verify(&reg, b"bench", b"msg"));
 
     let sigs: Vec<Signature> = (0..22)
         .map(|r| Signature::sign(&reg.signer(ReplicaId(r)), b"agg", b"common"))
         .collect();
     let agg = AggregateSignature::aggregate(&sigs, 32).unwrap();
-    c.bench_function("agg_verify_22_of_32", |b| {
-        b.iter(|| black_box(agg.verify(&reg, b"agg", b"common")))
+    microbench("agg_verify_22_of_32", 5_000, || {
+        agg.verify(&reg, b"agg", b"common")
     });
 }
 
-fn bench_ordering(c: &mut Criterion) {
-    c.bench_function("ladon_orderer_1k_blocks_16_instances", |b| {
-        b.iter(|| {
-            let mut o = LadonOrderer::new(16);
-            let mut total = 0usize;
-            for round in 1..=64u64 {
-                for i in 0..16u32 {
-                    let blk = Block {
-                        header: BlockHeader {
-                            index: InstanceId(i),
-                            round: Round(round),
-                            rank: Rank(round * 2 + i as u64 % 2),
-                            payload_digest: Digest::NIL,
-                        },
-                        batch: Batch::empty(0),
-                        proposed_at: TimeNs::ZERO,
-                    };
-                    total += o.on_partial_commit(blk, TimeNs::ZERO).len();
-                }
+fn bench_ordering() {
+    microbench("ladon_orderer_1k_blocks_16_instances", 500, || {
+        let mut o = LadonOrderer::new(16);
+        let mut total = 0usize;
+        for round in 1..=64u64 {
+            for i in 0..16u32 {
+                let blk = Block {
+                    header: BlockHeader {
+                        index: InstanceId(i),
+                        round: Round(round),
+                        rank: Rank(round * 2 + i as u64 % 2),
+                        payload_digest: Digest::NIL,
+                    },
+                    batch: Batch::empty(0),
+                    proposed_at: TimeNs::ZERO,
+                };
+                total += o.on_partial_commit(blk, TimeNs::ZERO).len();
             }
-            black_box(total)
-        })
+        }
+        total
     });
 }
 
@@ -90,23 +88,25 @@ impl Actor<Tick> for Bouncer {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine_100k_events", |b| {
-        b.iter(|| {
-            let mut e = Engine::new(
-                IdealNetwork {
-                    latency: TimeNs::from_micros(10),
-                },
-                1,
-            );
-            e.add_actor(Box::new(Bouncer { left: 50_000 }));
-            e.add_actor(Box::new(Bouncer { left: 50_000 }));
-            e.schedule_timer(0, TimeNs::ZERO, 0);
-            e.run_until(TimeNs::from_secs(100));
-            black_box(e.events_processed())
-        })
+fn bench_engine() {
+    microbench("engine_100k_events", 20, || {
+        let mut e = Engine::new(
+            IdealNetwork {
+                latency: TimeNs::from_micros(10),
+            },
+            1,
+        );
+        e.add_actor(Box::new(Bouncer { left: 50_000 }));
+        e.add_actor(Box::new(Bouncer { left: 50_000 }));
+        e.schedule_timer(0, TimeNs::ZERO, 0);
+        e.run_until(TimeNs::from_secs(100));
+        e.events_processed()
     });
 }
 
-criterion_group!(benches, bench_crypto, bench_ordering, bench_engine);
-criterion_main!(benches);
+fn main() {
+    println!("engine_micro: hot-path microbenchmarks\n");
+    bench_crypto();
+    bench_ordering();
+    bench_engine();
+}

@@ -12,7 +12,11 @@ use ladon_workload::{f2, run_experiment, scale, ExperimentConfig, Table};
 
 fn main() {
     let sc = scale();
-    banner("Tab 1", "CPU and bandwidth usage of ISS vs Ladon (n = 32)", sc);
+    banner(
+        "Tab 1",
+        "CPU and bandwidth usage of ISS vs Ladon (n = 32)",
+        sc,
+    );
 
     let n = match sc {
         ladon_workload::Scale::Quick => 16,

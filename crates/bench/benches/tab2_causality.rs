@@ -11,7 +11,11 @@ use ladon_workload::{cs_fmt, run_experiment, scale, ExperimentConfig, Table};
 
 fn main() {
     let sc = scale();
-    banner("Tab 2", "causal strength vs stragglers and proposal rates", sc);
+    banner(
+        "Tab 2",
+        "causal strength vs stragglers and proposal rates",
+        sc,
+    );
 
     // ---- Left half: 1–5 stragglers at proposal rate 0.1 b/s (k = 10). ----
     // Two CS variants per protocol: the paper-prose metric over all blocks
@@ -47,7 +51,9 @@ fn main() {
     let mut t = Table::new(
         "Table 2 (right) — CS vs straggler proposal rate, 1 straggler, n = 16, WAN \
          (paper: Mir 0.241→0.154; ISS 0.078→1e-5; Ladon 1.0)",
-        &["protocol", "0.5 b/s", "0.4 b/s", "0.3 b/s", "0.2 b/s", "0.1 b/s"],
+        &[
+            "protocol", "0.5 b/s", "0.4 b/s", "0.3 b/s", "0.2 b/s", "0.1 b/s",
+        ],
     );
     for proto in PBFT_PROTOCOLS {
         let mut cells = vec![proto.label().to_string()];

@@ -22,7 +22,10 @@ const TARGETS: [&str; 9] = [
 ];
 
 fn main() {
-    println!("Ladon reproduction driver — running {} figure/table targets", TARGETS.len());
+    println!(
+        "Ladon reproduction driver — running {} figure/table targets",
+        TARGETS.len()
+    );
     let mut failures = Vec::new();
     for t in TARGETS {
         println!("\n>>> cargo bench --bench {t}");

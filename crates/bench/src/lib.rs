@@ -3,8 +3,13 @@
 //! Each bench target regenerates one paper table or figure (DESIGN.md §3).
 //! Paper-reported values are embedded as annotations so the printed output
 //! reads as a paper-vs-measured record.
+//!
+//! All targets are plain `harness = false` binaries; [`microbench`]
+//! provides the wall-clock measurement loop the micro targets use (the
+//! build environment has no crates.io access, so there is no criterion).
 
 use ladon_types::ProtocolKind;
+use std::time::Instant;
 
 /// The five PBFT-family protocols in the paper's comparison order.
 pub const PBFT_PROTOCOLS: [ProtocolKind; 5] = ProtocolKind::PBFT_FAMILY;
@@ -15,4 +20,52 @@ pub fn banner(id: &str, what: &str, scale: ladon_workload::Scale) {
     println!("# {id}: {what}");
     println!("# scale = {scale:?} (set LADON_SCALE=medium|full for larger sweeps)");
     println!("################################################################");
+}
+
+/// One measured micro-benchmark result.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroResult {
+    /// Mean nanoseconds per iteration over the measurement phase.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl MicroResult {
+    /// Iterations per second implied by the mean.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter.max(1e-9)
+    }
+}
+
+/// Runs `f` in a timed loop and prints a `name: mean ns/iter (rate)` line.
+///
+/// The loop warms up for ~10% of `iters`, then measures. The closure's
+/// return value is consumed with a volatile read so the optimizer cannot
+/// delete the work.
+pub fn microbench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> MicroResult {
+    for _ in 0..(iters / 10).max(1) {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let res = MicroResult {
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+    };
+    let (scaled, unit) = if res.ns_per_iter >= 1e6 {
+        (res.ns_per_iter / 1e6, "ms")
+    } else if res.ns_per_iter >= 1e3 {
+        (res.ns_per_iter / 1e3, "us")
+    } else {
+        (res.ns_per_iter, "ns")
+    };
+    println!(
+        "{name:<44} {scaled:>10.2} {unit}/iter  ({:>12.0} iter/s)",
+        res.per_sec()
+    );
+    res
 }

@@ -1,4 +1,4 @@
-//! The epoch pacemaker (§5.2.1).
+//! The epoch pacemaker (§5.2.1), extended with execution state roots.
 //!
 //! Ladon proceeds in epochs of `l(e)` ranks. An epoch ends when every
 //! instance has partially committed its `maxRank(e)` block; replicas then
@@ -6,55 +6,89 @@
 //! messages forms a *stable checkpoint* that lets the replica move to
 //! epoch `e + 1` (installing the next rank range in every instance and
 //! rotating the transaction buckets).
+//!
+//! On top of the paper's rank-marker checkpoints, every checkpoint message
+//! here carries the **execution state root** — the content hash of the
+//! replica's KV state after applying every block of the completed epoch in
+//! confirmed global order (see `ladon-state`). When an epoch completes,
+//! all of its blocks are globally confirmed (every instance's tip sits at
+//! `maxRank(e)`, so the confirmation bar has passed the whole epoch), and
+//! execution is deterministic, so honest replicas sign identical roots: a
+//! stable checkpoint attests to *state*, not just ranks. Votes are
+//! therefore grouped by `(epoch, root)`; a quorum forming on a root
+//! different from our own is recorded as a root conflict instead of an
+//! advance — divergence must never be papered over.
 
 use ladon_crypto::keys::Signer;
 use ladon_crypto::{AggregateSignature, KeyRegistry, Signature};
-use ladon_types::{sizes, Epoch, Rank, ReplicaId, SystemConfig, TimeNs, WireSize};
+use ladon_types::{sizes, Digest, Epoch, Rank, ReplicaId, SystemConfig, TimeNs, WireSize};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Signing domain for checkpoint messages.
 pub const DOMAIN_CHECKPOINT: &[u8] = b"ladon/checkpoint";
 
+/// The signed payload of a checkpoint: epoch number ‖ state root.
+fn checkpoint_payload(epoch: Epoch, root: &Digest) -> [u8; 40] {
+    let mut b = [0u8; 40];
+    b[..8].copy_from_slice(&epoch.0.to_le_bytes());
+    b[8..].copy_from_slice(&root.0);
+    b
+}
+
 /// A checkpoint message: "I have partially committed the `maxRank(e)`
-/// block of every instance in epoch `e`".
+/// block of every instance in epoch `e`, and executing the epoch left my
+/// state machine at `state_root`".
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct CheckpointMsg {
     /// The completed epoch.
     pub epoch: Epoch,
-    /// Sender signature over the epoch number.
+    /// Execution state root after the epoch's confirmed blocks.
+    pub state_root: Digest,
+    /// Sender signature over `epoch ‖ state_root`.
     pub sig: Signature,
 }
 
 impl CheckpointMsg {
-    /// Signs a checkpoint for `epoch`.
-    pub fn sign(signer: &Signer, epoch: Epoch) -> Self {
+    /// Signs a checkpoint for `epoch` at `state_root`.
+    pub fn sign(signer: &Signer, epoch: Epoch, state_root: Digest) -> Self {
         Self {
             epoch,
-            sig: Signature::sign(signer, DOMAIN_CHECKPOINT, &epoch.0.to_le_bytes()),
+            state_root,
+            sig: Signature::sign(
+                signer,
+                DOMAIN_CHECKPOINT,
+                &checkpoint_payload(epoch, &state_root),
+            ),
         }
     }
 
     /// Verifies the signature.
     pub fn verify(&self, registry: &KeyRegistry) -> bool {
-        self.sig
-            .verify(registry, DOMAIN_CHECKPOINT, &self.epoch.0.to_le_bytes())
+        self.sig.verify(
+            registry,
+            DOMAIN_CHECKPOINT,
+            &checkpoint_payload(self.epoch, &self.state_root),
+        )
     }
 }
 
 impl WireSize for CheckpointMsg {
     fn wire_size(&self) -> u64 {
-        8 + sizes::SIGNATURE + sizes::IDENTITY
+        8 + sizes::DIGEST + sizes::SIGNATURE + sizes::IDENTITY
     }
 }
 
-/// A *stable checkpoint*: `2f + 1` aggregated checkpoint signatures for an
-/// epoch (§5.2.1). Lagging replicas receive it with fetched log entries as
-/// the proof that the epoch legitimately completed.
+/// A *stable checkpoint*: `2f + 1` aggregated checkpoint signatures over
+/// the same `(epoch, state_root)` (§5.2.1). Lagging replicas receive it
+/// with fetched log entries — or a state snapshot whose root it
+/// authenticates — as the proof that the epoch legitimately completed.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct StableCheckpoint {
     /// The completed epoch.
     pub epoch: Epoch,
+    /// The quorum-agreed execution state root.
+    pub state_root: Digest,
     /// Aggregate of at least `2f + 1` checkpoint signatures.
     pub agg: AggregateSignature,
 }
@@ -63,15 +97,17 @@ impl StableCheckpoint {
     /// Verifies quorum and every constituent signature.
     pub fn verify(&self, registry: &KeyRegistry, quorum: usize) -> bool {
         self.agg.has_quorum(quorum)
-            && self
-                .agg
-                .verify(registry, DOMAIN_CHECKPOINT, &self.epoch.0.to_le_bytes())
+            && self.agg.verify(
+                registry,
+                DOMAIN_CHECKPOINT,
+                &checkpoint_payload(self.epoch, &self.state_root),
+            )
     }
 }
 
 impl WireSize for StableCheckpoint {
     fn wire_size(&self) -> u64 {
-        8 + self.agg.wire_size()
+        8 + sizes::DIGEST + self.agg.wire_size()
     }
 }
 
@@ -100,10 +136,10 @@ pub struct EpochPacemaker {
     quorum: usize,
     /// Instances that committed their `maxRank(e)` block this epoch.
     reached: BTreeSet<usize>,
-    /// Checkpoint votes per epoch, with their signatures (retained for
-    /// one completed epoch so stable checkpoints can be served to
-    /// lagging replicas, §5.2.1).
-    votes: BTreeMap<Epoch, BTreeMap<ReplicaId, Signature>>,
+    /// Checkpoint votes per epoch: signer → (claimed root, signature).
+    /// Retained for one completed epoch so stable checkpoints can be
+    /// served to lagging replicas (§5.2.1).
+    votes: BTreeMap<Epoch, BTreeMap<ReplicaId, (Digest, Signature)>>,
     /// Stable checkpoints received whole via state transfer, applied once
     /// we finish the epoch locally (peers moved on and will not re-send
     /// their individual checkpoint votes).
@@ -111,6 +147,15 @@ pub struct EpochPacemaker {
     /// Total replica count (aggregate-signature bitmap width).
     n: usize,
     sent_checkpoint: bool,
+    /// The root we signed for the current epoch (set by
+    /// [`Self::make_checkpoint`]).
+    my_root: Option<Digest>,
+    /// Checkpoint quorums observed on a root different from ours —
+    /// execution divergence, surfaced instead of advanced past. Counted
+    /// once per epoch however many messages re-confirm it.
+    pub root_conflicts: u64,
+    /// Epochs whose divergent quorum has already been counted.
+    conflicted: BTreeSet<Epoch>,
     /// Timestamped epoch advances (metrics: Fig. 8 epoch-change dips).
     pub advances: Vec<(TimeNs, Epoch)>,
 }
@@ -128,20 +173,25 @@ impl EpochPacemaker {
             pending_stable: BTreeMap::new(),
             n: cfg.n,
             sent_checkpoint: false,
+            my_root: None,
+            root_conflicts: 0,
+            conflicted: BTreeSet::new(),
             advances: Vec::new(),
         }
     }
 
     /// The stable checkpoint of `epoch`, if this replica holds a quorum of
-    /// its checkpoint signatures (the current and previous epochs are
-    /// retained).
+    /// matching-root checkpoint signatures (the current and previous
+    /// epochs are retained).
     pub fn stable_checkpoint(&self, epoch: Epoch) -> Option<StableCheckpoint> {
         if let Some(votes) = self.votes.get(&epoch) {
-            if votes.len() >= self.quorum {
-                let shares: Vec<Signature> =
-                    votes.values().take(self.quorum).copied().collect();
+            if let Some((root, shares)) = self.quorum_group(votes) {
                 if let Some(agg) = AggregateSignature::aggregate(&shares, self.n) {
-                    return Some(StableCheckpoint { epoch, agg });
+                    return Some(StableCheckpoint {
+                        epoch,
+                        state_root: root,
+                        agg,
+                    });
                 }
             }
         }
@@ -150,12 +200,28 @@ impl EpochPacemaker {
         self.pending_stable.get(&epoch).cloned()
     }
 
+    /// The root group holding ≥ quorum votes, with `quorum` of its
+    /// signatures (votes are honest-majority: at most one group can reach
+    /// quorum).
+    fn quorum_group(
+        &self,
+        votes: &BTreeMap<ReplicaId, (Digest, Signature)>,
+    ) -> Option<(Digest, Vec<Signature>)> {
+        let mut by_root: BTreeMap<Digest, Vec<Signature>> = BTreeMap::new();
+        for (root, sig) in votes.values() {
+            by_root.entry(*root).or_default().push(*sig);
+        }
+        by_root.into_iter().find_map(|(root, sigs)| {
+            (sigs.len() >= self.quorum).then(|| (root, sigs[..self.quorum].to_vec()))
+        })
+    }
+
     /// Whether a checkpoint quorum exists for an epoch we have not
     /// finished ourselves — evidence that the system completed an epoch
     /// without us and we should fetch the missing log entries (§5.2.1).
     pub fn lag_evidence(&self) -> bool {
         self.votes.iter().any(|(e, v)| {
-            v.len() >= self.quorum
+            self.quorum_group(v).is_some()
                 && (*e > self.epoch || (*e == self.epoch && !self.sent_checkpoint))
         })
     }
@@ -177,32 +243,34 @@ impl EpochPacemaker {
     }
 
     /// Notifies the pacemaker that `instance` partially committed a block
-    /// with `rank`. Returns a checkpoint broadcast request when all `m`
-    /// instances have reached `maxRank(e)`.
-    pub fn on_commit(
-        &mut self,
-        instance: usize,
-        rank: Rank,
-        signer: &Signer,
-    ) -> Option<EpochEvent> {
+    /// with `rank`. Returns `true` exactly once per epoch, when all `m`
+    /// instances have reached `maxRank(e)`: the node must then compute its
+    /// execution state root and call [`Self::make_checkpoint`].
+    pub fn on_commit(&mut self, instance: usize, rank: Rank) -> bool {
         if rank == self.max_rank() {
             self.reached.insert(instance);
         }
-        if !self.sent_checkpoint && self.reached.len() == self.m {
-            self.sent_checkpoint = true;
-            let msg = CheckpointMsg::sign(signer, self.epoch);
-            // Our own vote counts.
-            self.votes
-                .entry(self.epoch)
-                .or_default()
-                .insert(signer.replica, msg.sig);
-            return Some(EpochEvent::BroadcastCheckpoint(msg));
-        }
-        None
+        !self.sent_checkpoint && self.reached.len() == self.m
+    }
+
+    /// Builds (and records) our checkpoint for the completed epoch at the
+    /// given execution state root. Call once, after [`Self::on_commit`]
+    /// returned `true`.
+    pub fn make_checkpoint(&mut self, signer: &Signer, state_root: Digest) -> CheckpointMsg {
+        debug_assert!(!self.sent_checkpoint, "checkpoint already sent this epoch");
+        self.sent_checkpoint = true;
+        self.my_root = Some(state_root);
+        let msg = CheckpointMsg::sign(signer, self.epoch, state_root);
+        // Our own vote counts.
+        self.votes
+            .entry(self.epoch)
+            .or_default()
+            .insert(signer.replica, (state_root, msg.sig));
+        msg
     }
 
     /// Handles a checkpoint message from `from`. Returns the advance event
-    /// when the stable checkpoint (2f+1 votes) forms.
+    /// when the stable checkpoint (2f+1 matching-root votes) forms.
     pub fn on_checkpoint(
         &mut self,
         from: ReplicaId,
@@ -214,16 +282,24 @@ impl EpochPacemaker {
             return None;
         }
         let votes = self.votes.entry(msg.epoch).or_default();
-        votes.insert(from, msg.sig);
-        if msg.epoch == self.epoch && votes.len() >= self.quorum && self.sent_checkpoint {
-            return Some(self.advance_to_next(now));
+        votes.insert(from, (msg.state_root, msg.sig));
+        if msg.epoch == self.epoch && self.sent_checkpoint {
+            let my_root = self.my_root.expect("sent_checkpoint implies my_root");
+            if let Some((root, _)) = self.quorum_group(&self.votes[&self.epoch]) {
+                if root == my_root {
+                    return Some(self.advance_to_next(now));
+                }
+                // A quorum agreed on a root we did not execute: divergence.
+                self.note_conflict(msg.epoch);
+            }
         }
         None
     }
 
     /// Accepts a whole stable checkpoint learned via state transfer.
     /// Returns the advance event when it completes the current epoch (we
-    /// must still have finished the epoch locally first).
+    /// must still have finished the epoch locally first, with a matching
+    /// root).
     pub fn on_stable_checkpoint(
         &mut self,
         sc: &StableCheckpoint,
@@ -234,19 +310,73 @@ impl EpochPacemaker {
             return None;
         }
         if sc.epoch == self.epoch && self.sent_checkpoint {
-            return Some(self.advance_to_next(now));
+            if self.my_root == Some(sc.state_root) {
+                return Some(self.advance_to_next(now));
+            }
+            self.note_conflict(sc.epoch);
+            return None;
         }
         self.pending_stable.insert(sc.epoch, sc.clone());
         None
     }
 
     /// Applies a stashed stable checkpoint once the local epoch completes
-    /// (call after [`Self::on_commit`] returned a checkpoint broadcast).
+    /// (call after [`Self::make_checkpoint`]). A stashed checkpoint whose
+    /// root contradicts our execution is a conflict, not an advance.
     pub fn try_pending_advance(&mut self, now: TimeNs) -> Option<EpochEvent> {
-        if self.sent_checkpoint && self.pending_stable.contains_key(&self.epoch) {
-            return Some(self.advance_to_next(now));
+        if !self.sent_checkpoint {
+            return None;
+        }
+        if let Some(sc) = self.pending_stable.get(&self.epoch) {
+            if self.my_root == Some(sc.state_root) {
+                return Some(self.advance_to_next(now));
+            }
+            let epoch = sc.epoch;
+            self.note_conflict(epoch);
         }
         None
+    }
+
+    /// Fast-forwards past epochs covered by an installed execution
+    /// snapshot: a verified stable checkpoint for `sc.epoch ≥ current`
+    /// moves the pacemaker directly into `sc.epoch + 1`. The caller must
+    /// only invoke this after installing the snapshot the checkpoint
+    /// authenticates — the snapshot supplies the state those epochs would
+    /// have produced, so completing them locally is unnecessary (and, for
+    /// a restarted replica whose peers pruned the old checkpoints,
+    /// impossible).
+    pub fn fast_forward(
+        &mut self,
+        sc: &StableCheckpoint,
+        registry: &KeyRegistry,
+        now: TimeNs,
+    ) -> Option<EpochEvent> {
+        if sc.epoch < self.epoch || !sc.verify(registry, self.quorum) {
+            return None;
+        }
+        let next = Epoch(sc.epoch.0 + 1);
+        let (min, max) = self.rank_range(next);
+        self.epoch = next;
+        self.reached.clear();
+        self.sent_checkpoint = false;
+        self.my_root = None;
+        self.votes.retain(|e, _| e.0 + 1 >= next.0);
+        self.pending_stable.retain(|e, _| e.0 + 1 >= next.0);
+        // Keep the checkpoint: we can serve it onward to other laggers.
+        self.pending_stable.insert(sc.epoch, sc.clone());
+        self.advances.push((now, next));
+        Some(EpochEvent::Advance {
+            epoch: next,
+            min,
+            max,
+        })
+    }
+
+    /// Records a divergent quorum for `epoch`, once.
+    fn note_conflict(&mut self, epoch: Epoch) {
+        if self.conflicted.insert(epoch) {
+            self.root_conflicts += 1;
+        }
     }
 
     fn advance_to_next(&mut self, now: TimeNs) -> EpochEvent {
@@ -255,6 +385,7 @@ impl EpochPacemaker {
         self.epoch = next;
         self.reached.clear();
         self.sent_checkpoint = false;
+        self.my_root = None;
         // Keep the just-completed epoch's signatures: its stable
         // checkpoint is what we serve to lagging replicas.
         self.votes.retain(|e, _| e.0 + 1 >= next.0);
@@ -273,6 +404,16 @@ mod tests {
     use super::*;
     use ladon_types::NetEnv;
 
+    /// The deterministic "every honest replica executed the same epoch"
+    /// root used throughout these tests.
+    fn root() -> Digest {
+        Digest([0xe1; 32])
+    }
+
+    fn other_root() -> Digest {
+        Digest([0x5e; 32])
+    }
+
     fn setup(m: usize) -> (EpochPacemaker, KeyRegistry) {
         let mut cfg = SystemConfig::paper_default(4, NetEnv::Lan);
         cfg.m = m;
@@ -280,34 +421,44 @@ mod tests {
         (EpochPacemaker::new(&cfg), KeyRegistry::generate(4, 1, 3))
     }
 
+    /// Drives `p` through local epoch completion: commits `maxRank` on all
+    /// `m` instances and makes the checkpoint at `root()`.
+    fn complete_epoch(p: &mut EpochPacemaker, reg: &KeyRegistry, me: u32) -> CheckpointMsg {
+        let max = p.max_rank();
+        let mut ready = false;
+        for i in 0..p.m {
+            ready = p.on_commit(i, max);
+        }
+        assert!(ready, "all instances at maxRank must complete the epoch");
+        p.make_checkpoint(&reg.signer(ReplicaId(me)), root())
+    }
+
     #[test]
     fn checkpoint_after_all_instances_reach_max() {
         let (mut p, reg) = setup(2);
-        let signer = reg.signer(ReplicaId(0));
         assert_eq!(p.max_rank(), Rank(7));
-        assert!(p.on_commit(0, Rank(5), &signer).is_none());
-        assert!(p.on_commit(0, Rank(7), &signer).is_none());
-        // Second instance reaches maxRank: checkpoint broadcast.
-        let ev = p.on_commit(1, Rank(7), &signer);
-        assert!(matches!(ev, Some(EpochEvent::BroadcastCheckpoint(_))));
-        // Not re-broadcast.
-        assert!(p.on_commit(0, Rank(7), &signer).is_none());
+        assert!(!p.on_commit(0, Rank(5)));
+        assert!(!p.on_commit(0, Rank(7)));
+        // Second instance reaches maxRank: epoch ready.
+        assert!(p.on_commit(1, Rank(7)));
+        let msg = p.make_checkpoint(&reg.signer(ReplicaId(0)), root());
+        assert_eq!(msg.epoch, Epoch(0));
+        assert_eq!(msg.state_root, root());
+        assert!(msg.verify(&reg));
+        // Not re-signalled once sent.
+        assert!(!p.on_commit(0, Rank(7)));
     }
 
     #[test]
     fn stable_checkpoint_advances_epoch() {
         let (mut p, reg) = setup(1);
-        let signer = reg.signer(ReplicaId(0));
-        let ev = p.on_commit(0, Rank(7), &signer).unwrap();
-        let EpochEvent::BroadcastCheckpoint(my_msg) = ev else {
-            panic!("expected checkpoint");
-        };
-        // Two more votes (quorum = 3 for n = 4).
-        let m1 = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        complete_epoch(&mut p, &reg, 0);
+        // Two more matching votes (quorum = 3 for n = 4).
+        let m1 = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0), root());
         assert!(p
             .on_checkpoint(ReplicaId(1), &m1, &reg, TimeNs::ZERO)
             .is_none());
-        let m2 = CheckpointMsg::sign(&reg.signer(ReplicaId(2)), Epoch(0));
+        let m2 = CheckpointMsg::sign(&reg.signer(ReplicaId(2)), Epoch(0), root());
         let adv = p.on_checkpoint(ReplicaId(2), &m2, &reg, TimeNs::from_secs(3));
         match adv {
             Some(EpochEvent::Advance { epoch, min, max }) => {
@@ -319,18 +470,54 @@ mod tests {
         }
         assert_eq!(p.epoch(), Epoch(1));
         assert_eq!(p.advances.len(), 1);
-        let _ = my_msg;
+        assert_eq!(p.root_conflicts, 0);
+    }
+
+    #[test]
+    fn mismatched_roots_do_not_advance() {
+        // Two peers vote a different root than ours: their group reaches
+        // quorum only with a third vote; ours never does. The conflict is
+        // surfaced, the epoch does not advance on their root.
+        let (mut p, reg) = setup(1);
+        complete_epoch(&mut p, &reg, 0);
+        for r in 1..=2u32 {
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), other_root());
+            assert!(p
+                .on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO)
+                .is_none());
+        }
+        assert_eq!(p.epoch(), Epoch(0));
+        assert_eq!(p.root_conflicts, 0, "no quorum on either root yet");
+        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(3)), Epoch(0), other_root());
+        assert!(p
+            .on_checkpoint(ReplicaId(3), &m, &reg, TimeNs::ZERO)
+            .is_none());
+        assert_eq!(p.epoch(), Epoch(0), "divergent quorum must not advance us");
+        assert_eq!(p.root_conflicts, 1);
+        // Re-confirming messages for the same divergence do not inflate
+        // the incident count.
+        let again = CheckpointMsg::sign(&reg.signer(ReplicaId(3)), Epoch(0), other_root());
+        assert!(p
+            .on_checkpoint(ReplicaId(3), &again, &reg, TimeNs::ZERO)
+            .is_none());
+        assert_eq!(p.root_conflicts, 1);
     }
 
     #[test]
     fn forged_checkpoint_rejected() {
         let (mut p, reg) = setup(1);
-        let signer = reg.signer(ReplicaId(0));
-        p.on_commit(0, Rank(7), &signer);
+        complete_epoch(&mut p, &reg, 0);
         // Signature from replica 1 but claimed from replica 2.
-        let forged = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        let forged = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0), root());
         assert!(p
             .on_checkpoint(ReplicaId(2), &forged, &reg, TimeNs::ZERO)
+            .is_none());
+        // Tampered root after signing.
+        let mut tampered = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0), root());
+        tampered.state_root = other_root();
+        assert!(!tampered.verify(&reg));
+        assert!(p
+            .on_checkpoint(ReplicaId(1), &tampered, &reg, TimeNs::ZERO)
             .is_none());
     }
 
@@ -340,17 +527,15 @@ mod tests {
         // we only advance once we have also sent our checkpoint.
         let (mut p, reg) = setup(1);
         for r in 1..=3u32 {
-            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), root());
             assert!(p
                 .on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO)
                 .is_none());
         }
-        // Now we finish locally; our own commit triggers the broadcast,
-        // and the next checkpoint (any, even a duplicate) completes it.
-        let signer = reg.signer(ReplicaId(0));
-        let ev = p.on_commit(0, Rank(7), &signer);
-        assert!(matches!(ev, Some(EpochEvent::BroadcastCheckpoint(_))));
-        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        // Now we finish locally; the next checkpoint (any, even a
+        // duplicate) completes it.
+        complete_epoch(&mut p, &reg, 0);
+        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0), root());
         let adv = p.on_checkpoint(ReplicaId(1), &m, &reg, TimeNs::ZERO);
         assert!(matches!(adv, Some(EpochEvent::Advance { .. })));
     }
@@ -358,16 +543,16 @@ mod tests {
     #[test]
     fn stable_checkpoint_built_and_verifies_after_quorum() {
         let (mut p, reg) = setup(1);
-        let signer = reg.signer(ReplicaId(0));
         assert!(p.stable_checkpoint(Epoch(0)).is_none());
-        p.on_commit(0, Rank(7), &signer);
+        complete_epoch(&mut p, &reg, 0);
         for r in 1..=2u32 {
-            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), root());
             p.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
         }
         // Advanced to epoch 1; epoch 0's stable checkpoint is retained.
         assert_eq!(p.epoch(), Epoch(1));
         let sc = p.stable_checkpoint(Epoch(0)).expect("retained");
+        assert_eq!(sc.state_root, root());
         assert!(sc.verify(&reg, 3));
         assert!(!sc.verify(&reg, 4), "quorum threshold enforced");
     }
@@ -378,14 +563,13 @@ mod tests {
         assert!(!p.lag_evidence());
         // Three peers checkpoint epoch 0 while we never committed maxRank.
         for r in 1..=3u32 {
-            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), root());
             p.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
         }
         assert!(p.lag_evidence(), "quorum completed an epoch we did not");
         // Once we complete it ourselves the evidence clears (we advance).
-        let signer = reg.signer(ReplicaId(0));
-        p.on_commit(0, Rank(7), &signer);
-        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0));
+        complete_epoch(&mut p, &reg, 0);
+        let m = CheckpointMsg::sign(&reg.signer(ReplicaId(1)), Epoch(0), root());
         p.on_checkpoint(ReplicaId(1), &m, &reg, TimeNs::ZERO);
         assert_eq!(p.epoch(), Epoch(1));
         assert!(!p.lag_evidence());
@@ -395,26 +579,22 @@ mod tests {
     fn fetched_stable_checkpoint_advances_once_locally_complete() {
         // A synced replica holds a whole stable checkpoint but has not
         // finished the epoch: the checkpoint is stashed, and applies the
-        // moment the local commits reach maxRank.
+        // moment the local commits reach maxRank with a matching root.
         let (mut p, reg) = setup(1);
         let (mut donor, _) = setup(1);
-        let donor_signer = reg.signer(ReplicaId(1));
-        donor.on_commit(0, Rank(7), &donor_signer);
+        complete_epoch(&mut donor, &reg, 1);
         for r in 2..=3u32 {
-            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), root());
             donor.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
         }
         let sc = donor.stable_checkpoint(Epoch(0)).expect("donor quorum");
+        assert_eq!(sc.state_root, root());
 
         // Receiving it early: stashed, no advance.
-        assert!(p
-            .on_stable_checkpoint(&sc, &reg, TimeNs::ZERO)
-            .is_none());
+        assert!(p.on_stable_checkpoint(&sc, &reg, TimeNs::ZERO).is_none());
         assert_eq!(p.epoch(), Epoch(0));
-        // Local completion: checkpoint broadcast, then the stash applies.
-        let signer = reg.signer(ReplicaId(0));
-        let ev = p.on_commit(0, Rank(7), &signer);
-        assert!(matches!(ev, Some(EpochEvent::BroadcastCheckpoint(_))));
+        // Local completion with the same root: the stash applies.
+        complete_epoch(&mut p, &reg, 0);
         let adv = p.try_pending_advance(TimeNs::from_secs(1));
         assert!(matches!(adv, Some(EpochEvent::Advance { .. })));
         assert_eq!(p.epoch(), Epoch(1));
@@ -428,33 +608,38 @@ mod tests {
     fn tampered_stable_checkpoint_rejected() {
         let (mut p, reg) = setup(1);
         let (mut donor, _) = setup(1);
-        donor.on_commit(0, Rank(7), &reg.signer(ReplicaId(1)));
+        complete_epoch(&mut donor, &reg, 1);
         for r in 2..=3u32 {
-            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), root());
             donor.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
         }
-        let mut sc = donor.stable_checkpoint(Epoch(0)).expect("donor quorum");
-        sc.epoch = Epoch(1); // signatures no longer cover the epoch
+        let good = donor.stable_checkpoint(Epoch(0)).expect("donor quorum");
+        let mut bad_epoch = good.clone();
+        bad_epoch.epoch = Epoch(1); // signatures no longer cover the epoch
         assert!(p
-            .on_stable_checkpoint(&sc, &reg, TimeNs::ZERO)
+            .on_stable_checkpoint(&bad_epoch, &reg, TimeNs::ZERO)
             .is_none());
         assert!(
             p.stable_checkpoint(Epoch(1)).is_none(),
             "a forged checkpoint must not be stashed"
         );
+        let mut bad_root = good;
+        bad_root.state_root = other_root(); // root swap breaks signatures
+        assert!(p
+            .on_stable_checkpoint(&bad_root, &reg, TimeNs::ZERO)
+            .is_none());
     }
 
     #[test]
     fn stale_epoch_checkpoints_ignored() {
         let (mut p, reg) = setup(1);
-        let signer = reg.signer(ReplicaId(0));
-        p.on_commit(0, Rank(7), &signer);
+        complete_epoch(&mut p, &reg, 0);
         for r in 1..=2u32 {
-            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0));
+            let m = CheckpointMsg::sign(&reg.signer(ReplicaId(r)), Epoch(0), root());
             p.on_checkpoint(ReplicaId(r), &m, &reg, TimeNs::ZERO);
         }
         assert_eq!(p.epoch(), Epoch(1));
-        let stale = CheckpointMsg::sign(&reg.signer(ReplicaId(3)), Epoch(0));
+        let stale = CheckpointMsg::sign(&reg.signer(ReplicaId(3)), Epoch(0), root());
         assert!(p
             .on_checkpoint(ReplicaId(3), &stale, &reg, TimeNs::ZERO)
             .is_none());

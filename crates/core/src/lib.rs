@@ -7,10 +7,26 @@
 //! - [`epoch`]: the epoch pacemaker with checkpoints (§5.2.1).
 //! - [`bucket`]: rotating transaction buckets and the synthetic mempool.
 //! - [`node`]: the Multi-BFT replica composing `m` consensus instances,
-//!   the shared `curRank`, an orderer, the pacemaker and fault injection —
-//!   runnable under both the simulation engine and the live runtime.
+//!   the shared `curRank`, an orderer, the pacemaker, the execution
+//!   pipeline and fault injection — runnable under both the simulation
+//!   engine and the live runtime.
 //! - [`msg`]: the replica's network message envelope.
-//! - [`sync`]: epoch state transfer for lagging replicas (§5.2.1).
+//! - [`sync`]: epoch state transfer for lagging replicas (§5.2.1),
+//!   extended with execution-snapshot fast-forward.
+//!
+//! # Execution and durable state
+//!
+//! Beyond the paper's ordering pipeline, every node drives a
+//! [`ladon_state::ExecutionPipeline`]: confirmed blocks are appended to a
+//! commit WAL and applied to a deterministic KV state machine in global
+//! order. Epoch checkpoints ([`epoch`]) carry the resulting **state
+//! root**, so a stable checkpoint is a quorum attestation of *state*, not
+//! just ranks; votes on conflicting roots are surfaced as
+//! `root_conflicts` instead of advanced past. State transfer ([`sync`])
+//! can ship the latest snapshot (authenticated by the matching stable
+//! checkpoint) so a lagging or restarted replica fast-forwards its state
+//! machine instead of re-executing history, then replays only the WAL
+//! tail.
 
 pub mod bucket;
 pub mod dqbft;
@@ -25,7 +41,7 @@ pub use bucket::{Mempool, RotatingBuckets, TxGroup};
 pub use dqbft::DqbftOrderer;
 pub use epoch::{CheckpointMsg, EpochEvent, EpochPacemaker, StableCheckpoint};
 pub use msg::{ClientTxs, NodeMsg};
-pub use sync::{SyncEntry, SyncRequest, SyncResponse};
 pub use node::{Behavior, CommitRecord, ConfirmRecord, MultiBftNode, NodeConfig, NodeMetrics};
 pub use ordering::{ConfirmedBlock, GlobalOrderer, LadonOrderer};
 pub use predetermined::{BaselineKind, PredeterminedOrderer};
+pub use sync::{SyncEntry, SyncRequest, SyncResponse};

@@ -26,8 +26,9 @@ use ladon_crypto::{KeyRegistry, RankCert};
 use ladon_hotstuff::{HsConfig, HsInstance, HsRankMode};
 use ladon_pbft::{InstanceConfig, PbftInstance, RankMode, RankStrategy};
 use ladon_sim::{Actor, ActorId, Context};
+use ladon_state::{ExecOutcome, ExecutionPipeline, DEFAULT_KEYSPACE};
 use ladon_types::{
-    Batch, Block, InstanceId, ProtocolKind, Rank, ReplicaId, Round, SystemConfig, TimeNs,
+    Batch, Block, Digest, InstanceId, ProtocolKind, Rank, ReplicaId, Round, SystemConfig, TimeNs,
     View,
 };
 
@@ -125,6 +126,14 @@ pub struct NodeMetrics {
     pub sync_requests: u64,
     /// Blocks installed from peers' sync responses.
     pub sync_installed: u64,
+    /// Transactions executed by the state machine (confirmed order).
+    pub executed_txs: u64,
+    /// Execution state roots at epoch checkpoints `(time, epoch, root)`.
+    pub state_roots: Vec<(TimeNs, u64, Digest)>,
+    /// Peer snapshots installed (execution fast-forward).
+    pub snapshot_installs: u64,
+    /// Checkpoint quorums observed on a root different from ours.
+    pub root_conflicts: u64,
 }
 
 enum Slot {
@@ -181,14 +190,29 @@ pub struct MultiBftNode {
     /// probe (hysteresis: a gap that persists across two probes means the
     /// missing rounds will never commit here on their own).
     sync_gap_snapshot: Vec<Round>,
+    /// The execution pipeline: KV state machine + commit WAL + snapshots.
+    pub exec: ExecutionPipeline,
+    /// The epoch the buckets are rotated to (tracks pacemaker advances,
+    /// including multi-epoch fast-forwards after a snapshot install).
+    bucket_epoch: u64,
     /// Metrics sink.
     pub metrics: NodeMetrics,
     crashed: bool,
 }
 
 impl MultiBftNode {
-    /// Builds the node for `cfg.me`.
+    /// Builds the node for `cfg.me` with a fresh in-memory execution
+    /// pipeline (the simulation default).
     pub fn new(cfg: NodeConfig) -> Self {
+        Self::with_execution(cfg, ExecutionPipeline::in_memory(DEFAULT_KEYSPACE))
+    }
+
+    /// Builds the node over an existing execution pipeline — a recovered
+    /// one for restart-from-snapshot scenarios, or a disk-backed one for
+    /// durable deployments. Blocks the pipeline has already applied are
+    /// skipped on re-confirmation, so a restarted replica re-syncs
+    /// consensus state without re-executing its durable prefix.
+    pub fn with_execution(cfg: NodeConfig, exec: ExecutionPipeline) -> Self {
         let sys = &cfg.sys;
         let m = sys.m;
         let (emin, emax) = sys.rank_range(ladon_types::Epoch(0));
@@ -255,15 +279,13 @@ impl MultiBftNode {
         }
 
         let orderer = match cfg.protocol {
-            ProtocolKind::LadonPbft
-            | ProtocolKind::LadonOptPbft
-            | ProtocolKind::LadonHotStuff => Orderer::Ladon(LadonOrderer::new(m)),
+            ProtocolKind::LadonPbft | ProtocolKind::LadonOptPbft | ProtocolKind::LadonHotStuff => {
+                Orderer::Ladon(LadonOrderer::new(m))
+            }
             ProtocolKind::IssPbft | ProtocolKind::IssHotStuff => {
                 Orderer::Pre(PredeterminedOrderer::new(BaselineKind::Iss, m))
             }
-            ProtocolKind::MirPbft => {
-                Orderer::Pre(PredeterminedOrderer::new(BaselineKind::Mir, m))
-            }
+            ProtocolKind::MirPbft => Orderer::Pre(PredeterminedOrderer::new(BaselineKind::Mir, m)),
             ProtocolKind::RccPbft => {
                 let mut p = PredeterminedOrderer::new(BaselineKind::Rcc, m);
                 p.rcc_lag_threshold = sys.rcc_lag_threshold;
@@ -276,9 +298,9 @@ impl MultiBftNode {
         };
 
         let pacemaker = match cfg.protocol {
-            ProtocolKind::LadonPbft
-            | ProtocolKind::LadonOptPbft
-            | ProtocolKind::LadonHotStuff => Some(EpochPacemaker::new(sys)),
+            ProtocolKind::LadonPbft | ProtocolKind::LadonOptPbft | ProtocolKind::LadonHotStuff => {
+                Some(EpochPacemaker::new(sys))
+            }
             _ => None,
         };
 
@@ -293,9 +315,19 @@ impl MultiBftNode {
             cur_rank: RankCert::genesis(emin),
             orderer,
             pacemaker,
+            exec,
+            bucket_epoch: 0,
             metrics: NodeMetrics::default(),
             crashed: false,
             cfg,
+        }
+    }
+
+    /// Mirrors pacemaker-side counters into the metrics sink (call after
+    /// any pacemaker interaction that can record a root conflict).
+    fn sync_pacemaker_metrics(&mut self) {
+        if let Some(pm) = &self.pacemaker {
+            self.metrics.root_conflicts = pm.root_conflicts;
         }
     }
 
@@ -457,41 +489,19 @@ impl MultiBftNode {
 
     fn on_committed(&mut self, i: usize, block: Block, ctx: &mut dyn Context<NodeMsg>) {
         let now = ctx.now();
+        let rank = block.rank();
         self.inst_commits[i] += 1;
         self.metrics.commits.push(CommitRecord {
             instance: block.index().0,
             round: block.round().0,
-            rank: block.rank().0,
+            rank: rank.0,
             time: now,
         });
 
-        // Epoch pacemaker (Ladon protocols, real instances only).
-        if i < self.cfg.sys.m {
-            let mut broadcast = None;
-            let mut pending_advance = None;
-            if let Some(pm) = &mut self.pacemaker {
-                let signer = self.cfg.registry.signer(self.cfg.me);
-                if let Some(EpochEvent::BroadcastCheckpoint(msg)) =
-                    pm.on_commit(i, block.rank(), &signer)
-                {
-                    broadcast = Some(msg);
-                    // A stable checkpoint fetched earlier via state
-                    // transfer may already prove this epoch complete.
-                    pending_advance = pm.try_pending_advance(now);
-                }
-            }
-            if let Some(msg) = broadcast {
-                let wrapped = NodeMsg::Checkpoint(msg);
-                for p in self.peers() {
-                    ctx.send(p, wrapped.clone());
-                }
-            }
-            if let Some(EpochEvent::Advance { epoch, min, max }) = pending_advance {
-                self.apply_epoch_advance(epoch, min, max, ctx);
-            }
-        }
-
-        // Ordering layer.
+        // Ordering layer + execution first: when this commit completes the
+        // epoch, every block of the epoch is below the confirmation bar
+        // and must be executed *before* the checkpoint's state root is
+        // computed, so the root covers the whole epoch deterministically.
         let confirmed: Vec<ConfirmedBlock> = match &mut self.orderer {
             Orderer::Ladon(o) => o.on_partial_commit(block, now),
             Orderer::Pre(o) => o.on_partial_commit(block, now),
@@ -506,6 +516,49 @@ impl MultiBftNode {
         };
         self.record_confirms(confirmed, now);
 
+        // Epoch pacemaker (Ladon protocols, real instances only).
+        if i < self.cfg.sys.m {
+            let mut broadcast = None;
+            let mut pending_advance = None;
+            if let Some(pm) = &mut self.pacemaker {
+                if pm.on_commit(i, rank) {
+                    // Epoch complete: checkpoint the executed state (this
+                    // snapshots the KV contents and compacts the WAL) and
+                    // sign its root into the checkpoint message. The
+                    // snapshot also records each instance's commit-round
+                    // frontier so installers can fast-forward consensus
+                    // intake, not just the state machine.
+                    let epoch = pm.epoch();
+                    let frontier: Vec<u64> = self
+                        .slots
+                        .iter()
+                        .take(self.cfg.sys.m)
+                        .map(|s| match s {
+                            Slot::Pbft(inst) => inst.committed_upto().0,
+                            Slot::Hs(inst) => inst.committed_upto().0,
+                        })
+                        .collect();
+                    let root = self.exec.checkpoint(epoch.0, frontier);
+                    self.metrics.state_roots.push((now, epoch.0, root));
+                    let signer = self.cfg.registry.signer(self.cfg.me);
+                    broadcast = Some(pm.make_checkpoint(&signer, root));
+                    // A stable checkpoint fetched earlier via state
+                    // transfer may already prove this epoch complete.
+                    pending_advance = pm.try_pending_advance(now);
+                }
+            }
+            if let Some(msg) = broadcast {
+                let wrapped = NodeMsg::Checkpoint(msg);
+                for p in self.peers() {
+                    ctx.send(p, wrapped.clone());
+                }
+            }
+            if let Some(EpochEvent::Advance { epoch, min, max }) = pending_advance {
+                self.apply_epoch_advance(epoch, min, max, ctx);
+            }
+            self.sync_pacemaker_metrics();
+        }
+
         // A commit can unblock proposals (rank sets complete, HS QCs form,
         // DQBFT refs accumulate).
         self.try_propose_all(ctx);
@@ -516,6 +569,12 @@ impl MultiBftNode {
             let b = &c.block;
             if !b.is_nil() {
                 self.metrics.confirmed_txs += b.batch.count as u64;
+            }
+            // Execute in confirmed global order. Blocks at or below the
+            // pipeline's applied frontier (snapshot install, restart) are
+            // skipped idempotently.
+            if let ExecOutcome::Applied { txs } = self.exec.execute(c.sn, b) {
+                self.metrics.executed_txs += txs;
             }
             self.metrics.confirms.push(ConfirmRecord {
                 sn: c.sn,
@@ -630,6 +689,7 @@ impl MultiBftNode {
                 if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
                     self.apply_epoch_advance(epoch, min, max, ctx);
                 }
+                self.sync_pacemaker_metrics();
             }
             NodeMsg::SyncReq(req) => self.on_sync_request(from, req, ctx),
             NodeMsg::SyncResp(resp) => self.on_sync_response(resp, ctx),
@@ -647,7 +707,12 @@ impl MultiBftNode {
     ) {
         let now = ctx.now();
         self.metrics.epochs.push((now, epoch.0));
-        self.buckets.rotate();
+        // One rotation per epoch crossed keeps bucket→instance assignment
+        // aligned with peers even across a multi-epoch fast-forward.
+        while self.bucket_epoch < epoch.0 {
+            self.buckets.rotate();
+            self.bucket_epoch += 1;
+        }
         for i in 0..self.cfg.sys.m {
             match &mut self.slots[i] {
                 Slot::Pbft(inst) => {
@@ -692,7 +757,9 @@ impl MultiBftNode {
             let gap_now = if inst.in_view_change() {
                 u64::MAX
             } else {
-                inst.highest_seen_round().0.saturating_sub(inst.committed_upto().0)
+                inst.highest_seen_round()
+                    .0
+                    .saturating_sub(inst.committed_upto().0)
             };
             let gap_before = self.sync_gap_snapshot[i].0;
             if gap_now >= LIVE_EDGE_GAP && gap_before >= LIVE_EDGE_GAP {
@@ -715,6 +782,7 @@ impl MultiBftNode {
             .collect();
         let req = SyncRequest {
             epoch: ladon_types::Epoch(self.epoch()),
+            applied: self.exec.applied(),
             frontier,
         };
         let n = self.cfg.sys.n;
@@ -755,28 +823,116 @@ impl MultiBftNode {
                 }
             }
         }
-        let checkpoint = self
-            .pacemaker
-            .as_ref()
-            .and_then(|p| p.stable_checkpoint(req.epoch));
+        // Execution fast-forward: when our latest snapshot is ahead of the
+        // requester's applied frontier AND we can prove its root with the
+        // matching stable checkpoint, ship both. The checkpoint then also
+        // serves as the requester's epoch proof.
+        let mut checkpoint = None;
+        let mut snapshot = None;
+        if let Some(pm) = &self.pacemaker {
+            if let Some(snap) = self.exec.latest_snapshot() {
+                if snap.applied > req.applied {
+                    if let Some(cp) = pm.stable_checkpoint(ladon_types::Epoch(snap.epoch)) {
+                        if cp.state_root == snap.root {
+                            snapshot = Some(snap.clone());
+                            checkpoint = Some(cp);
+                        }
+                    }
+                }
+            }
+            if checkpoint.is_none() {
+                checkpoint = pm.stable_checkpoint(req.epoch);
+            }
+            if checkpoint.is_none() && pm.epoch() > req.epoch.next() {
+                // The requester is so far behind that its epoch's stable
+                // checkpoint has been pruned (we retain two). Serve the
+                // newest one we hold: a verified future-epoch checkpoint
+                // lets the requester fast-forward its pacemaker and rejoin
+                // the live epoch schedule while log entries repair the
+                // gap.
+                let latest_complete = ladon_types::Epoch(pm.epoch().0 - 1);
+                checkpoint = pm.stable_checkpoint(latest_complete);
+            }
+        }
         if entries.is_empty() && checkpoint.is_none() {
             return;
         }
-        ctx.send(from.as_usize(), NodeMsg::SyncResp(SyncResponse { checkpoint, entries }));
+        ctx.send(
+            from.as_usize(),
+            NodeMsg::SyncResp(SyncResponse {
+                checkpoint,
+                snapshot,
+                entries,
+            }),
+        );
     }
 
     /// Verifies and installs a peer's sync response.
     fn on_sync_response(&mut self, resp: SyncResponse, ctx: &mut dyn Context<NodeMsg>) {
         let now = ctx.now();
-        if let Some(cp) = &resp.checkpoint {
-            let ev = self
-                .pacemaker
-                .as_mut()
-                .and_then(|p| p.on_stable_checkpoint(cp, &self.cfg.registry, now));
+        // Snapshot fast-forward: only with a verified stable checkpoint
+        // whose quorum-signed root matches the snapshot's content root.
+        let mut snapshot_installed = false;
+        if let (Some(cp), Some(snap)) = (&resp.checkpoint, &resp.snapshot) {
+            if cp.epoch.0 == snap.epoch
+                && cp.state_root == snap.root
+                && cp.verify(&self.cfg.registry, self.cfg.sys.quorum())
+                && self.exec.install_snapshot(snap)
+            {
+                self.metrics.snapshot_installs += 1;
+                snapshot_installed = true;
+                // Fast-forward the consensus layers past the snapshotted
+                // prefix: each instance's commit frontier jumps to the
+                // snapshot's recorded rounds (peers then serve only the
+                // tail), and the orderer's intake tips jump with it so
+                // confirmation resumes at the snapshot's sn.
+                if snap.frontier.len() == self.cfg.sys.m {
+                    for (i, &round) in snap.frontier.iter().enumerate() {
+                        if let Slot::Pbft(inst) = &mut self.slots[i] {
+                            inst.fast_forward(Round(round));
+                        }
+                    }
+                    if let Orderer::Ladon(o) = &mut self.orderer {
+                        let max_rank = self.cfg.sys.rank_range(ladon_types::Epoch(snap.epoch)).1;
+                        let tips: Vec<(Round, Rank)> = snap
+                            .frontier
+                            .iter()
+                            .map(|&r| (Round(r), max_rank))
+                            .collect();
+                        o.fast_forward(&tips, snap.applied);
+                    }
+                }
+                // The installed snapshot supplies everything up to and
+                // including cp.epoch, so the pacemaker can jump straight
+                // past it instead of completing each old epoch locally
+                // (whose stable checkpoints peers may have pruned).
+                let ev = self
+                    .pacemaker
+                    .as_mut()
+                    .and_then(|p| p.fast_forward(cp, &self.cfg.registry, now));
+                if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
+                    self.apply_epoch_advance(epoch, min, max, ctx);
+                }
+            }
+        }
+        if let Some(cp) = resp.checkpoint.as_ref().filter(|_| !snapshot_installed) {
+            let ev = self.pacemaker.as_mut().and_then(|p| {
+                if cp.epoch > p.epoch() {
+                    // A whole completed epoch we have not even entered:
+                    // our own epoch's proof may be pruned cluster-wide, so
+                    // waiting for local completion could strand us. Jump
+                    // the pacemaker; execution still proceeds strictly in
+                    // confirmed order as entries install.
+                    p.fast_forward(cp, &self.cfg.registry, now)
+                } else {
+                    p.on_stable_checkpoint(cp, &self.cfg.registry, now)
+                }
+            });
             if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
                 self.apply_epoch_advance(epoch, min, max, ctx);
             }
         }
+        self.sync_pacemaker_metrics();
         for e in resp.entries {
             let i = e.instance.as_usize();
             if i >= self.cfg.sys.m {
@@ -827,9 +983,11 @@ impl Actor<NodeMsg> for MultiBftNode {
         let interval = self.pace_interval();
         let m_total = self.slots.len();
         for i in 0..m_total {
-            let phase = interval.mul(i as u64 % self.cfg.sys.m as u64).0
-                / self.cfg.sys.m as u64;
-            ctx.set_timer(TimeNs(phase) + TimeNs::from_millis(1), enc(T_PACE, i as u64, 0, 0));
+            let phase = interval.mul(i as u64 % self.cfg.sys.m as u64).0 / self.cfg.sys.m as u64;
+            ctx.set_timer(
+                TimeNs(phase) + TimeNs::from_millis(1),
+                enc(T_PACE, i as u64, 0, 0),
+            );
         }
         if let Some(at) = self.cfg.behavior.crash_at {
             ctx.set_timer(at, enc(T_CRASH, 0, 0, 0));
@@ -889,8 +1047,8 @@ impl Actor<NodeMsg> for MultiBftNode {
                     }
                 }
             }
-            T_ROUND => {
-                if i < self.slots.len() {
+            T_ROUND
+                if i < self.slots.len() => {
                     match &mut self.slots[i] {
                         Slot::Pbft(inst) => {
                             let actions = inst.on_round_timer(Round(round), View(view));
@@ -902,21 +1060,21 @@ impl Actor<NodeMsg> for MultiBftNode {
                         }
                     }
                 }
-            }
-            T_VC => {
-                if i < self.slots.len() {
+            T_VC
+                if i < self.slots.len() => {
                     if let Slot::Pbft(inst) = &mut self.slots[i] {
                         let actions = inst.on_view_change_timer(View(view));
                         self.handle_pbft_actions(i, actions, ctx);
                     }
                 }
-            }
             T_CRASH => {
                 self.crashed = true;
                 ctx.crash(ctx.self_id());
             }
             T_SAMPLE => {
-                self.metrics.samples.push((ctx.now(), self.metrics.confirmed_txs));
+                self.metrics
+                    .samples
+                    .push((ctx.now(), self.metrics.confirmed_txs));
                 if let Some(every) = self.cfg.sample_interval {
                     ctx.set_timer(every, enc(T_SAMPLE, 0, 0, 0));
                 }
@@ -927,15 +1085,14 @@ impl Actor<NodeMsg> for MultiBftNode {
                 }
                 ctx.set_timer(SYNC_PERIOD, enc(T_SYNC, 0, 0, 0));
             }
-            T_QUIET => {
+            T_QUIET
                 // `round` carries the commit count captured at arming time:
                 // an unchanged count means a full quiet window elapsed.
-                if i < self.cfg.sys.m {
+                if i < self.cfg.sys.m => {
                     let count = self.inst_commits[i] & 0x0fff_ffff;
                     if count == round {
                         if let Orderer::Pre(o) = &mut self.orderer {
-                            let confirmed =
-                                o.on_quiet_leader(InstanceId(i as u32), ctx.now());
+                            let confirmed = o.on_quiet_leader(InstanceId(i as u32), ctx.now());
                             let now = ctx.now();
                             self.record_confirms(confirmed, now);
                         }
@@ -945,7 +1102,6 @@ impl Actor<NodeMsg> for MultiBftNode {
                         enc(T_QUIET, i as u64, 0, count),
                     );
                 }
-            }
             _ => {}
         }
     }

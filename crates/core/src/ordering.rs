@@ -8,7 +8,7 @@
 //! orderers (ISS/Mir/RCC pre-determined, DQBFT sequenced) live in
 //! [`crate::predetermined`] and [`crate::dqbft`].
 
-use ladon_types::{Block, OrderKey, Round, TimeNs};
+use ladon_types::{Block, InstanceId, OrderKey, Rank, Round, TimeNs};
 use std::collections::BTreeMap;
 
 /// A globally confirmed block with its computed ordering index `sn`.
@@ -106,6 +106,44 @@ impl LadonOrderer {
         self.intake[instance].ooo.len()
     }
 
+    /// Fast-forwards the whole orderer past a snapshot boundary: instance
+    /// `i`'s intake jumps to `frontier[i] = (round, rank)` — its last
+    /// partially confirmed block in the snapshotted prefix — and the
+    /// global confirmation counter jumps to `confirmed` (the snapshot's
+    /// applied count). Blocks at or below the new frontiers are history
+    /// the snapshot already covers; pending candidates are re-evaluated
+    /// under the new bar. Called only on snapshot install, where the
+    /// quorum-signed state root vouches for the skipped prefix.
+    pub fn fast_forward(&mut self, frontier: &[(Round, Rank)], confirmed: u64) {
+        assert_eq!(frontier.len(), self.intake.len());
+        if confirmed <= self.confirmed {
+            return;
+        }
+        for (i, &(round, rank)) in frontier.iter().enumerate() {
+            let it = &mut self.intake[i];
+            if round <= it.upto {
+                continue;
+            }
+            it.upto = round;
+            it.tip = Some(OrderKey::of_block(rank, InstanceId(i as u32), round));
+            // Drop parked commits the snapshot covers; later ones stay and
+            // re-promote as their predecessors install.
+            it.ooo = it.ooo.split_off(&round.next());
+        }
+        self.pending
+            .retain(|_, b| b.round() > frontier[b.index().as_usize()].0);
+        self.confirmed = confirmed;
+        // Promote anything now contiguous with the new frontiers.
+        for i in 0..self.intake.len() {
+            let it = &mut self.intake[i];
+            while let Some(b) = it.ooo.remove(&it.upto.next()) {
+                it.upto = it.upto.next();
+                it.tip = Some(b.key());
+                self.pending.insert(b.key(), b);
+            }
+        }
+    }
+
     fn drain_confirmable(&mut self) -> Vec<ConfirmedBlock> {
         let bar = self.bar();
         let mut out = Vec::new();
@@ -128,8 +166,17 @@ impl LadonOrderer {
 impl GlobalOrderer for LadonOrderer {
     fn on_partial_commit(&mut self, block: Block, _now: TimeNs) -> Vec<ConfirmedBlock> {
         let idx = block.index().as_usize();
-        assert!(idx < self.intake.len(), "unknown instance {}", block.index());
+        assert!(
+            idx < self.intake.len(),
+            "unknown instance {}",
+            block.index()
+        );
         let it = &mut self.intake[idx];
+        if block.round() <= it.upto {
+            // Replayed history below the frontier (snapshot install or a
+            // duplicate sync entry): already accounted for.
+            return Vec::new();
+        }
         it.ooo.insert(block.round(), block);
         // Promote the contiguous prefix into the candidate set and advance
         // the instance tip (the "partially confirmed" rule).

@@ -135,8 +135,8 @@ impl PredeterminedOrderer {
         loop {
             let (i, round) = self.slot_of(sn);
             if i == instance {
-                if !self.waiting.contains_key(&sn) {
-                    self.waiting.insert(sn, nil_block(instance, round, now));
+                if let std::collections::hash_map::Entry::Vacant(e) = self.waiting.entry(sn) {
+                    e.insert(nil_block(instance, round, now));
                     self.nil_delivered += 1;
                     return;
                 }

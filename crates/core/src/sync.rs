@@ -24,6 +24,7 @@
 
 use crate::epoch::StableCheckpoint;
 use ladon_crypto::QuorumCert;
+use ladon_state::Snapshot;
 use ladon_types::{sizes, Block, Epoch, InstanceId, Round, WireSize};
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,11 @@ pub const SYNC_MAX_BLOCKS: usize = 128;
 pub struct SyncRequest {
     /// The requester's current epoch (the one it is stuck in).
     pub epoch: Epoch,
+    /// The requester's execution frontier: confirmed blocks applied to its
+    /// state machine. A responder whose latest snapshot is ahead of this
+    /// includes the snapshot so the requester can fast-forward instead of
+    /// re-executing history it missed.
+    pub applied: u64,
     /// The requester's highest contiguously committed round, per instance
     /// (`frontier[i]` for instance `i`; length `m`).
     pub frontier: Vec<Round>,
@@ -48,7 +54,7 @@ pub struct SyncRequest {
 
 impl WireSize for SyncRequest {
     fn wire_size(&self) -> u64 {
-        sizes::MSG_HEADER + 8 + 8 * self.frontier.len() as u64
+        sizes::MSG_HEADER + 16 + 8 * self.frontier.len() as u64
     }
 }
 
@@ -71,13 +77,21 @@ impl WireSize for SyncEntry {
     }
 }
 
-/// A peer's response: integrity proof plus missing entries.
+/// A peer's response: integrity proof plus missing entries, optionally
+/// with an execution snapshot for state fast-forward.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct SyncResponse {
-    /// Stable checkpoint of the requested epoch, when the responder has
-    /// completed it (absent when the responder is in the same epoch as
-    /// the requester and merely further along within it).
+    /// Stable checkpoint proving an epoch completed. When `snapshot` is
+    /// present this is the checkpoint of the *snapshot's* epoch — its
+    /// quorum-signed state root is what authenticates the snapshot;
+    /// otherwise it is the checkpoint of the requested epoch, when the
+    /// responder has completed it.
     pub checkpoint: Option<StableCheckpoint>,
+    /// The responder's latest execution snapshot, when it is ahead of the
+    /// requester's applied frontier. The receiver verifies its content
+    /// root against `checkpoint.state_root` before installing, so a
+    /// Byzantine responder can serve correct state or nothing.
+    pub snapshot: Option<Snapshot>,
     /// Missing log entries past the requester's frontier.
     pub entries: Vec<SyncEntry>,
 }
@@ -86,6 +100,7 @@ impl WireSize for SyncResponse {
     fn wire_size(&self) -> u64 {
         sizes::MSG_HEADER
             + self.checkpoint.as_ref().map_or(0, WireSize::wire_size)
+            + self.snapshot.as_ref().map_or(0, WireSize::wire_size)
             + self.entries.iter().map(WireSize::wire_size).sum::<u64>()
     }
 }
@@ -99,10 +114,12 @@ mod tests {
     fn request_wire_size_scales_with_frontier() {
         let small = SyncRequest {
             epoch: Epoch(1),
+            applied: 0,
             frontier: vec![Round(0); 4],
         };
         let big = SyncRequest {
             epoch: Epoch(1),
+            applied: 0,
             frontier: vec![Round(0); 128],
         };
         assert!(big.wire_size() > small.wire_size());
@@ -138,9 +155,16 @@ mod tests {
             InstanceId(0),
             Rank(1),
         );
-        let qc =
-            QuorumCert::from_shares(&[share], 4, ladon_types::View(0), Round(1), InstanceId(0), Digest([1; 32]), Rank(1))
-                .unwrap();
+        let qc = QuorumCert::from_shares(
+            &[share],
+            4,
+            ladon_types::View(0),
+            Round(1),
+            InstanceId(0),
+            Digest([1; 32]),
+            Rank(1),
+        )
+        .unwrap();
         let entry = SyncEntry {
             instance: InstanceId(0),
             block,
@@ -148,11 +172,35 @@ mod tests {
         };
         let resp = SyncResponse {
             checkpoint: None,
+            snapshot: None,
             entries: vec![entry],
         };
         assert!(
             resp.wire_size() > 50_000,
             "payload must dominate the response size"
         );
+    }
+
+    #[test]
+    fn snapshot_bytes_counted_in_response_size() {
+        let mut kv = ladon_state::KvState::new();
+        for k in 0..100u32 {
+            kv.apply(&ladon_types::TxOp::Put {
+                key: k,
+                value: k as u64 + 1,
+            });
+        }
+        let snap = Snapshot::capture(2, 500, 10_000, vec![0; 4], &kv);
+        let without = SyncResponse {
+            checkpoint: None,
+            snapshot: None,
+            entries: Vec::new(),
+        };
+        let with = SyncResponse {
+            checkpoint: None,
+            snapshot: Some(snap),
+            entries: Vec::new(),
+        };
+        assert!(with.wire_size() >= without.wire_size() + 100 * 12);
     }
 }

@@ -264,7 +264,7 @@ mod tests {
         let agg = AggregateSignature::aggregate(&sigs, 4).unwrap();
         assert!(agg.verify(&reg, b"rank", msg));
         assert_eq!(agg.max_key_idx(), 2); // k_m = 22 − 20.
-        // Leader recovers each replica's rank from its key index.
+                                          // Leader recovers each replica's rank from its key index.
         let recovered: Vec<Rank> = agg
             .signers
             .iter()

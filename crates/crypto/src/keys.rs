@@ -144,12 +144,7 @@ impl KeyRegistry {
     }
 
     /// Oracle tag recomputation for verification.
-    pub(crate) fn tag_for(
-        &self,
-        pk: PublicKey,
-        domain: &[u8],
-        msg: &[u8],
-    ) -> Option<[u8; 32]> {
+    pub(crate) fn tag_for(&self, pk: PublicKey, domain: &[u8], msg: &[u8]) -> Option<[u8; 32]> {
         let replica_keys = self.inner.keys.get(pk.replica.as_usize())?;
         let key = replica_keys.get(pk.key_idx as usize)?;
         let mut data = Vec::with_capacity(domain.len() + msg.len() + 1);

@@ -150,7 +150,13 @@ impl QuorumCert {
         if !self.agg.has_quorum(quorum) {
             return false;
         }
-        let bytes = prepare_bytes(self.view, self.round, &self.digest, self.instance, self.rank);
+        let bytes = prepare_bytes(
+            self.view,
+            self.round,
+            &self.digest,
+            self.instance,
+            self.rank,
+        );
         self.agg.verify(registry, self.domain.bytes(), &bytes)
     }
 }
@@ -221,7 +227,14 @@ mod tests {
         let shares: Vec<Signature> = signer_ids
             .iter()
             .map(|&r| {
-                QuorumCert::sign_share(&reg.signer(ReplicaId(r)), view, round, &digest, instance, rank)
+                QuorumCert::sign_share(
+                    &reg.signer(ReplicaId(r)),
+                    view,
+                    round,
+                    &digest,
+                    instance,
+                    rank,
+                )
             })
             .collect();
         QuorumCert::from_shares(&shares, reg.n(), view, round, instance, digest, rank).unwrap()

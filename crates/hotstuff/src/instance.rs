@@ -10,8 +10,8 @@
 //! [`ladon-pbft`]: ../ladon_pbft/index.html
 
 use crate::msg::{
-    node_bytes, HsGeneric, HsMsg, HsNewView, HsNode, HsQc, HsVote, DOMAIN_GENERIC,
-    DOMAIN_NEWVIEW, DOMAIN_VOTE,
+    node_bytes, HsGeneric, HsMsg, HsNewView, HsNode, HsQc, HsVote, DOMAIN_GENERIC, DOMAIN_NEWVIEW,
+    DOMAIN_VOTE,
 };
 use ladon_crypto::keys::Signer;
 use ladon_crypto::{AggregateSignature, KeyRegistry, RankCert, Sha256, Signature};
@@ -224,7 +224,14 @@ impl HsInstance {
             HsRankMode::None => Rank(height.0),
             HsRankMode::Ladon => Rank((cur.rank.0 + 1).min(self.epoch_max.0)),
         };
-        let digest = node_digest(self.cfg.instance, height, &parent_qc.node, &batch, rank, dummy);
+        let digest = node_digest(
+            self.cfg.instance,
+            height,
+            &parent_qc.node,
+            &batch,
+            rank,
+            dummy,
+        );
         let node = HsNode {
             height,
             digest,
@@ -309,7 +316,13 @@ impl HsInstance {
         }
         let q = self.cfg.quorum();
         if from != self.cfg.me {
-            let bytes = node_bytes(g.view, g.node.height, &g.node.digest, g.instance, g.node.rank);
+            let bytes = node_bytes(
+                g.view,
+                g.node.height,
+                &g.node.digest,
+                g.instance,
+                g.node.rank,
+            );
             if !g.sig.verify(&self.cfg.registry, DOMAIN_GENERIC, &bytes) {
                 self.rejected += 1;
                 return;
@@ -362,19 +375,19 @@ impl HsInstance {
         if g.justify.height > self.generic_qc.height {
             self.generic_qc = g.justify.clone();
         }
-        if self.cfg.mode == HsRankMode::Ladon && !g.justify.is_genesis() && g.justify.rank > cur.rank
+        if self.cfg.mode == HsRankMode::Ladon
+            && !g.justify.is_genesis()
+            && g.justify.rank > cur.rank
         {
             *cur = RankCert::certified(g.justify.to_rank_qc());
         }
 
         // Store the node.
         self.by_height.insert(g.node.height, g.node.digest);
-        self.nodes
-            .entry(g.node.digest)
-            .or_insert(NodeEntry {
-                node: g.node.clone(),
-                committed: false,
-            });
+        self.nodes.entry(g.node.digest).or_insert(NodeEntry {
+            node: g.node.clone(),
+            committed: false,
+        });
 
         // Commit rule: the proposal's justify certifies height h − 1; the
         // 3-chain predecessor (height h − 3) and everything below commit.
@@ -387,7 +400,13 @@ impl HsInstance {
         let vote_sig = Signature::sign(
             &self.cfg.signer,
             DOMAIN_VOTE,
-            &node_bytes(g.view, g.node.height, &g.node.digest, g.instance, g.node.rank),
+            &node_bytes(
+                g.view,
+                g.node.height,
+                &g.node.digest,
+                g.instance,
+                g.node.rank,
+            ),
         );
         let vote = HsVote {
             view: g.view,
@@ -441,7 +460,10 @@ impl HsInstance {
                 if v.node != g.justify.node || v.rank_m > g.rank_m {
                     return false;
                 }
-                if !v.sig.verify(&self.cfg.registry, DOMAIN_VOTE, &v.signing_bytes()) {
+                if !v
+                    .sig
+                    .verify(&self.cfg.registry, DOMAIN_VOTE, &v.signing_bytes())
+                {
                     return false;
                 }
                 signers.insert(v.sig.signer());
@@ -482,13 +504,7 @@ impl HsInstance {
         }
     }
 
-    fn handle_vote(
-        &mut self,
-        from: ReplicaId,
-        v: HsVote,
-        cur: &mut RankCert,
-        _out: &mut [Action],
-    ) {
+    fn handle_vote(&mut self, from: ReplicaId, v: HsVote, cur: &mut RankCert, _out: &mut [Action]) {
         if v.instance != self.cfg.instance
             || self.leader_of(self.view) != self.cfg.me
             || from != v.sig.signer()
@@ -606,16 +622,15 @@ impl HsInstance {
             self.rejected += 1;
             return;
         }
-        if from != self.cfg.me {
-            if from != nv.sig.signer()
+        if from != self.cfg.me
+            && (from != nv.sig.signer()
                 || !nv
                     .sig
                     .verify(&self.cfg.registry, DOMAIN_NEWVIEW, &nv.view.0.to_le_bytes())
-                || !nv.justify.verify(&self.cfg.registry, self.cfg.quorum())
-            {
-                self.rejected += 1;
-                return;
-            }
+                || !nv.justify.verify(&self.cfg.registry, self.cfg.quorum()))
+        {
+            self.rejected += 1;
+            return;
         }
         if nv.justify.height > self.generic_qc.height {
             self.generic_qc = nv.justify.clone();
@@ -696,7 +711,8 @@ mod tests {
                         }
                     }
                     Action::Send(to, m) => {
-                        self.queue.push_back((to.as_usize(), ReplicaId(who as u32), m))
+                        self.queue
+                            .push_back((to.as_usize(), ReplicaId(who as u32), m))
                     }
                     Action::Committed(b) => self.committed[who].push(b),
                     _ => {}
@@ -819,7 +835,12 @@ mod tests {
             if let Action::Broadcast(HsMsg::Generic(mut g)) = a {
                 g.node.rank = Rank(50); // forge the rank
                 let before = c.nodes[1].rejected;
-                c.nodes[1].on_message(ReplicaId(0), HsMsg::Generic(g), TimeNs::ZERO, &mut c.curs[1]);
+                c.nodes[1].on_message(
+                    ReplicaId(0),
+                    HsMsg::Generic(g),
+                    TimeNs::ZERO,
+                    &mut c.curs[1],
+                );
                 assert!(c.nodes[1].rejected > before);
             }
         }
@@ -836,7 +857,11 @@ mod tests {
             c.propose(0, batch(i * 10, 3));
         }
         // Leader-side curRank tracked the chain (its own QCs certify it).
-        assert!(c.curs[0].rank >= Rank(7), "leader curRank = {:?}", c.curs[0].rank);
+        assert!(
+            c.curs[0].rank >= Rank(7),
+            "leader curRank = {:?}",
+            c.curs[0].rank
+        );
         assert!(c.curs[0].cert.is_some());
         // Backups adopt certified ranks from the justify QC they verify.
         for r in 1..4 {

@@ -11,14 +11,14 @@
 //! runtime, and direct unit-test drivers.
 
 use crate::msg::{
-    NewView, PbftMsg, Phase, PhaseVote, PrePrepare, PreparedEntry, RankBody, RankProof,
-    RankReport, SignedRank, ViewChange, DOMAIN_COMMIT, DOMAIN_NEWVIEW, DOMAIN_PREPREPARE,
-    DOMAIN_RANK, DOMAIN_VIEWCHANGE,
+    NewView, PbftMsg, Phase, PhaseVote, PrePrepare, PreparedEntry, RankBody, RankProof, RankReport,
+    SignedRank, ViewChange, DOMAIN_COMMIT, DOMAIN_NEWVIEW, DOMAIN_PREPREPARE, DOMAIN_RANK,
+    DOMAIN_VIEWCHANGE,
 };
+use ladon_crypto::keys::Signer;
 use ladon_crypto::{
     digest_batch, AggregateSignature, KeyRegistry, QuorumCert, RankCert, Signature,
 };
-use ladon_crypto::keys::Signer;
 use ladon_types::{
     Batch, Block, BlockHeader, Digest, InstanceId, Rank, ReplicaId, Round, TimeNs, View,
 };
@@ -436,13 +436,8 @@ impl PbftInstance {
             self.stopped_for_epoch = true;
         }
 
-        let body = ladon_crypto::qc::prepare_bytes(
-            self.view,
-            round,
-            &digest,
-            self.cfg.instance,
-            rank,
-        );
+        let body =
+            ladon_crypto::qc::prepare_bytes(self.view, round, &digest, self.cfg.instance, rank);
         let sig = Signature::sign(&self.cfg.signer, DOMAIN_PREPREPARE, &body);
         let pp = PrePrepare {
             view: self.view,
@@ -493,8 +488,7 @@ impl PbftInstance {
                     .copied()
                     .expect("quorum is non-empty");
                 let rank = Rank((rank_m.0 + 1).min(self.epoch_max.0));
-                let rank_set: Vec<SignedRank> =
-                    chosen.iter().map(|(r, _)| r.signed).collect();
+                let rank_set: Vec<SignedRank> = chosen.iter().map(|(r, _)| r.signed).collect();
                 let max_cert = RankCert {
                     rank: rank_m,
                     cert: max_report.qc.clone(),
@@ -515,8 +509,7 @@ impl PbftInstance {
                     .next()
                     .map(|(r, _)| r.signed.body.rank)
                     .expect("quorum is non-empty");
-                let mut entries: Vec<&RankReport> =
-                    reports.values().map(|(r, _)| r).collect();
+                let mut entries: Vec<&RankReport> = reports.values().map(|(r, _)| r).collect();
                 // Sort by encoded offset k (the sub-key index).
                 entries.sort_by_key(|r| r.signed.sig.pk.key_idx);
                 let q = self.cfg.quorum();
@@ -698,7 +691,9 @@ impl PbftInstance {
                     if sr.body.view != pp.view
                         || sr.body.round != prev
                         || sr.body.instance != self.cfg.instance
-                        || !sr.sig.verify(&self.cfg.registry, DOMAIN_RANK, &sr.body.bytes())
+                        || !sr
+                            .sig
+                            .verify(&self.cfg.registry, DOMAIN_RANK, &sr.body.bytes())
                     {
                         return RankCheck::Invalid;
                     }
@@ -955,8 +950,7 @@ impl PbftInstance {
                     rank: base,
                 };
                 let k = u32::try_from(cur.rank.diff(base)).unwrap_or(u32::MAX);
-                let sig =
-                    Signature::sign_with_key(&self.cfg.signer, k, DOMAIN_RANK, &body.bytes());
+                let sig = Signature::sign_with_key(&self.cfg.signer, k, DOMAIN_RANK, &body.bytes());
                 RankReport {
                     signed: SignedRank { body, sig },
                     qc: cur.cert.clone(),
@@ -1038,12 +1032,7 @@ impl PbftInstance {
         if view != self.view || self.in_view_change {
             return out;
         }
-        if self
-            .rounds
-            .get(&round)
-            .is_some_and(|r| r.committed)
-            || round <= self.committed_upto
-        {
+        if self.rounds.get(&round).is_some_and(|r| r.committed) || round <= self.committed_upto {
             return out;
         }
         // Nothing to wait for if the leader legitimately stopped: the next
@@ -1105,7 +1094,13 @@ impl PbftInstance {
         let new_leader = self.leader_of(new_view);
         if new_leader == self.cfg.me {
             let mut sub = Vec::new();
-            self.handle_view_change(self.cfg.me, vc, TimeNs::ZERO, &mut RankCert::genesis(self.epoch_min), &mut sub);
+            self.handle_view_change(
+                self.cfg.me,
+                vc,
+                TimeNs::ZERO,
+                &mut RankCert::genesis(self.epoch_min),
+                &mut sub,
+            );
             out.append(&mut sub);
         } else {
             out.push(Action::Send(new_leader, PbftMsg::ViewChange(vc)));
@@ -1443,6 +1438,11 @@ impl PbftInstance {
             self.rejected += 1;
             return out;
         }
+        if h.round <= self.committed_upto {
+            // Already committed here — or covered by a snapshot install
+            // that fast-forwarded the frontier past it.
+            return out;
+        }
         let st = self.rounds.entry(h.round).or_default();
         if st.committed {
             return out;
@@ -1479,15 +1479,35 @@ impl PbftInstance {
             let buffered = std::mem::take(&mut self.pending_view_msgs);
             for (from, msg) in buffered {
                 match msg {
-                    PbftMsg::PrePrepare(pp) => {
-                        self.handle_preprepare(from, pp, now, cur, &mut out)
-                    }
+                    PbftMsg::PrePrepare(pp) => self.handle_preprepare(from, pp, now, cur, &mut out),
                     PbftMsg::Vote(v) => self.handle_vote(from, v, now, cur, &mut out),
                     _ => {}
                 }
             }
         }
         out
+    }
+
+    /// Fast-forwards the commit frontier to `round` after an execution
+    /// snapshot install: every round up to and including `round` is
+    /// declared covered by the snapshot. Per-round state at or below the
+    /// new frontier is dropped — those blocks can no longer be served to
+    /// other laggers from here (the snapshot is served instead) — and any
+    /// already-committed rounds contiguously past the jump re-extend the
+    /// frontier.
+    pub fn fast_forward(&mut self, round: Round) {
+        if round <= self.committed_upto {
+            return;
+        }
+        self.committed_upto = round;
+        self.rounds = self.rounds.split_off(&round.next());
+        while self
+            .rounds
+            .get(&self.committed_upto.next())
+            .is_some_and(|s| s.committed)
+        {
+            self.committed_upto = self.committed_upto.next();
+        }
     }
 
     /// Number of pre-prepares buffered because they belong to a future

@@ -20,8 +20,8 @@ pub mod testkit;
 
 pub use instance::{Action, InstanceConfig, PbftInstance, RankMode, RankStrategy, ViewPlan};
 pub use msg::{
-    NewView, PbftMsg, Phase, PhaseVote, PrePrepare, PreparedEntry, RankBody, RankProof,
-    RankReport, SignedRank, ViewChange,
+    NewView, PbftMsg, Phase, PhaseVote, PrePrepare, PreparedEntry, RankBody, RankProof, RankReport,
+    SignedRank, ViewChange,
 };
 
 #[cfg(test)]

@@ -5,9 +5,7 @@
 //! never be replayed across message kinds, views, rounds or instances.
 
 use ladon_crypto::{AggregateSignature, QuorumCert, RankCert, Signature};
-use ladon_types::{
-    sizes, Batch, Digest, InstanceId, Rank, Round, TimeNs, View, WireSize,
-};
+use ladon_types::{sizes, Batch, Digest, InstanceId, Rank, Round, TimeNs, View, WireSize};
 use serde::{Deserialize, Serialize};
 
 /// Signing domain for pre-prepare messages.
@@ -160,7 +158,13 @@ pub struct PrePrepare {
 impl PrePrepare {
     /// The bytes the leader signs.
     pub fn signing_bytes(&self) -> [u8; 60] {
-        phase_bytes(self.view, self.round, &self.digest, self.instance, self.rank)
+        phase_bytes(
+            self.view,
+            self.round,
+            &self.digest,
+            self.instance,
+            self.rank,
+        )
     }
 }
 
@@ -217,7 +221,13 @@ pub struct PhaseVote {
 impl PhaseVote {
     /// The bytes this vote signs.
     pub fn signing_bytes(&self) -> [u8; 60] {
-        phase_bytes(self.view, self.round, &self.digest, self.instance, self.rank)
+        phase_bytes(
+            self.view,
+            self.round,
+            &self.digest,
+            self.instance,
+            self.rank,
+        )
     }
 }
 
@@ -331,9 +341,7 @@ impl NewView {
 
 impl WireSize for NewView {
     fn wire_size(&self) -> u64 {
-        sizes::MSG_HEADER
-            + self.vcs.iter().map(WireSize::wire_size).sum::<u64>()
-            + sizes::SIGNATURE
+        sizes::MSG_HEADER + self.vcs.iter().map(WireSize::wire_size).sum::<u64>() + sizes::SIGNATURE
     }
 }
 
@@ -423,8 +431,7 @@ mod tests {
     #[test]
     fn plain_rank_proof_linear_opt_constant() {
         let reg = ladon_crypto::KeyRegistry::generate(32, 4, 1);
-        let mk_sig =
-            |r: u32| Signature::sign(&reg.signer(ladon_types::ReplicaId(r)), b"d", b"m");
+        let mk_sig = |r: u32| Signature::sign(&reg.signer(ladon_types::ReplicaId(r)), b"d", b"m");
         let body = RankBody {
             view: View(0),
             round: Round(1),
@@ -443,10 +450,7 @@ mod tests {
         };
         let sigs: Vec<Signature> = (0..22).map(mk_sig).collect();
         let agg = AggregateSignature::aggregate(&sigs, 32).unwrap();
-        let opt = RankProof::Opt {
-            agg,
-            base: Rank(0),
-        };
+        let opt = RankProof::Opt { agg, base: Rank(0) };
         // The §5.3 point: the aggregate proof is far smaller.
         assert!(opt.wire_size() * 10 < plain.wire_size());
         assert_eq!(RankProof::None.wire_size(), 0);

@@ -150,8 +150,7 @@ impl Cluster {
             if self.crashed[who] {
                 continue;
             }
-            let actions =
-                self.nodes[who].on_message(from, msg, self.now, &mut self.cur_ranks[who]);
+            let actions = self.nodes[who].on_message(from, msg, self.now, &mut self.cur_ranks[who]);
             self.absorb(who, actions);
         }
     }

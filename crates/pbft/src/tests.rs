@@ -129,8 +129,12 @@ fn preprepare_with_wrong_digest_is_rejected() {
         if let crate::instance::Action::Broadcast(PbftMsg::PrePrepare(mut pp)) = a {
             pp.batch.count += 1; // digest no longer matches
             let before = c.nodes[1].rejected;
-            let acts =
-                c.nodes[1].on_message(ladon_types::ReplicaId(0), PbftMsg::PrePrepare(pp), c.now, &mut c.cur_ranks[1]);
+            let acts = c.nodes[1].on_message(
+                ladon_types::ReplicaId(0),
+                PbftMsg::PrePrepare(pp),
+                c.now,
+                &mut c.cur_ranks[1],
+            );
             assert!(acts.is_empty());
             assert_eq!(c.nodes[1].rejected, before + 1);
         }
@@ -149,15 +153,17 @@ fn forged_rank_proof_is_rejected() {
         if let crate::instance::Action::Broadcast(PbftMsg::PrePrepare(mut pp)) = a {
             // Claim rank 100 with a certificate-free "genesis" cert.
             pp.rank = Rank(100);
-            pp.rank_proof = RankProof::FirstRound(Box::new(
-                ladon_crypto::RankCert {
-                    rank: Rank(99),
-                    cert: None,
-                },
-            ));
+            pp.rank_proof = RankProof::FirstRound(Box::new(ladon_crypto::RankCert {
+                rank: Rank(99),
+                cert: None,
+            }));
             let before = c.nodes[1].rejected;
-            let acts =
-                c.nodes[1].on_message(ladon_types::ReplicaId(0), PbftMsg::PrePrepare(pp), c.now, &mut c.cur_ranks[1]);
+            let acts = c.nodes[1].on_message(
+                ladon_types::ReplicaId(0),
+                PbftMsg::PrePrepare(pp),
+                c.now,
+                &mut c.cur_ranks[1],
+            );
             assert!(acts.is_empty());
             assert!(c.nodes[1].rejected > before);
         }
@@ -219,7 +225,11 @@ fn view_change_repropose_preserves_prepared_block() {
     c.crashed[0] = true;
     c.fire_round_timers(Round(1), View(0));
     let blocks = c.assert_agreement();
-    assert_eq!(blocks.len(), 1, "prepared block must survive the view change");
+    assert_eq!(
+        blocks.len(),
+        1,
+        "prepared block must survive the view change"
+    );
     assert_eq!(blocks[0].batch.count, 9);
     assert_eq!(blocks[0].round(), Round(1));
 }
@@ -388,23 +398,13 @@ mod view_plan {
             Rank(0),
         );
         assert_eq!(plan.resume_from, Round(6));
-        assert_eq!(
-            plan.nils,
-            vec![(Round(3), Rank(5)), (Round(4), Rank(5))]
-        );
+        assert_eq!(plan.nils, vec![(Round(3), Rank(5)), (Round(4), Rank(5))]);
     }
 
     #[test]
     fn vanilla_nils_keep_rank_equals_round() {
-        let plan = ViewPlan::from_vcs(
-            &[vc(1, vec![entry(4, 4, 0)])],
-            RankMode::None,
-            Rank(0),
-        );
-        assert_eq!(
-            plan.nils,
-            vec![(Round(2), Rank(2)), (Round(3), Rank(3))]
-        );
+        let plan = ViewPlan::from_vcs(&[vc(1, vec![entry(4, 4, 0)])], RankMode::None, Rank(0));
+        assert_eq!(plan.nils, vec![(Round(2), Rank(2)), (Round(3), Rank(3))]);
     }
 
     #[test]
@@ -485,8 +485,7 @@ fn new_leader_fresh_proposal_accepted_after_view_change() {
     let actions = c.nodes[0].propose(test_batch(100, 5), c.now, &mut c.cur_ranks[0]);
     c.absorb(0, actions);
     while let Some((to, from, msg)) = c.queue.pop_front() {
-        let deliver =
-            matches!(&msg, PbftMsg::PrePrepare(_)) && to == ladon_types::ReplicaId(1);
+        let deliver = matches!(&msg, PbftMsg::PrePrepare(_)) && to == ladon_types::ReplicaId(1);
         if deliver {
             let actions = c.nodes[1].on_message(from, msg, c.now, &mut c.cur_ranks[1]);
             // Swallow replica 1's prepare broadcast.
@@ -586,7 +585,12 @@ fn install_committed_is_idempotent() {
     let mut cur = ladon_crypto::RankCert::genesis(Rank(0));
     assert_eq!(
         fresh
-            .install_committed(block.clone(), qc.clone(), ladon_types::TimeNs::ZERO, &mut cur)
+            .install_committed(
+                block.clone(),
+                qc.clone(),
+                ladon_types::TimeNs::ZERO,
+                &mut cur
+            )
             .len(),
         1
     );

@@ -289,6 +289,25 @@ impl<M: WireSize + Clone> Engine<M> {
         self.core.crashed[actor] = crashed;
     }
 
+    /// Replaces a (typically crashed) actor with a fresh instance and
+    /// clears its crashed flag — a process restart. If the run has already
+    /// started, the new actor's `on_start` executes at the current
+    /// simulated time so it can arm its timers. Stale timers scheduled by
+    /// the previous incarnation may still fire into the new one; actors
+    /// built for restart must treat unknown timer ids as benign (the
+    /// Multi-BFT node does).
+    pub fn restart_actor(&mut self, id: ActorId, actor: Box<dyn Actor<M>>) {
+        self.actors[id] = actor;
+        self.core.crashed[id] = false;
+        if self.started {
+            let mut ctx = SimCtx {
+                core: &mut self.core,
+                self_id: id,
+            };
+            self.actors[id].on_start(&mut ctx);
+        }
+    }
+
     /// Whether an actor is crashed.
     pub fn is_crashed(&self, actor: ActorId) -> bool {
         self.core.crashed[actor]
@@ -431,7 +450,7 @@ mod tests {
         // 0 fires timer(5) -> sends 5 to 1; 1 replies 4; ... until 0.
         assert_eq!(b.log.iter().filter(|(_, f, _)| *f == 0).count(), 3); // 5,3,1
         assert_eq!(a.log.iter().filter(|(_, f, _)| *f == 1).count(), 3); // 4,2,0
-        // Timestamps non-decreasing in each log.
+                                                                         // Timestamps non-decreasing in each log.
         for w in a.log.windows(2) {
             assert!(w[0].0 <= w[1].0);
         }

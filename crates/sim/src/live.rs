@@ -1,20 +1,19 @@
 //! Live (threaded, wall-clock) runtime.
 //!
 //! Drives the same [`Actor`] state machines as the discrete-event engine,
-//! but over real threads and crossbeam channels, with message latencies
-//! imposed by the same [`Network`] models. One thread per actor processes
-//! deliveries; a clock thread holds a delay queue and releases messages
-//! when they fall due. Used by the `live_cluster` example to demonstrate
-//! that the protocol crates are runtime-agnostic.
+//! but over real threads and `std::sync::mpsc` channels, with message
+//! latencies imposed by the same [`Network`] models. One thread per actor
+//! processes deliveries; a clock thread holds a delay queue and releases
+//! messages when they fall due. Used by the `live_cluster` example to
+//! demonstrate that the protocol crates are runtime-agnostic.
 
 use crate::engine::{Actor, ActorId, Context};
 use crate::net::Network;
 use crate::rng::SimRng;
 use crate::trace::NetStats;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ladon_types::{TimeNs, WireSize};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -61,9 +60,13 @@ impl<M: WireSize + Clone> Context<M> for LiveCtx<M> {
 
     fn send_sized(&mut self, to: ActorId, msg: M, bytes: u64) {
         let now = self.shared.now();
-        self.shared.stats.lock().on_send(self.self_id, bytes);
+        self.shared
+            .stats
+            .lock()
+            .unwrap()
+            .on_send(self.self_id, bytes);
         let due = {
-            let mut net = self.shared.net.lock();
+            let mut net = self.shared.net.lock().unwrap();
             net.delivery_time(now, self.self_id, to, bytes, &mut self.rng)
         };
         match due {
@@ -78,7 +81,7 @@ impl<M: WireSize + Clone> Context<M> for LiveCtx<M> {
                     },
                 });
             }
-            None => self.shared.stats.lock().dropped += 1,
+            None => self.shared.stats.lock().unwrap().dropped += 1,
         }
     }
 
@@ -92,7 +95,7 @@ impl<M: WireSize + Clone> Context<M> for LiveCtx<M> {
     }
 
     fn crash(&mut self, actor: ActorId) {
-        let mut crashed = self.shared.crashed.lock();
+        let mut crashed = self.shared.crashed.lock().unwrap();
         if actor < crashed.len() {
             crashed[actor] = true;
         }
@@ -106,7 +109,7 @@ impl<M: WireSize + Clone> Context<M> for LiveCtx<M> {
 /// A running live cluster.
 pub struct LiveRuntime<M> {
     actor_handles: Vec<JoinHandle<Box<dyn Actor<M> + Send>>>,
-    actor_txs: Vec<Sender<LiveEvent<M>>>,
+    actor_txs: Vec<SyncSender<LiveEvent<M>>>,
     clock_tx: Sender<Scheduled<M>>,
     clock_handle: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
@@ -128,11 +131,11 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
             crashed: Mutex::new(vec![false; n]),
         });
 
-        let (clock_tx, clock_rx) = unbounded::<Scheduled<M>>();
+        let (clock_tx, clock_rx) = channel::<Scheduled<M>>();
         let mut actor_txs = Vec::with_capacity(n);
         let mut actor_rxs: Vec<Receiver<LiveEvent<M>>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<LiveEvent<M>>(100_000);
+            let (tx, rx) = sync_channel::<LiveEvent<M>>(100_000);
             actor_txs.push(tx);
             actor_rxs.push(rx);
         }
@@ -161,7 +164,7 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
                 };
                 actor.on_start(&mut ctx);
                 while let Ok(ev) = rx.recv() {
-                    if shared.crashed.lock()[id] {
+                    if shared.crashed.lock().unwrap()[id] {
                         // Crashed actors drain and ignore everything but
                         // shutdown (so the runtime can still join them).
                         if matches!(ev, LiveEvent::Shutdown) {
@@ -171,7 +174,7 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
                     }
                     match ev {
                         LiveEvent::Deliver { from, msg, bytes } => {
-                            shared.stats.lock().on_recv(id, bytes);
+                            shared.stats.lock().unwrap().on_recv(id, bytes);
                             actor.on_message(from, msg, &mut ctx);
                         }
                         LiveEvent::Timer { id: t } => actor.on_timer(t, &mut ctx),
@@ -198,12 +201,12 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
 
     /// Snapshot of network statistics.
     pub fn stats(&self) -> NetStats {
-        self.shared.stats.lock().clone()
+        self.shared.stats.lock().unwrap().clone()
     }
 
     /// Crashes an actor (it ignores all further events).
     pub fn crash(&self, actor: ActorId) {
-        let mut crashed = self.shared.crashed.lock();
+        let mut crashed = self.shared.crashed.lock().unwrap();
         if actor < crashed.len() {
             crashed[actor] = true;
         }
@@ -233,7 +236,7 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
 
 fn clock_loop<M>(
     rx: Receiver<Scheduled<M>>,
-    actor_txs: Vec<Sender<LiveEvent<M>>>,
+    actor_txs: Vec<SyncSender<LiveEvent<M>>>,
     shared: Arc<Shared>,
 ) {
     use std::cmp::Reverse;
@@ -273,8 +276,8 @@ fn clock_loop<M>(
                 heap.push(Reverse((s_ev.due, seq, s_ev.to)));
                 payloads.insert(seq, (s_ev.to, s_ev.event));
             }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => open = false,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => open = false,
         }
     }
 }

@@ -170,8 +170,12 @@ mod tests {
         let mut n = net(3);
         let mut rng = SimRng::new(1);
         // Two 2 MB messages from the same sender: second waits for the NIC.
-        let t1 = n.delivery_time(TimeNs::ZERO, 0, 1, 2_000_000, &mut rng).unwrap();
-        let t2 = n.delivery_time(TimeNs::ZERO, 0, 2, 2_000_000, &mut rng).unwrap();
+        let t1 = n
+            .delivery_time(TimeNs::ZERO, 0, 1, 2_000_000, &mut rng)
+            .unwrap();
+        let t2 = n
+            .delivery_time(TimeNs::ZERO, 0, 2, 2_000_000, &mut rng)
+            .unwrap();
         // 2 MB at 1 Gbps = 16 ms tx each; t2's transmit starts after t1's.
         assert!(t2 > t1);
         assert!(t2.saturating_sub(TimeNs::ZERO) >= TimeNs::from_secs_f64(0.032));
@@ -184,7 +188,10 @@ mod tests {
         // Seven senders each push 2 MB to actor 0 at t=0; deliveries
         // serialize on actor 0's inbound NIC (~16 ms apart).
         let mut times: Vec<TimeNs> = (1..8)
-            .map(|s| n.delivery_time(TimeNs::ZERO, s, 0, 2_000_000, &mut rng).unwrap())
+            .map(|s| {
+                n.delivery_time(TimeNs::ZERO, s, 0, 2_000_000, &mut rng)
+                    .unwrap()
+            })
             .collect();
         times.sort_unstable();
         let span = times[6].saturating_sub(times[0]);

@@ -112,9 +112,7 @@ impl Topology {
     pub fn base_latency(&self, from: usize, to: usize) -> TimeNs {
         let ms = match self.env {
             NetEnv::Lan => LAN_ONE_WAY_MS,
-            NetEnv::Wan => {
-                WAN_ONE_WAY_MS[self.regions[from].idx()][self.regions[to].idx()]
-            }
+            NetEnv::Wan => WAN_ONE_WAY_MS[self.regions[from].idx()][self.regions[to].idx()],
         };
         TimeNs::from_secs_f64(ms / 1e3)
     }

@@ -133,5 +133,8 @@ fn wan_regions_shape_latency() {
     let cross = net2
         .delivery_time(TimeNs::ZERO, 0, 2, 100, &mut rng)
         .unwrap();
-    assert!(cross.0 > same.0 * 20, "cross-region must dominate: {same:?} vs {cross:?}");
+    assert!(
+        cross.0 > same.0 * 20,
+        "cross-region must dominate: {same:?} vs {cross:?}"
+    );
 }

@@ -1,0 +1,237 @@
+//! The deterministic key-value state machine.
+//!
+//! State is a map `account (u32) → balance/value (u64)`. Ops are the tiny
+//! payloads carried (by derivation) in every transaction
+//! ([`ladon_types::TxOp`]): `Put` overwrites, `Get` reads, `Transfer`
+//! moves a clamped amount between accounts. All three are deterministic,
+//! so any two replicas applying the same confirmed sequence hold
+//! bit-identical state.
+//!
+//! The **state root** is a SHA-256 over the canonical contents: entries in
+//! ascending key order, zero-valued entries removed. It is a pure function
+//! of the map — installing a snapshot with the same entries reproduces the
+//! same root regardless of the history that created it.
+
+use ladon_crypto::Sha256;
+use ladon_types::{Digest, TxOp};
+use std::collections::BTreeMap;
+
+/// Default number of accounts the synthetic workload spreads ops over.
+///
+/// Small enough that per-epoch root computation and snapshot encoding stay
+/// cheap (a full snapshot is ≤ 48 KiB), large enough for contention to be
+/// rare.
+pub const DEFAULT_KEYSPACE: u32 = 4096;
+
+/// Counters of applied operations (per block or cumulative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecEffects {
+    /// `Put` ops applied.
+    pub puts: u64,
+    /// `Get` ops served.
+    pub gets: u64,
+    /// `Transfer` ops that moved a nonzero amount.
+    pub transfers: u64,
+    /// `Transfer` ops that were no-ops (empty source account).
+    pub empty_transfers: u64,
+}
+
+impl ExecEffects {
+    /// Total operations applied.
+    pub fn total(&self) -> u64 {
+        self.puts + self.gets + self.transfers + self.empty_transfers
+    }
+
+    /// Accumulates another effect set.
+    pub fn absorb(&mut self, other: ExecEffects) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.transfers += other.transfers;
+        self.empty_transfers += other.empty_transfers;
+    }
+}
+
+/// The replicated key-value state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvState {
+    /// Canonical contents: no zero-valued entries are ever stored.
+    entries: BTreeMap<u32, u64>,
+}
+
+impl KvState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds state from canonical `(key, value)` entries (snapshot
+    /// install). Zero values are dropped to restore canonical form.
+    pub fn from_entries(entries: impl IntoIterator<Item = (u32, u64)>) -> Self {
+        Self {
+            entries: entries.into_iter().filter(|&(_, v)| v != 0).collect(),
+        }
+    }
+
+    /// Number of live (nonzero) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads `key` (0 when absent).
+    pub fn get(&self, key: u32) -> u64 {
+        self.entries.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Canonical `(key, value)` entries in ascending key order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    fn set(&mut self, key: u32, value: u64) {
+        if value == 0 {
+            self.entries.remove(&key);
+        } else {
+            self.entries.insert(key, value);
+        }
+    }
+
+    /// Applies one operation, returning what it did.
+    pub fn apply(&mut self, op: &TxOp) -> ExecEffects {
+        let mut fx = ExecEffects::default();
+        match *op {
+            TxOp::Put { key, value } => {
+                self.set(key, value);
+                fx.puts = 1;
+            }
+            TxOp::Get { key } => {
+                let _ = self.get(key);
+                fx.gets = 1;
+            }
+            TxOp::Transfer { from, to, amount } => {
+                let have = self.get(from);
+                let moved = have.min(amount);
+                if moved == 0 || from == to {
+                    fx.empty_transfers = 1;
+                } else {
+                    self.set(from, have - moved);
+                    let dest = self.get(to);
+                    self.set(to, dest.saturating_add(moved));
+                    fx.transfers = 1;
+                }
+            }
+        }
+        fx
+    }
+
+    /// The content-addressed state root: SHA-256 over the canonical
+    /// entries in key order.
+    pub fn root(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ladon/state-root/v1");
+        h.update(&(self.entries.len() as u64).to_le_bytes());
+        for (&k, &v) in &self.entries {
+            h.update(&k.to_le_bytes());
+            h.update(&v.to_le_bytes());
+        }
+        Digest(h.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladon_types::TxId;
+
+    #[test]
+    fn root_is_content_addressed() {
+        let mut a = KvState::new();
+        a.apply(&TxOp::Put { key: 1, value: 10 });
+        a.apply(&TxOp::Put { key: 2, value: 20 });
+        // Same content via a different history.
+        let mut b = KvState::new();
+        b.apply(&TxOp::Put { key: 2, value: 99 });
+        b.apply(&TxOp::Put { key: 2, value: 20 });
+        b.apply(&TxOp::Put { key: 1, value: 10 });
+        assert_eq!(a.root(), b.root());
+        // And via snapshot entries.
+        let c = KvState::from_entries(a.entries());
+        assert_eq!(c.root(), a.root());
+        assert_ne!(KvState::new().root(), a.root());
+    }
+
+    #[test]
+    fn zero_values_are_canonicalized_away() {
+        let mut a = KvState::new();
+        a.apply(&TxOp::Put { key: 7, value: 5 });
+        a.apply(&TxOp::Put { key: 7, value: 0 });
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.root(), KvState::new().root());
+        let b = KvState::from_entries([(1, 0), (2, 3)]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn transfer_clamps_to_balance() {
+        let mut s = KvState::new();
+        s.apply(&TxOp::Put { key: 1, value: 10 });
+        let fx = s.apply(&TxOp::Transfer {
+            from: 1,
+            to: 2,
+            amount: 25,
+        });
+        assert_eq!(fx.transfers, 1);
+        assert_eq!(s.get(1), 0);
+        assert_eq!(s.get(2), 10);
+        // Empty source: no-op.
+        let fx = s.apply(&TxOp::Transfer {
+            from: 1,
+            to: 2,
+            amount: 1,
+        });
+        assert_eq!(fx.empty_transfers, 1);
+        assert_eq!(s.get(2), 10);
+    }
+
+    #[test]
+    fn self_transfer_is_a_noop() {
+        let mut s = KvState::new();
+        s.apply(&TxOp::Put { key: 3, value: 8 });
+        let before = s.root();
+        let fx = s.apply(&TxOp::Transfer {
+            from: 3,
+            to: 3,
+            amount: 5,
+        });
+        assert_eq!(fx.empty_transfers, 1);
+        assert_eq!(s.root(), before);
+    }
+
+    #[test]
+    fn derived_ops_are_deterministic_and_mixed() {
+        let mut kinds = [0u32; 3];
+        for i in 0..1000u64 {
+            let op = TxOp::for_id(TxId(i), DEFAULT_KEYSPACE);
+            assert_eq!(op, TxOp::for_id(TxId(i), DEFAULT_KEYSPACE));
+            match op {
+                TxOp::Put { key, .. } => {
+                    assert!(key < DEFAULT_KEYSPACE);
+                    kinds[0] += 1;
+                }
+                TxOp::Transfer { from, to, .. } => {
+                    assert!(from < DEFAULT_KEYSPACE && to < DEFAULT_KEYSPACE);
+                    kinds[1] += 1;
+                }
+                TxOp::Get { key } => {
+                    assert!(key < DEFAULT_KEYSPACE);
+                    kinds[2] += 1;
+                }
+            }
+        }
+        assert!(kinds.iter().all(|&k| k > 100), "skewed op mix: {kinds:?}");
+    }
+}

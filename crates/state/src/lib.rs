@@ -1,0 +1,35 @@
+//! Execution and durable state for the Ladon Multi-BFT stack.
+//!
+//! The consensus layers (`ladon-pbft` / `ladon-hotstuff` / `ladon-core`)
+//! produce a globally confirmed stream of blocks; this crate is what makes
+//! that stream *mean* something. It follows the sans-IO replica
+//! execution-loop shape (confirmed blocks in, durable effects out):
+//!
+//! - [`kv`]: a deterministic key-value state machine ([`KvState`]) applying
+//!   transaction ops (put / get / transfer) in confirmed global order, with
+//!   a content-addressed SHA-256 state root over its canonical contents.
+//! - [`wal`]: a commit write-ahead log ([`CommitWal`]) of confirmed block
+//!   identities, checksummed and length-prefixed, over pluggable storage
+//!   ([`MemBackend`] for simulation, [`FileBackend`] for real durability).
+//! - [`snapshot`]: epoch-aligned state snapshots ([`Snapshot`]) keyed by
+//!   their state root, with a [`SnapshotStore`] that can persist them
+//!   content-addressed on disk.
+//! - [`pipeline`]: the [`ExecutionPipeline`] gluing the three together:
+//!   WAL-append → apply → per-epoch checkpoint (snapshot + WAL compaction),
+//!   plus snapshot install and crash recovery (snapshot + WAL replay).
+//!
+//! Determinism contract: executing the same confirmed block sequence from
+//! the same starting state always yields the same state root, so honest
+//! replicas' roots agree at every stable checkpoint, and a restarted
+//! replica that recovers from `snapshot + WAL tail` rejoins with exactly
+//! the state it crashed with.
+
+pub mod kv;
+pub mod pipeline;
+pub mod snapshot;
+pub mod wal;
+
+pub use kv::{ExecEffects, KvState, DEFAULT_KEYSPACE};
+pub use pipeline::{ExecOutcome, ExecutionPipeline};
+pub use snapshot::{Snapshot, SnapshotStore};
+pub use wal::{CommitWal, FileBackend, MemBackend, WalBackend, WalRecord};

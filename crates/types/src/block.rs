@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-byte content digest (SHA-256 output; computed by `ladon-crypto`).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {
@@ -45,9 +43,7 @@ impl fmt::Debug for Digest {
 /// which deliberately reuse the rank of the preceding certified block in
 /// their instance (a fresh rank would break Lemma 2); the round keeps their
 /// keys unique and their relative order deterministic on every replica.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct OrderKey {
     /// Monotonic rank assigned at proposal time.
     pub rank: Rank,
@@ -215,7 +211,10 @@ mod tests {
             proposed_at: TimeNs::ZERO,
         };
         assert!(b.is_nil());
-        assert_eq!(b.key(), OrderKey::of_block(Rank(0), InstanceId(0), Round(1)));
+        assert_eq!(
+            b.key(),
+            OrderKey::of_block(Rank(0), InstanceId(0), Round(1))
+        );
     }
 
     #[test]

@@ -200,7 +200,7 @@ impl SystemConfig {
         if self.epoch_length == 0 {
             return Err(LadonError::Config("epoch_length must be > 0".into()));
         }
-        if !(self.total_block_rate > 0.0) {
+        if self.total_block_rate <= 0.0 || self.total_block_rate.is_nan() {
             return Err(LadonError::Config(format!(
                 "total_block_rate = {} must be positive",
                 self.total_block_rate

@@ -139,9 +139,7 @@ id_u64! {
 /// Ranks are assigned to blocks at proposal time and drive the dynamic
 /// global ordering: blocks are globally ordered by increasing rank with
 /// instance index as the tie-breaker (see [`crate::OrderKey`]).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Rank(pub u64);
 
 impl Rank {

@@ -22,5 +22,5 @@ pub use config::{NetEnv, ProtocolKind, SystemConfig};
 pub use error::LadonError;
 pub use ids::{ClientId, Epoch, InstanceId, Rank, ReplicaId, Round, View};
 pub use time::{TimeNs, NS_PER_MS, NS_PER_SEC, NS_PER_US};
-pub use tx::{Batch, TxId};
+pub use tx::{splitmix64, Batch, Tx, TxId, TxOp};
 pub use wire::{agg_sig_bytes, rank_set_bytes, sizes, WireSize};

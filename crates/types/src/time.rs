@@ -20,9 +20,7 @@ pub const NS_PER_SEC: u64 = 1_000_000_000;
 ///
 /// Also used for durations: `TimeNs` is closed under addition and
 /// (saturating) subtraction, and the zero value is the run origin.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct TimeNs(pub u64);
 
 impl TimeNs {
@@ -89,6 +87,7 @@ impl TimeNs {
     /// Multiplies a duration by an integer factor.
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: u64) -> Self {
         Self(self.0 * k)
     }

@@ -20,6 +20,83 @@ use serde::{Deserialize, Serialize};
 )]
 pub struct TxId(pub u64);
 
+/// The operation a transaction applies to the replicated KV state machine.
+///
+/// The simulation does not materialize 500-byte payloads (see the module
+/// docs), so the operation is a *pure function of the transaction id*:
+/// every replica derives the same op for the same `TxId` via
+/// [`TxOp::for_id`], which stands in for decoding the payload the client
+/// fleet conceptually wrote. This keeps batches as compact counts while
+/// making execution fully deterministic across replicas — the property the
+/// state-root checkpoints attest to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TxOp {
+    /// Write `value` at `key`.
+    Put {
+        /// Target account/key.
+        key: u32,
+        /// Value to store.
+        value: u64,
+    },
+    /// Read `key` (no state change; counted for read-path metrics).
+    Get {
+        /// Account/key read.
+        key: u32,
+    },
+    /// Move up to `amount` from `from` to `to` (clamped to the balance).
+    Transfer {
+        /// Debited account.
+        from: u32,
+        /// Credited account.
+        to: u32,
+        /// Requested amount.
+        amount: u64,
+    },
+}
+
+/// SplitMix64 step: advances `state` by the golden-gamma increment and
+/// returns the mixed output. The single workspace-wide implementation —
+/// `ladon-sim` seeds its xoshiro generator with it, and [`TxOp::for_id`]
+/// expands transaction ids into deterministic operations with it.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TxOp {
+    /// Derives the deterministic operation of transaction `id` over a key
+    /// space of `keyspace` accounts. Mix: 50% put, 30% transfer, 20% get.
+    pub fn for_id(id: TxId, keyspace: u32) -> Self {
+        debug_assert!(keyspace > 0);
+        let mut state = id.0 ^ 0x1ad0_0000_0000_0001;
+        let a = splitmix64(&mut state);
+        let b = splitmix64(&mut state);
+        let key = (a % keyspace as u64) as u32;
+        match b % 10 {
+            0..=4 => TxOp::Put { key, value: b >> 8 },
+            5..=7 => TxOp::Transfer {
+                from: key,
+                to: ((b >> 32) % keyspace as u64) as u32,
+                amount: (b & 0xffff) + 1,
+            },
+            _ => TxOp::Get { key },
+        }
+    }
+}
+
+/// A materialized transaction: id plus its derived state-machine op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Tx {
+    /// Globally unique id, in submission order.
+    pub id: TxId,
+    /// The operation the execution layer applies.
+    pub op: TxOp,
+}
+
 /// A batch of client transactions, as cut by a leader (paper: `txs`).
 ///
 /// `arrival_sum_ns` accumulates each member transaction's client submission
@@ -87,6 +164,15 @@ impl Batch {
     /// Iterator over the member transaction ids.
     pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
         (0..self.count as u64).map(move |k| TxId(self.first_tx.0 + k))
+    }
+
+    /// Iterator over the member transactions with their derived ops (see
+    /// [`TxOp::for_id`]), over a `keyspace`-account state machine.
+    pub fn txs(&self, keyspace: u32) -> impl Iterator<Item = Tx> + '_ {
+        self.tx_ids().map(move |id| Tx {
+            id,
+            op: TxOp::for_id(id, keyspace),
+        })
     }
 }
 

@@ -114,6 +114,9 @@ mod tests {
         let q1 = rank_set_bytes(11, 16);
         let q2 = rank_set_bytes(22, 16);
         assert!(q2 > q1);
-        assert_eq!(q2 - q1, 11 * (sizes::MSG_HEADER + sizes::SIGNATURE + sizes::IDENTITY));
+        assert_eq!(
+            q2 - q1,
+            11 * (sizes::MSG_HEADER + sizes::SIGNATURE + sizes::IDENTITY)
+        );
     }
 }

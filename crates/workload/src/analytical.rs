@@ -52,7 +52,11 @@ pub fn straggler_series(m: usize, k: f64, rounds: u64) -> Vec<StragglerPoint> {
                 partially_committed: committed,
                 globally_confirmed: confirmed,
                 waiting_blocks: waiting,
-                waiting_time_rounds: if rc > 0.0 { waiting / rc } else { f64::INFINITY },
+                waiting_time_rounds: if rc > 0.0 {
+                    waiting / rc
+                } else {
+                    f64::INFINITY
+                },
             }
         })
         .collect()

@@ -54,7 +54,7 @@ fn main() {
     let step = TimeNs::from_secs_f64(secs / 10.0);
     let mut t = TimeNs::ZERO;
     for _ in 0..10 {
-        t = t + step;
+        t += step;
         engine.run_until(t);
         let node = engine.actor_as::<MultiBftNode>(0).unwrap();
         println!(
@@ -79,7 +79,11 @@ fn main() {
             node.metrics.confirms.len(),
             node.metrics.confirmed_txs,
             node.metrics.view_changes.len(),
-            node.metrics.epochs.iter().map(|&(t, e)| (t.as_secs_f64(), e)).collect::<Vec<_>>(),
+            node.metrics
+                .epochs
+                .iter()
+                .map(|&(t, e)| (t.as_secs_f64(), e))
+                .collect::<Vec<_>>(),
         );
     }
 }

@@ -38,13 +38,7 @@ pub struct ClientFleet {
 impl ClientFleet {
     /// Builds a fleet offering `tx_rate` transactions/s across
     /// `num_buckets` buckets until `stop_at`.
-    pub fn new(
-        n: usize,
-        num_buckets: usize,
-        tx_rate: f64,
-        tx_bytes: u64,
-        stop_at: TimeNs,
-    ) -> Self {
+    pub fn new(n: usize, num_buckets: usize, tx_rate: f64, tx_bytes: u64, stop_at: TimeNs) -> Self {
         Self {
             n,
             num_buckets,
@@ -79,7 +73,7 @@ impl Actor<NodeMsg> for ClientFleet {
         // Transactions that arrived this tick.
         let exact = self.tx_rate * self.tick.as_secs_f64() + self.carry;
         let count = exact.floor() as u64;
-        self.carry = exact - count as u64 as f64;
+        self.carry = exact - count as f64;
         if count == 0 {
             return;
         }
@@ -165,9 +159,7 @@ mod tests {
             TimeNs::from_secs(2),
         )));
         eng.run_until(TimeNs::from_secs(3));
-        let total: u64 = (0..n)
-            .map(|i| eng.actor_as::<Sink>(i).unwrap().txs)
-            .sum();
+        let total: u64 = (0..n).map(|i| eng.actor_as::<Sink>(i).unwrap().txs).sum();
         // ~10k tps for 2 s, minus the first partial tick.
         assert!(
             (18_000..=20_100).contains(&total),

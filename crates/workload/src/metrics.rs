@@ -8,8 +8,8 @@
 //! replica, so aggregation happens here, after the run.
 
 use ladon_core::{ConfirmRecord, NodeMetrics};
-use ladon_types::TimeNs;
-use std::collections::HashMap;
+use ladon_types::{Digest, TimeNs};
+use std::collections::{BTreeMap, HashMap};
 
 /// Timestamp comparison tolerance for the causal-strength metric.
 ///
@@ -64,6 +64,24 @@ pub struct Report {
     pub waiting_blocks: usize,
     /// Mean number of transactions per non-nil confirmed block.
     pub mean_batch_fill: f64,
+    /// Transactions executed by the reference replica's state machine.
+    pub executed_txs: u64,
+    /// Executed-transaction throughput at the reference replica, over the
+    /// whole run (ktps).
+    pub executed_ktps: f64,
+    /// Epoch checkpoints at which at least two replicas reported a state
+    /// root (the comparable population).
+    pub state_checkpoints: u64,
+    /// Fraction of those checkpoints where *every* reporting replica's
+    /// root was identical (1.0 = perfect cross-replica state agreement).
+    pub state_root_agreement: f64,
+    /// Total root conflicts observed by any replica's pacemaker (a quorum
+    /// signing a root that contradicts local execution; always 0 for
+    /// honest deterministic replicas).
+    pub root_conflicts: u64,
+    /// Peer snapshots installed across all replicas (execution
+    /// fast-forward during state transfer).
+    pub snapshot_installs: u64,
 }
 
 /// Inputs to aggregation.
@@ -84,7 +102,7 @@ pub struct RunData {
 }
 
 /// The `(f+1)`-th smallest time in `times`, if that many exist.
-fn f1_time(times: &mut Vec<TimeNs>, f: usize) -> Option<TimeNs> {
+fn f1_time(times: &mut [TimeNs], f: usize) -> Option<TimeNs> {
     if times.len() <= f {
         return None;
     }
@@ -172,7 +190,12 @@ pub fn aggregate(data: &RunData) -> Report {
         let cs_blocks: Vec<(TimeNs, Option<TimeNs>)> = ref_log
             .iter()
             .filter(|c| !c.is_nil && (include_empty || c.tx_count > 0))
-            .map(|c| (c.proposed_at, commit_f1.get(&(c.instance, c.round)).copied()))
+            .map(|c| {
+                (
+                    c.proposed_at,
+                    commit_f1.get(&(c.instance, c.round)).copied(),
+                )
+            })
             .collect();
         let nblocks = cs_blocks.len();
         let mut violations: u64 = 0;
@@ -194,6 +217,34 @@ pub fn aggregate(data: &RunData) -> Report {
     };
     let causal_strength = cs_over(true);
     let causal_strength_tx = cs_over(false);
+
+    // Cross-replica state-root agreement, per checkpointed epoch. Crashed
+    // or lagging replicas simply report fewer epochs; agreement is judged
+    // over whoever reported.
+    let mut roots_by_epoch: BTreeMap<u64, Vec<Digest>> = BTreeMap::new();
+    for node in &data.nodes {
+        for &(_, epoch, root) in &node.state_roots {
+            roots_by_epoch.entry(epoch).or_default().push(root);
+        }
+    }
+    let mut state_checkpoints = 0u64;
+    let mut agreeing = 0u64;
+    for roots in roots_by_epoch.values() {
+        if roots.len() < 2 {
+            continue;
+        }
+        state_checkpoints += 1;
+        if roots.windows(2).all(|w| w[0] == w[1]) {
+            agreeing += 1;
+        }
+    }
+    let state_root_agreement = if state_checkpoints > 0 {
+        agreeing as f64 / state_checkpoints as f64
+    } else {
+        1.0
+    };
+    let root_conflicts = data.nodes.iter().map(|n| n.root_conflicts).sum();
+    let snapshot_installs = data.nodes.iter().map(|n| n.snapshot_installs).sum();
 
     // Timeline: per-sample ktps at the reference replica (Fig. 8).
     let mut timeline = Vec::new();
@@ -237,6 +288,14 @@ pub fn aggregate(data: &RunData) -> Report {
         } else {
             0.0
         },
+        executed_txs: reference.executed_txs,
+        executed_ktps: reference.executed_txs as f64
+            / data.window_end.as_secs_f64().max(1e-9)
+            / 1e3,
+        state_checkpoints,
+        state_root_agreement,
+        root_conflicts,
+        snapshot_installs,
     }
 }
 
@@ -289,9 +348,9 @@ mod tests {
         // Block (0,1) confirmed by nodes 0 and 1 (f+1 = 2 of 4): counted.
         // Block (0,2) confirmed only by node 0: not counted.
         let mut nodes = empty_nodes(4);
-        for r in 0..2 {
-            nodes[r].commits.push(commit(0, 1, 100));
-            nodes[r].confirms.push(confirm(0, 0, 1, 200, 50));
+        for node in nodes.iter_mut().take(2) {
+            node.commits.push(commit(0, 1, 100));
+            node.confirms.push(confirm(0, 0, 1, 200, 50));
         }
         nodes[0].commits.push(commit(0, 2, 300));
         nodes[0].confirms.push(confirm(1, 0, 2, 400, 250));
@@ -308,11 +367,11 @@ mod tests {
         // sn0 generated at 900 ms; sn1 committed by f+1 at 100 ms: the
         // pair (0, 1) violates causality.
         let mut nodes = empty_nodes(4);
-        for r in 0..2 {
-            nodes[r].commits.push(commit(0, 1, 850));
-            nodes[r].commits.push(commit(1, 1, 100));
-            nodes[r].confirms.push(confirm(0, 0, 1, 900, 900));
-            nodes[r].confirms.push(confirm(1, 1, 1, 950, 50));
+        for node in nodes.iter_mut().take(2) {
+            node.commits.push(commit(0, 1, 850));
+            node.commits.push(commit(1, 1, 100));
+            node.confirms.push(confirm(0, 0, 1, 900, 900));
+            node.confirms.push(confirm(1, 1, 1, 950, 50));
         }
         let rep = aggregate(&run_data(nodes));
         // One violation over two blocks: CS = e^(−1/2).
@@ -325,11 +384,11 @@ mod tests {
         // follows the f+1 commit by only 50 ms — inside the NTP-floor
         // tolerance a testbed measurement could not observe.
         let mut nodes = empty_nodes(4);
-        for r in 0..2 {
-            nodes[r].commits.push(commit(0, 1, 850));
-            nodes[r].commits.push(commit(1, 1, 860));
-            nodes[r].confirms.push(confirm(0, 0, 1, 920, 910));
-            nodes[r].confirms.push(confirm(1, 1, 1, 950, 50));
+        for node in nodes.iter_mut().take(2) {
+            node.commits.push(commit(0, 1, 850));
+            node.commits.push(commit(1, 1, 860));
+            node.confirms.push(confirm(0, 0, 1, 920, 910));
+            node.confirms.push(confirm(1, 1, 1, 950, 50));
         }
         let rep = aggregate(&run_data(nodes));
         assert_eq!(rep.causal_strength, 1.0);
@@ -342,13 +401,13 @@ mod tests {
         // numbers need this) but not the tx-only variant (§4.3: nothing
         // to front-run with).
         let mut nodes = empty_nodes(4);
-        for r in 0..2 {
-            nodes[r].commits.push(commit(0, 1, 850));
-            nodes[r].commits.push(commit(1, 1, 100));
+        for node in nodes.iter_mut().take(2) {
+            node.commits.push(commit(0, 1, 850));
+            node.commits.push(commit(1, 1, 100));
             let mut empty_front = confirm(0, 0, 1, 900, 900);
             empty_front.tx_count = 0;
-            nodes[r].confirms.push(empty_front);
-            nodes[r].confirms.push(confirm(1, 1, 1, 950, 50));
+            node.confirms.push(empty_front);
+            node.confirms.push(confirm(1, 1, 1, 950, 50));
         }
         let rep = aggregate(&run_data(nodes));
         assert!((rep.causal_strength - (-0.5f64).exp()).abs() < 1e-9);
@@ -358,11 +417,10 @@ mod tests {
     #[test]
     fn perfect_causality_gives_cs_one() {
         let mut nodes = empty_nodes(4);
-        for r in 0..2 {
+        for node in nodes.iter_mut().take(2) {
             for b in 0..5u64 {
-                nodes[r].commits.push(commit(0, b + 1, 100 * (b + 1)));
-                nodes[r]
-                    .confirms
+                node.commits.push(commit(0, b + 1, 100 * (b + 1)));
+                node.confirms
                     .push(confirm(b, 0, b + 1, 100 * (b + 1) + 50, 100 * (b + 1) - 60));
             }
         }
@@ -374,9 +432,9 @@ mod tests {
     #[test]
     fn window_excludes_warmup_blocks() {
         let mut nodes = empty_nodes(4);
-        for r in 0..2 {
-            nodes[r].commits.push(commit(0, 1, 100));
-            nodes[r].confirms.push(confirm(0, 0, 1, 200, 50));
+        for node in nodes.iter_mut().take(2) {
+            node.commits.push(commit(0, 1, 100));
+            node.confirms.push(confirm(0, 0, 1, 200, 50));
         }
         let mut data = run_data(nodes);
         data.window_start = TimeNs::from_secs(1); // confirm at 0.2 s < 1 s

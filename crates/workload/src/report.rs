@@ -190,6 +190,9 @@ mod tests {
     fn scales_are_ordered() {
         assert!(Scale::Quick.replica_counts().len() < Scale::Full.replica_counts().len());
         assert!(Scale::Quick.duration_s() < Scale::Full.duration_s());
-        assert!(Scale::Quick.warmup_s() >= 12.0, "warmup must cover straggler first blocks");
+        assert!(
+            Scale::Quick.warmup_s() >= 12.0,
+            "warmup must cover straggler first blocks"
+        );
     }
 }

@@ -222,9 +222,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Report {
 
     for r in 0..n {
         let behavior = Behavior {
-            straggler_k: straggler_ids
-                .contains(&r)
-                .then_some(cfg.straggler_k),
+            straggler_k: straggler_ids.contains(&r).then_some(cfg.straggler_k),
             rank_minimize: cfg.byzantine_stragglers && straggler_ids.contains(&r),
             stale_rank_reports: cfg.stale_rank_reports,
             crash_at: cfg
@@ -293,8 +291,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Report {
     let window = end.saturating_sub(warmup);
     report.bandwidth_mbs = stats1.mean_bandwidth_mbs(n, window);
     // CPU proxy: per-replica crypto cost over the window, as % of a core.
-    report.cpu_pct =
-        crypto1.cpu_seconds_proxy() / n as f64 / window.as_secs_f64() * 100.0;
+    report.cpu_pct = crypto1.cpu_seconds_proxy() / n as f64 / window.as_secs_f64() * 100.0;
     report.msgs_total = stats1.msgs_sent.iter().take(n).sum();
     report.bytes_total = stats1.bytes_sent.iter().take(n).sum();
     report

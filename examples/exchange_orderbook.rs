@@ -64,7 +64,10 @@ fn confirmed_log(proto: ProtocolKind) -> Vec<(u64, TimeNs, TimeNs, u32)> {
             (
                 c.sn,
                 c.proposed_at,
-                commit_at.get(&(c.instance, c.round)).copied().unwrap_or(TimeNs::MAX),
+                commit_at
+                    .get(&(c.instance, c.round))
+                    .copied()
+                    .unwrap_or(TimeNs::MAX),
                 c.tx_count,
             )
         })

@@ -24,10 +24,19 @@ fn main() {
     println!("mean latency   : {:.3} s", report.mean_latency_s);
     println!("confirmed txs  : {}", report.committed_txs);
     println!("global blocks  : {}", report.confirmed_blocks);
-    println!("causal strength: {:.3} (1.0 = no front-running window)", report.causal_strength);
-    println!("bandwidth      : {:.1} MB/s per replica", report.bandwidth_mbs);
+    println!(
+        "causal strength: {:.3} (1.0 = no front-running window)",
+        report.causal_strength
+    );
+    println!(
+        "bandwidth      : {:.1} MB/s per replica",
+        report.bandwidth_mbs
+    );
 
-    assert!(report.committed_txs > 0, "the cluster should confirm transactions");
+    assert!(
+        report.committed_txs > 0,
+        "the cluster should confirm transactions"
+    );
     assert!(report.causal_strength > 0.99, "Ladon preserves causality");
     println!("\nok: the cluster reached consensus with dynamic global ordering.");
 }

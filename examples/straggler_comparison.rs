@@ -40,8 +40,16 @@ fn main() {
         }
     }
 
-    let iss_1 = &results.iter().find(|(p, s, _)| *p == ProtocolKind::IssPbft && *s == 1).unwrap().2;
-    let ladon_1 = &results.iter().find(|(p, s, _)| *p == ProtocolKind::LadonPbft && *s == 1).unwrap().2;
+    let iss_1 = &results
+        .iter()
+        .find(|(p, s, _)| *p == ProtocolKind::IssPbft && *s == 1)
+        .unwrap()
+        .2;
+    let ladon_1 = &results
+        .iter()
+        .find(|(p, s, _)| *p == ProtocolKind::LadonPbft && *s == 1)
+        .unwrap()
+        .2;
     if iss_1.throughput_ktps > 0.0 {
         println!(
             "\nWith one straggler, Ladon confirms {:.1}x the transactions of ISS \

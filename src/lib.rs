@@ -11,6 +11,10 @@
 //! - [`core`]: monotonic ranks, global ordering (Algorithm 1), epochs,
 //!   rotating buckets, the Multi-BFT node, and baseline orderers
 //!   (ISS / Mir / RCC / DQBFT).
+//! - [`state`]: the execution layer — deterministic KV state machine,
+//!   commit write-ahead log, and epoch-aligned snapshots with
+//!   content-addressed state roots (checkpoints attest to state, and
+//!   replicas recover from snapshot + WAL replay).
 //! - [`workload`]: clients, stragglers, Byzantine behaviors, metrics and
 //!   the experiment runner used by the benchmark harness.
 //!
@@ -31,5 +35,6 @@ pub use ladon_crypto as crypto;
 pub use ladon_hotstuff as hotstuff;
 pub use ladon_pbft as pbft;
 pub use ladon_sim as sim;
+pub use ladon_state as state;
 pub use ladon_types as types;
 pub use ladon_workload as workload;

@@ -97,7 +97,10 @@ fn crash_triggers_view_change_and_recovery() {
                 .count()
         })
         .sum();
-    assert!(vc_seen > 0, "the crashed leader's instance must view-change");
+    assert!(
+        vc_seen > 0,
+        "the crashed leader's instance must view-change"
+    );
     let nv_seen: usize = honest
         .iter()
         .map(|&r| c.node(r).metrics.new_views.len())

@@ -17,6 +17,12 @@ pub struct TestCluster {
     /// System configuration used.
     #[allow(dead_code)]
     pub sys: SystemConfig,
+    /// The PKI oracle (restart scenarios rebuild nodes with it).
+    #[allow(dead_code)]
+    pub registry: KeyRegistry,
+    /// Protocol under test.
+    #[allow(dead_code)]
+    pub protocol: ProtocolKind,
 }
 
 /// Options for building a test cluster.
@@ -110,6 +116,8 @@ pub fn cluster(opts: ClusterOpts) -> TestCluster {
         engine,
         n: opts.n,
         sys,
+        registry,
+        protocol: opts.protocol,
     }
 }
 
@@ -138,20 +146,40 @@ impl TestCluster {
         log
     }
 
+    /// The highest `sn` replica `r` has confirmed (its log frontier), or 0
+    /// for an empty log. A replica that fast-forwarded over a snapshot has
+    /// a *gap* in its confirm records but the same frontier as its peers,
+    /// so progress comparisons should use this, not log length.
+    #[allow(dead_code)]
+    pub fn confirmed_frontier(&self, r: usize) -> u64 {
+        self.node(r)
+            .metrics
+            .confirms
+            .iter()
+            .map(|c| c.sn)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Asserts G-Agreement: every pair of honest replicas' confirmed logs
-    /// agree on their common prefix (same block at every shared `sn`).
+    /// agree at every `sn` both have recorded. Joined on `sn` rather than
+    /// log position because a replica that installed an execution snapshot
+    /// legitimately skips the confirm records the snapshot covers.
     pub fn assert_agreement(&self, honest: &[usize]) {
         let logs: Vec<_> = honest.iter().map(|&r| self.confirmed_log(r)).collect();
         for (ai, a) in logs.iter().enumerate() {
             for (bi, b) in logs.iter().enumerate().skip(ai + 1) {
-                let shared = a.len().min(b.len());
-                assert_eq!(
-                    &a[..shared],
-                    &b[..shared],
-                    "replicas {} and {} diverge within their shared prefix",
-                    honest[ai],
-                    honest[bi]
-                );
+                let bmap: std::collections::HashMap<u64, &(u64, u32, u64, u64)> =
+                    b.iter().map(|e| (e.0, e)).collect();
+                for ea in a {
+                    if let Some(eb) = bmap.get(&ea.0) {
+                        assert_eq!(
+                            &ea, eb,
+                            "replicas {} and {} disagree at sn {}",
+                            honest[ai], honest[bi], ea.0
+                        );
+                    }
+                }
             }
         }
     }

@@ -92,8 +92,5 @@ fn totality_logs_converge_after_quiescence() {
     let max = *lens.iter().max().unwrap();
     assert!(min > 0);
     // Epoch-boundary blocks may trail by at most one wave.
-    assert!(
-        max - min <= c.sys.m,
-        "logs failed to converge: {lens:?}"
-    );
+    assert!(max - min <= c.sys.m, "logs failed to converge: {lens:?}");
 }

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal shim instead of the real `serde`. It
+//! defines the two marker traits and re-exports the derive macros from
+//! [`serde_derive`], which expand to nothing. That is sufficient for this
+//! workspace: types annotate `#[derive(Serialize, Deserialize)]` to declare
+//! wire-format intent, but no code path performs format-generic
+//! serialization — durable state (`ladon-state`) uses its own explicit,
+//! versioned binary codec, which a write-ahead log wants anyway.
+//!
+//! Swapping in the real `serde` later is a one-line change in the root
+//! `Cargo.toml` (`[patch]` the path away); no source file needs to change.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// No-op in this shim: nothing in the workspace is generic over it.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

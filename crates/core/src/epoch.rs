@@ -8,10 +8,14 @@
 //! rotating the transaction buckets).
 //!
 //! On top of the paper's rank-marker checkpoints, every checkpoint message
-//! here carries the **execution state root** — the content hash of the
-//! replica's KV state after applying every block of the completed epoch in
-//! confirmed global order (see `ladon-state`). When an epoch completes,
-//! all of its blocks are globally confirmed (every instance's tip sits at
+//! here carries the **execution state root** — the snapshot *manifest
+//! root* covering the replica's KV state after applying every block of
+//! the completed epoch in confirmed global order, together with the
+//! snapshot's execution position and consensus frontier (see
+//! `ladon-state`: the signature must cover every snapshot field an
+//! installer acts on, or a Byzantine sync responder could splice forged
+//! metadata onto genuine state). When an epoch completes, all of its
+//! blocks are globally confirmed (every instance's tip sits at
 //! `maxRank(e)`, so the confirmation bar has passed the whole epoch), and
 //! execution is deterministic, so honest replicas sign identical roots: a
 //! stable checkpoint attests to *state*, not just ranks. Votes are
@@ -43,7 +47,9 @@ fn checkpoint_payload(epoch: Epoch, root: &Digest) -> [u8; 40] {
 pub struct CheckpointMsg {
     /// The completed epoch.
     pub epoch: Epoch,
-    /// Execution state root after the epoch's confirmed blocks.
+    /// Execution state root after the epoch's confirmed blocks: the
+    /// snapshot manifest root, covering the KV contents *and* the
+    /// snapshot's `applied`/`frontier`/`executed_txs` metadata.
     pub state_root: Digest,
     /// Sender signature over `epoch ‖ state_root`.
     pub sig: Signature,

@@ -132,6 +132,11 @@ pub struct NodeMetrics {
     pub state_roots: Vec<(TimeNs, u64, Digest)>,
     /// Peer snapshots installed (execution fast-forward).
     pub snapshot_installs: u64,
+    /// Confirmed blocks the execution pipeline refused because they
+    /// arrived above the next expected `sn` (dense-order violation).
+    /// Must stay 0; nonzero means a confirmation bug corrupted the
+    /// execution order and the replica's root can no longer advance.
+    pub exec_gaps: u64,
     /// Checkpoint quorums observed on a root different from ours.
     pub root_conflicts: u64,
 }
@@ -529,15 +534,25 @@ impl MultiBftNode {
                     // frontier so installers can fast-forward consensus
                     // intake, not just the state machine.
                     let epoch = pm.epoch();
-                    let frontier: Vec<u64> = self
-                        .slots
-                        .iter()
-                        .take(self.cfg.sys.m)
-                        .map(|s| match s {
-                            Slot::Pbft(inst) => inst.committed_upto().0,
-                            Slot::Hs(inst) => inst.committed_upto().0,
-                        })
-                        .collect();
+                    // The frontier goes under the quorum-signed manifest
+                    // root, so it must be replica-deterministic. PBFT
+                    // instances freeze at their epoch's last round by
+                    // checkpoint time; HotStuff heights depend on local
+                    // dummy-commit timing (and have no fast_forward), so
+                    // under HotStuff the snapshot is state-only: empty
+                    // frontier, installers skip the consensus jump.
+                    let frontier: Vec<u64> = if self.cfg.protocol == ProtocolKind::LadonHotStuff {
+                        Vec::new()
+                    } else {
+                        self.slots
+                            .iter()
+                            .take(self.cfg.sys.m)
+                            .filter_map(|s| match s {
+                                Slot::Pbft(inst) => Some(inst.committed_upto().0),
+                                Slot::Hs(_) => None,
+                            })
+                            .collect()
+                    };
                     let root = self.exec.checkpoint(epoch.0, frontier);
                     self.metrics.state_roots.push((now, epoch.0, root));
                     let signer = self.cfg.registry.signer(self.cfg.me);
@@ -572,9 +587,16 @@ impl MultiBftNode {
             }
             // Execute in confirmed global order. Blocks at or below the
             // pipeline's applied frontier (snapshot install, restart) are
-            // skipped idempotently.
-            if let ExecOutcome::Applied { txs } = self.exec.execute(c.sn, b) {
-                self.metrics.executed_txs += txs;
+            // skipped idempotently; blocks above the next expected sn are
+            // refused (the pipeline never misapplies) and counted — loud
+            // in debug runs, a metric alarm in release.
+            match self.exec.execute(c.sn, b) {
+                ExecOutcome::Applied { txs } => self.metrics.executed_txs += txs,
+                ExecOutcome::Skipped => {}
+                ExecOutcome::Gap { expected } => {
+                    debug_assert!(false, "confirmed sn {} above expected {expected}", c.sn);
+                    self.metrics.exec_gaps += 1;
+                }
             }
             self.metrics.confirms.push(ConfirmRecord {
                 sn: c.sn,
@@ -885,7 +907,13 @@ impl MultiBftNode {
                 // prefix: each instance's commit frontier jumps to the
                 // snapshot's recorded rounds (peers then serve only the
                 // tail), and the orderer's intake tips jump with it so
-                // confirmation resumes at the snapshot's sn.
+                // confirmation resumes at the snapshot's sn. The frontier
+                // is covered by the quorum-signed manifest root, so the
+                // rounds are as trustworthy as the state itself. A
+                // state-only snapshot (empty frontier — HotStuff capture,
+                // see the checkpoint path) skips this: the state machine
+                // fast-forwards, consensus intake re-confirms history and
+                // execution skips it idempotently.
                 if snap.frontier.len() == self.cfg.sys.m {
                     for (i, &round) in snap.frontier.iter().enumerate() {
                         if let Slot::Pbft(inst) = &mut self.slots[i] {

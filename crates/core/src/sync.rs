@@ -88,9 +88,12 @@ pub struct SyncResponse {
     /// responder has completed it.
     pub checkpoint: Option<StableCheckpoint>,
     /// The responder's latest execution snapshot, when it is ahead of the
-    /// requester's applied frontier. The receiver verifies its content
-    /// root against `checkpoint.state_root` before installing, so a
-    /// Byzantine responder can serve correct state or nothing.
+    /// requester's applied frontier. The receiver recomputes its manifest
+    /// root — which covers the `applied`/`frontier`/`executed_txs`
+    /// metadata as well as the entries — and checks it against
+    /// `checkpoint.state_root` before installing, so a Byzantine
+    /// responder can serve correct state or nothing: neither the contents
+    /// nor the metadata the installer fast-forwards by can be forged.
     pub snapshot: Option<Snapshot>,
     /// Missing log entries past the requester's frontier.
     pub entries: Vec<SyncEntry>,

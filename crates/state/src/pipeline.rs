@@ -5,8 +5,9 @@
 //! log, then (2) applies the block's derived transaction ops to the KV
 //! state — WAL-before-apply, so a crash between the two replays the block
 //! on recovery instead of losing it. At every epoch checkpoint it captures
-//! a [`Snapshot`], compacts the WAL behind it, and returns the state root
-//! the checkpoint quorum signs.
+//! a [`Snapshot`], compacts the WAL behind it, and returns the snapshot's
+//! manifest root — covering the execution position and frontier as well
+//! as the KV contents — which the checkpoint quorum signs.
 //!
 //! Recovery composes the two artifacts: install the latest snapshot, then
 //! re-execute the WAL tail ([`ExecutionPipeline::recover`] /
@@ -32,6 +33,15 @@ pub enum ExecOutcome {
     /// already covered by the current state, e.g. after a snapshot
     /// install or a restart).
     Skipped,
+    /// Refused: the block is *above* the next expected `sn` — the caller
+    /// violated the dense-order contract. Executing it at the wrong
+    /// position would silently corrupt the state root, so nothing was
+    /// applied; the caller must surface this (it indicates a confirmation
+    /// bug or a missed gap after a partial sync).
+    Gap {
+        /// The `sn` the pipeline expected.
+        expected: u64,
+    },
 }
 
 /// The replica's execution pipeline.
@@ -145,12 +155,19 @@ impl ExecutionPipeline {
 
     /// Executes confirmed block `sn`. Blocks must arrive in dense global
     /// order; anything at or below the applied frontier is skipped (the
-    /// snapshot already covers it).
+    /// snapshot already covers it), and anything above the next expected
+    /// `sn` is refused as a [`ExecOutcome::Gap`] — in release builds too,
+    /// since applying it at the wrong position would corrupt the root
+    /// with no error signal.
     pub fn execute(&mut self, sn: u64, block: &Block) -> ExecOutcome {
         if sn < self.applied {
             return ExecOutcome::Skipped;
         }
-        debug_assert_eq!(sn, self.applied, "confirmed sns must be dense");
+        if sn > self.applied {
+            return ExecOutcome::Gap {
+                expected: self.applied,
+            };
+        }
         // WAL first: a crash after this point replays the block.
         self.wal.append(WalRecord::of_block(sn, block));
         let txs = self.apply_batch(&block.batch);
@@ -169,8 +186,12 @@ impl ExecutionPipeline {
     }
 
     /// Epoch checkpoint: captures a snapshot of the current state, compacts
-    /// the WAL behind it, and returns the state root for the checkpoint
-    /// message. Called exactly when the epoch's blocks are all confirmed.
+    /// the WAL behind it, and returns the snapshot's manifest root for the
+    /// checkpoint message (it authenticates the snapshot's metadata along
+    /// with its contents). Called exactly when the epoch's blocks are all
+    /// confirmed. `frontier` must be replica-deterministic — pass an empty
+    /// vector when it is not (state-only snapshot, see
+    /// [`crate::snapshot::Snapshot::frontier`]).
     pub fn checkpoint(&mut self, epoch: u64, frontier: Vec<u64>) -> Digest {
         let snap = Snapshot::capture(epoch, self.applied, self.executed_txs, frontier, &self.kv);
         let root = snap.root;
@@ -329,6 +350,18 @@ mod tests {
         assert_eq!(lagger.state_root(), donor.state_root());
         // Re-delivered old blocks are skipped idempotently.
         assert_eq!(lagger.execute(5, &block(5, 250, 50)), ExecOutcome::Skipped);
+        // Out-of-order future blocks are refused, not misapplied.
+        let before = lagger.state_root();
+        assert_eq!(
+            lagger.execute(20, &block(20, 1000, 50)),
+            ExecOutcome::Gap { expected: 16 }
+        );
+        assert_eq!(
+            lagger.state_root(),
+            before,
+            "a refused block must not touch state"
+        );
+        assert_eq!(lagger.applied(), 16);
         // And execution continues seamlessly past the installed frontier.
         run_blocks(&mut lagger, 16, 2);
         run_blocks(&mut donor, 16, 2);

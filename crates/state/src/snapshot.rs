@@ -2,12 +2,19 @@
 //!
 //! A [`Snapshot`] freezes the full canonical KV contents at an epoch
 //! boundary together with the execution position (`applied` confirmed
-//! blocks, cumulative executed transactions) and the state root the
-//! contents hash to. Snapshots are *content-addressed*: the root is
-//! recomputable from the entries, so a receiver can verify a snapshot in
-//! isolation ([`Snapshot::verify`]) and then check the root against the
-//! quorum-signed `StableCheckpoint` before installing — a Byzantine peer
-//! can serve a correct snapshot or nothing.
+//! blocks, cumulative executed transactions) and the *manifest root* the
+//! whole snapshot hashes to. The root covers every field an installer
+//! acts on — epoch, `applied`, `executed_txs`, `frontier`, and the KV
+//! contents — not just the entries: execution is deterministic, so honest
+//! replicas completing the same epoch produce identical manifests, and
+//! the checkpoint quorum's signature over the root therefore attests to
+//! the metadata as much as to the state. Snapshots are
+//! *content-addressed*: the root is recomputable from the fields, so a
+//! receiver can verify a snapshot in isolation ([`Snapshot::verify`]) and
+//! then check the root against the quorum-signed `StableCheckpoint`
+//! before installing — a Byzantine peer can serve a correct snapshot or
+//! nothing, and cannot splice a forged `applied` or `frontier` onto
+//! genuine entries.
 //!
 //! The [`SnapshotStore`] retains the latest snapshot in memory and, when
 //! given a directory, persists each snapshot to
@@ -18,8 +25,35 @@ use ladon_crypto::fnv::Fnv64;
 use ladon_types::{sizes, Digest, WireSize};
 use std::path::{Path, PathBuf};
 
-/// Snapshot format version.
-const SNAP_VERSION: u8 = 1;
+/// Snapshot format version. v2: `root` became the manifest root covering
+/// the metadata as well as the contents — v1 snapshots (contents-only
+/// root) would silently fail [`Snapshot::verify`], so they are rejected
+/// at decode instead.
+const SNAP_VERSION: u8 = 2;
+
+/// Computes the attested manifest root: a digest over the snapshot's
+/// complete manifest — epoch, execution position, consensus frontier, and
+/// the canonical KV contents root. This is what checkpoint quorums sign,
+/// so every one of these fields is authenticated on install.
+fn manifest_root(
+    epoch: u64,
+    applied: u64,
+    executed_txs: u64,
+    frontier: &[u64],
+    kv_root: &Digest,
+) -> Digest {
+    let mut h = ladon_crypto::Sha256::new();
+    h.update(b"ladon/snapshot-manifest/v1");
+    h.update(&epoch.to_le_bytes());
+    h.update(&applied.to_le_bytes());
+    h.update(&executed_txs.to_le_bytes());
+    h.update(&(frontier.len() as u64).to_le_bytes());
+    for &r in frontier {
+        h.update(&r.to_le_bytes());
+    }
+    h.update(&kv_root.0);
+    Digest(h.finalize())
+}
 
 /// A frozen execution state at an epoch boundary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,12 +64,16 @@ pub struct Snapshot {
     pub applied: u64,
     /// Cumulative transactions executed.
     pub executed_txs: u64,
-    /// State root of `entries` (content address).
+    /// Manifest root: digest over `epoch`, `applied`, `executed_txs`,
+    /// `frontier`, and the canonical contents root (content address of
+    /// the whole snapshot, and the root checkpoint quorums sign).
     pub root: Digest,
     /// Per-instance commit-round frontier at capture time (`frontier[i]`
     /// is instance `i`'s last committed round in the snapshotted prefix).
     /// Lets an installing replica fast-forward its consensus intake past
     /// the history the snapshot covers, not just its state machine.
+    /// Empty for state-only snapshots (HotStuff instances, whose commit
+    /// height at epoch completion is not replica-deterministic).
     pub frontier: Vec<u64>,
     /// Canonical state contents, ascending key order, no zero values.
     pub entries: Vec<(u32, u64)>,
@@ -54,15 +92,26 @@ impl Snapshot {
             epoch,
             applied,
             executed_txs,
-            root: kv.root(),
+            root: manifest_root(epoch, applied, executed_txs, &frontier, &kv.root()),
             frontier,
             entries: kv.entries().collect(),
         }
     }
 
-    /// Recomputes the root from the entries and compares (content check).
+    /// Recomputes the manifest root from every field and compares.
+    /// Tampering with the entries *or* the metadata (`applied`,
+    /// `frontier`, …) fails this check; re-hashing around the tampering
+    /// instead changes `root`, which then no longer matches the
+    /// quorum-signed checkpoint root.
     pub fn verify(&self) -> bool {
-        KvState::from_entries(self.entries.iter().copied()).root() == self.root
+        let kv_root = KvState::from_entries(self.entries.iter().copied()).root();
+        manifest_root(
+            self.epoch,
+            self.applied,
+            self.executed_txs,
+            &self.frontier,
+            &kv_root,
+        ) == self.root
     }
 
     /// Serializes to the versioned binary format.
@@ -203,8 +252,7 @@ impl SnapshotStore {
     pub fn put(&mut self, snap: Snapshot) -> bool {
         let mut persisted = true;
         if let Some(dir) = &self.dir {
-            let path = dir.join(snap.file_name());
-            persisted = std::fs::write(path, snap.encode()).is_ok();
+            persisted = Self::persist(dir, &snap).is_ok();
             // Prune anything older than the previous epoch.
             if let Ok(rd) = std::fs::read_dir(dir) {
                 for entry in rd.flatten() {
@@ -224,6 +272,25 @@ impl SnapshotStore {
         }
         self.latest = Some(snap);
         persisted
+    }
+
+    /// Durably writes one snapshot: temp file + fsync + rename + dir
+    /// fsync. The caller compacts the WAL behind the snapshot the moment
+    /// this succeeds, so the bytes must be on stable storage before we
+    /// return — an OS crash after compaction must still find the
+    /// snapshot, or every block it covers becomes locally unrecoverable.
+    fn persist(dir: &Path, snap: &Snapshot) -> std::io::Result<()> {
+        use std::io::Write;
+        let name = snap.file_name();
+        let tmp = dir.join(format!("{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&snap.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, dir.join(name))?;
+        // Make the rename itself durable.
+        std::fs::File::open(dir)?.sync_all()
     }
 }
 
@@ -265,6 +332,33 @@ mod tests {
             tampered.entries[0].1 += 1;
         }
         assert!(!tampered.verify());
+    }
+
+    #[test]
+    fn forged_metadata_fails_verification() {
+        // The manifest root covers the metadata, so a Byzantine responder
+        // cannot splice a forged `applied`/`frontier`/`executed_txs` onto
+        // genuine entries: verify() catches the splice, and recomputing
+        // the root around it would break the match with the quorum-signed
+        // checkpoint root instead.
+        let snap = Snapshot::capture(4, 200, 9000, vec![11, 13], &sample_state());
+        assert!(snap.verify());
+
+        let mut forged = snap.clone();
+        forged.applied = u64::MAX; // "skip all future blocks"
+        assert!(!forged.verify());
+
+        let mut forged = snap.clone();
+        forged.frontier = vec![u64::MAX, u64::MAX];
+        assert!(!forged.verify());
+
+        let mut forged = snap.clone();
+        forged.executed_txs += 1;
+        assert!(!forged.verify());
+
+        let mut forged = snap.clone();
+        forged.epoch += 1;
+        assert!(!forged.verify());
     }
 
     #[test]

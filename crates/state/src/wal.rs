@@ -15,7 +15,7 @@
 //! mid-append) is detected and discarded on load.
 //!
 //! Storage is pluggable: [`MemBackend`] keeps bytes in memory (simulation,
-//! tests), [`FileBackend`] appends to a real file with flush-on-append
+//! tests), [`FileBackend`] appends to a real file with fsync-on-append
 //! (examples, benches). The WAL itself is sans-IO: it encodes/decodes and
 //! the backend moves bytes.
 
@@ -144,7 +144,7 @@ impl WalRecord {
 
 /// Byte storage behind a [`CommitWal`].
 pub trait WalBackend: Send {
-    /// Appends `bytes` durably (flushed before return for file backends).
+    /// Appends `bytes` durably (fsynced before return for file backends).
     /// Returns `false` when the bytes did not reach storage.
     fn append(&mut self, bytes: &[u8]) -> bool;
     /// Reads the whole log back.
@@ -174,7 +174,7 @@ impl WalBackend for MemBackend {
     }
 }
 
-/// File-backed backend with flush-on-append.
+/// File-backed backend with fsync-on-append.
 pub struct FileBackend {
     path: PathBuf,
     file: std::fs::File,
@@ -200,9 +200,13 @@ impl FileBackend {
 
 impl WalBackend for FileBackend {
     fn append(&mut self, bytes: &[u8]) -> bool {
+        // fsync, not just flush: `File` has no userspace buffer, so
+        // `flush()` is a no-op and an OS crash could lose acknowledged
+        // records. `sync_data` forces the bytes (and the size metadata
+        // needed to read them back) to stable storage.
         self.file
             .write_all(bytes)
-            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_data())
             .is_ok()
     }
     fn load(&mut self) -> Vec<u8> {
@@ -219,7 +223,7 @@ impl WalBackend for FileBackend {
             .set_len(0)
             .and_then(|()| self.file.seek(std::io::SeekFrom::Start(0)).map(|_| ()))
             .and_then(|()| self.file.write_all(bytes))
-            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_all())
             .is_ok()
     }
 }

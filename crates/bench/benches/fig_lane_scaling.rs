@@ -1,0 +1,174 @@
+//! Lane-scaling microbenchmarks (execution scale-out; no paper analog):
+//!
+//! 1. **Checkpoint-root cost vs keyspace.** The sharded state maintains
+//!    per-lane roots incrementally, so folding the state root is
+//!    O(MERKLE_LANES) — flat as the keyspace grows — where the seed
+//!    design re-hashed every live entry (reproduced here as the
+//!    `full_scan` baseline).
+//! 2. **Apply throughput vs execution lanes.** Blocks of 4096 derived
+//!    ops through the pipeline at 1–8 workers. Single-core containers
+//!    show flat numbers (the workers serialize); the point recorded here
+//!    is that parallelism never changes the root.
+
+use ladon_bench::microbench;
+use ladon_crypto::{CryptoCounters, Sha256};
+use ladon_state::{ExecutionPipeline, KvState, DEFAULT_KEYSPACE, MERKLE_LANES};
+use ladon_types::{Batch, Block, BlockHeader, Digest, InstanceId, Rank, Round, TimeNs, TxId, TxOp};
+
+fn block(sn: u64, count: u32) -> Block {
+    Block {
+        header: BlockHeader {
+            index: InstanceId((sn % 16) as u32),
+            round: Round(sn / 16 + 1),
+            rank: Rank(sn),
+            payload_digest: Digest([sn as u8; 32]),
+        },
+        batch: Batch {
+            first_tx: TxId(sn * count as u64),
+            count,
+            payload_bytes: count as u64 * 500,
+            arrival_sum_ns: 0,
+            earliest_arrival: TimeNs::ZERO,
+            bucket: 0,
+            refs: Vec::new(),
+        },
+        proposed_at: TimeNs::ZERO,
+    }
+}
+
+/// The seed's root algorithm: one SHA-256 pass over every canonical
+/// entry. Kept here as the scaling baseline the lane roots replace.
+fn full_scan_root(kv: &KvState) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"ladon/state-root/v1");
+    h.update(&(kv.len() as u64).to_le_bytes());
+    for (k, v) in kv.entries() {
+        h.update(&k.to_le_bytes());
+        h.update(&v.to_le_bytes());
+    }
+    Digest(h.finalize())
+}
+
+fn main() {
+    println!("fig_lane_scaling: sharded execution lanes & incremental Merkle roots\n");
+
+    let full = std::env::var("LADON_SCALE").as_deref() == Ok("full");
+
+    // ------------------------------------------------------------------
+    // 1. Checkpoint-root cost vs keyspace size.
+    // ------------------------------------------------------------------
+    println!(
+        "checkpoint root cost, incremental ({MERKLE_LANES} lanes) vs full scan (seed design):"
+    );
+    let keyspaces: &[u32] = if full {
+        &[1 << 12, 1 << 16, 1 << 18, 1 << 20]
+    } else {
+        &[1 << 12, 1 << 15, 1 << 17]
+    };
+    let iters = if full { 2_000 } else { 500 };
+    let mut incr_ns = Vec::new();
+    let mut scan_ns = Vec::new();
+    let mut incr_hashes = Vec::new();
+    for &keyspace in keyspaces {
+        // Populate every account, then dirty a small fixed set — the
+        // steady-state shape of an epoch over a large keyspace.
+        let mut kv = KvState::new();
+        for k in 0..keyspace {
+            kv.apply(&TxOp::Put {
+                key: k,
+                value: k as u64 + 1,
+            });
+        }
+        for k in 0..128u32 {
+            kv.apply(&TxOp::Put {
+                key: k * 31 % keyspace,
+                value: 7,
+            });
+        }
+        let r1 = microbench(
+            &format!("incremental_root_keyspace_{keyspace:>8}"),
+            iters,
+            || kv.root(),
+        );
+        let r2 = microbench(
+            &format!("full_scan_root_keyspace_{keyspace:>8}"),
+            iters,
+            || full_scan_root(&kv),
+        );
+        incr_ns.push(r1.ns_per_iter);
+        scan_ns.push(r2.ns_per_iter);
+        // Deterministic work measure: SHA-256 finalizations one root
+        // computation performs at this keyspace.
+        let before = CryptoCounters::snapshot();
+        std::hint::black_box(kv.root());
+        incr_hashes.push(CryptoCounters::snapshot().since(&before).hashes);
+    }
+    let incr_growth = incr_ns.last().unwrap() / incr_ns[0].max(1.0);
+    let scan_growth = scan_ns.last().unwrap() / scan_ns[0].max(1.0);
+    println!(
+        "\n  -> root cost growth across a {}x keyspace sweep: incremental {incr_growth:.2}x \
+         (wall clock, informational), full scan {scan_growth:.2}x",
+        keyspaces.last().unwrap() / keyspaces.first().unwrap()
+    );
+    println!("  -> hashes per incremental root, by keyspace: {incr_hashes:?}");
+    // The acceptance gate, stated flake-free in operations rather than
+    // wall-clock (shared CI runners jitter): an incremental root costs
+    // exactly MERKLE_LANES + 1 hash finalizations at *every* keyspace —
+    // O(lanes), not O(keyspace) — while the full scan's single
+    // finalization absorbs the whole entry set and grows with it.
+    assert!(
+        incr_hashes.iter().all(|&h| h == MERKLE_LANES as u64 + 1),
+        "incremental root must cost MERKLE_LANES + 1 = {} hashes at any \
+         keyspace, got {incr_hashes:?}",
+        MERKLE_LANES + 1
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Apply throughput vs execution lanes.
+    // ------------------------------------------------------------------
+    println!("\napply throughput vs execution lanes (16 blocks x 4096 txs):");
+    let blocks = if full { 64u64 } else { 16 };
+    let mut roots = Vec::new();
+    for lanes in [1u32, 2, 4, 8] {
+        let r = microbench(&format!("execute_blocks_lanes_{lanes}"), 50, || {
+            let mut p = ExecutionPipeline::in_memory_with(DEFAULT_KEYSPACE, lanes);
+            for sn in 0..blocks {
+                p.execute(sn, &block(sn, 4096));
+            }
+            p.executed_txs()
+        });
+        let tx_per_sec = blocks as f64 * 4096.0 * r.per_sec();
+        println!(
+            "  -> lanes={lanes}: {:.2} M executed tx/s",
+            tx_per_sec / 1e6
+        );
+        let mut p = ExecutionPipeline::in_memory_with(DEFAULT_KEYSPACE, lanes);
+        for sn in 0..blocks {
+            p.execute(sn, &block(sn, 4096));
+        }
+        roots.push(p.state_root());
+    }
+    assert!(
+        roots.windows(2).all(|w| w[0] == w[1]),
+        "lane counts must not change the state root: {roots:?}"
+    );
+    println!("\n  -> state roots identical across lane counts (verified)");
+
+    // ------------------------------------------------------------------
+    // 3. Checkpoint cost through the pipeline (snapshot + compaction).
+    // ------------------------------------------------------------------
+    println!();
+    let mut warm = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+    for sn in 0..16 {
+        warm.execute(sn, &block(sn, 4096));
+    }
+    let mut epoch = 0u64;
+    microbench("pipeline_checkpoint", 500, || {
+        epoch += 1;
+        warm.checkpoint(epoch, vec![0; 16])
+    });
+    println!(
+        "  (dirty lanes before a checkpoint: {} of {MERKLE_LANES})",
+        warm.dirty_lanes()
+    );
+}

@@ -44,4 +44,4 @@ pub use msg::{ClientTxs, NodeMsg};
 pub use node::{Behavior, CommitRecord, ConfirmRecord, MultiBftNode, NodeConfig, NodeMetrics};
 pub use ordering::{ConfirmedBlock, GlobalOrderer, LadonOrderer};
 pub use predetermined::{BaselineKind, PredeterminedOrderer};
-pub use sync::{SyncEntry, SyncRequest, SyncResponse};
+pub use sync::{snapshot_worthwhile, SyncEntry, SyncRequest, SyncResponse};

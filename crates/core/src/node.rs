@@ -26,7 +26,7 @@ use ladon_crypto::{KeyRegistry, RankCert};
 use ladon_hotstuff::{HsConfig, HsInstance, HsRankMode};
 use ladon_pbft::{InstanceConfig, PbftInstance, RankMode, RankStrategy};
 use ladon_sim::{Actor, ActorId, Context};
-use ladon_state::{ExecOutcome, ExecutionPipeline, DEFAULT_KEYSPACE};
+use ladon_state::{ExecOutcome, ExecutionPipeline};
 use ladon_types::{
     Batch, Block, Digest, InstanceId, ProtocolKind, Rank, ReplicaId, Round, SystemConfig, TimeNs,
     View,
@@ -132,6 +132,11 @@ pub struct NodeMetrics {
     pub state_roots: Vec<(TimeNs, u64, Digest)>,
     /// Peer snapshots installed (execution fast-forward).
     pub snapshot_installs: u64,
+    /// Confirmed `sn`s this replica never recorded a `ConfirmRecord` for
+    /// because a snapshot install fast-forwarded past them (the
+    /// confirm-record gap a log join on `sn` must tolerate). Summed over
+    /// every install.
+    pub skipped_sns: u64,
     /// Confirmed blocks the execution pipeline refused because they
     /// arrived above the next expected `sn` (dense-order violation).
     /// Must stay 0; nonzero means a confirmation bug corrupted the
@@ -207,9 +212,11 @@ pub struct MultiBftNode {
 
 impl MultiBftNode {
     /// Builds the node for `cfg.me` with a fresh in-memory execution
-    /// pipeline (the simulation default).
+    /// pipeline (the simulation default), sized and parallelized by the
+    /// system config's `exec_keyspace` / `exec_lanes` knobs.
     pub fn new(cfg: NodeConfig) -> Self {
-        Self::with_execution(cfg, ExecutionPipeline::in_memory(DEFAULT_KEYSPACE))
+        let exec = ExecutionPipeline::in_memory_with(cfg.sys.exec_keyspace, cfg.sys.exec_lanes);
+        Self::with_execution(cfg, exec)
     }
 
     /// Builds the node over an existing execution pipeline — a recovered
@@ -792,20 +799,24 @@ impl MultiBftNode {
         lagging
     }
 
-    /// Sends one state-transfer request to the next peer in round-robin
-    /// order.
-    fn send_sync_request(&mut self, ctx: &mut dyn Context<NodeMsg>) {
-        let m = self.cfg.sys.m;
-        let frontier: Vec<Round> = (0..m)
+    /// Per-instance committed-round frontier (`frontier[i]` is instance
+    /// `i`'s highest contiguously committed round).
+    pub fn commit_frontier(&self) -> Vec<Round> {
+        (0..self.cfg.sys.m)
             .map(|i| match &self.slots[i] {
                 Slot::Pbft(inst) => inst.committed_upto(),
                 Slot::Hs(inst) => inst.committed_upto(),
             })
-            .collect();
+            .collect()
+    }
+
+    /// Sends one state-transfer request to the next peer in round-robin
+    /// order.
+    fn send_sync_request(&mut self, ctx: &mut dyn Context<NodeMsg>) {
         let req = SyncRequest {
             epoch: ladon_types::Epoch(self.epoch()),
             applied: self.exec.applied(),
-            frontier,
+            frontier: self.commit_frontier(),
         };
         let n = self.cfg.sys.n;
         let mut target = self.sync_rr % n;
@@ -824,9 +835,27 @@ impl MultiBftNode {
         req: SyncRequest,
         ctx: &mut dyn Context<NodeMsg>,
     ) {
-        let m = self.cfg.sys.m;
-        if from.as_usize() >= self.cfg.sys.n || req.frontier.len() != m {
+        if from.as_usize() >= self.cfg.sys.n {
             return;
+        }
+        if let Some(resp) = self.build_sync_response(&req) {
+            ctx.send(from.as_usize(), NodeMsg::SyncResp(resp));
+        }
+    }
+
+    /// Builds the response this replica would serve for `req`, or `None`
+    /// when it has nothing useful. Pure with respect to the network (the
+    /// sync tests drive it directly): log entries past the requester's
+    /// frontier, plus — only when the requester's applied frontier lags
+    /// our latest snapshot by at least `sys.snapshot_min_lag` blocks
+    /// ([`crate::sync::snapshot_worthwhile`]) — the snapshot and its
+    /// proving checkpoint. A barely-behind replica gets log sync alone;
+    /// shipping a full-keyspace snapshot for a one-block gap wastes the
+    /// snapshot's wire cost where a single entry suffices.
+    pub fn build_sync_response(&self, req: &SyncRequest) -> Option<SyncResponse> {
+        let m = self.cfg.sys.m;
+        if req.frontier.len() != m {
+            return None;
         }
         let mut entries = Vec::new();
         'outer: for i in 0..m {
@@ -845,15 +874,20 @@ impl MultiBftNode {
                 }
             }
         }
-        // Execution fast-forward: when our latest snapshot is ahead of the
-        // requester's applied frontier AND we can prove its root with the
-        // matching stable checkpoint, ship both. The checkpoint then also
-        // serves as the requester's epoch proof.
+        // Execution fast-forward: when our latest snapshot is far enough
+        // ahead of the requester's applied frontier (the minimum-gap
+        // serving policy) AND we can prove its root with the matching
+        // stable checkpoint, ship both. The checkpoint then also serves
+        // as the requester's epoch proof.
         let mut checkpoint = None;
         let mut snapshot = None;
         if let Some(pm) = &self.pacemaker {
             if let Some(snap) = self.exec.latest_snapshot() {
-                if snap.applied > req.applied {
+                if crate::sync::snapshot_worthwhile(
+                    snap.applied,
+                    req.applied,
+                    self.cfg.sys.snapshot_min_lag,
+                ) {
                     if let Some(cp) = pm.stable_checkpoint(ladon_types::Epoch(snap.epoch)) {
                         if cp.state_root == snap.root {
                             snapshot = Some(snap.clone());
@@ -877,16 +911,13 @@ impl MultiBftNode {
             }
         }
         if entries.is_empty() && checkpoint.is_none() {
-            return;
+            return None;
         }
-        ctx.send(
-            from.as_usize(),
-            NodeMsg::SyncResp(SyncResponse {
-                checkpoint,
-                snapshot,
-                entries,
-            }),
-        );
+        Some(SyncResponse {
+            checkpoint,
+            snapshot,
+            entries,
+        })
     }
 
     /// Verifies and installs a peer's sync response.
@@ -896,12 +927,17 @@ impl MultiBftNode {
         // whose quorum-signed root matches the snapshot's content root.
         let mut snapshot_installed = false;
         if let (Some(cp), Some(snap)) = (&resp.checkpoint, &resp.snapshot) {
+            let applied_before = self.exec.applied();
             if cp.epoch.0 == snap.epoch
                 && cp.state_root == snap.root
                 && cp.verify(&self.cfg.registry, self.cfg.sys.quorum())
                 && self.exec.install_snapshot(snap)
             {
                 self.metrics.snapshot_installs += 1;
+                // The fast-forwarded prefix never gets ConfirmRecords
+                // here: surface the gap instead of leaving it implicit in
+                // a shorter log.
+                self.metrics.skipped_sns += snap.applied - applied_before;
                 snapshot_installed = true;
                 // Fast-forward the consensus layers past the snapshotted
                 // prefix: each instance's commit frontier jumps to the

@@ -28,6 +28,17 @@ use ladon_state::Snapshot;
 use ladon_types::{sizes, Block, Epoch, InstanceId, Round, WireSize};
 use serde::{Deserialize, Serialize};
 
+/// Snapshot serving minimum-gap policy: ship a snapshot only when the
+/// requester's applied frontier lags the responder's latest snapshot by
+/// at least `min_lag` confirmed blocks. Anything closer is repaired
+/// faster — and far cheaper on the wire — by plain log entries, which the
+/// responder serves either way; a replica one block behind must never be
+/// handed a full-keyspace snapshot. `min_lag` is clamped to ≥ 1 (a
+/// snapshot at or behind the requester's frontier is never useful).
+pub fn snapshot_worthwhile(snap_applied: u64, req_applied: u64, min_lag: u64) -> bool {
+    snap_applied.saturating_sub(req_applied) >= min_lag.max(1)
+}
+
 /// Maximum blocks per instance served in one response.
 pub const SYNC_PER_INSTANCE: usize = 32;
 /// Maximum total blocks served in one response (bounds message size; a
@@ -112,6 +123,22 @@ impl WireSize for SyncResponse {
 mod tests {
     use super::*;
     use ladon_types::{Batch, BlockHeader, Digest, Rank, TimeNs};
+
+    #[test]
+    fn snapshot_policy_requires_minimum_gap() {
+        // A 1-block-behind replica gets log sync, not a snapshot.
+        assert!(!snapshot_worthwhile(100, 99, 16));
+        // Below the threshold: still log sync.
+        assert!(!snapshot_worthwhile(100, 85, 16));
+        // At or past the threshold: snapshot worthwhile.
+        assert!(snapshot_worthwhile(100, 84, 16));
+        assert!(snapshot_worthwhile(100, 0, 16));
+        // A requester at or ahead of the snapshot never gets one, even
+        // with a degenerate zero threshold.
+        assert!(!snapshot_worthwhile(100, 100, 0));
+        assert!(!snapshot_worthwhile(100, 200, 0));
+        assert!(snapshot_worthwhile(100, 99, 0));
+    }
 
     #[test]
     fn request_wire_size_scales_with_frontier() {

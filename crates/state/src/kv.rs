@@ -1,4 +1,4 @@
-//! The deterministic key-value state machine.
+//! The deterministic key-value state machine, sharded into Merkle lanes.
 //!
 //! State is a map `account (u32) → balance/value (u64)`. Ops are the tiny
 //! payloads carried (by derivation) in every transaction
@@ -7,21 +7,67 @@
 //! so any two replicas applying the same confirmed sequence hold
 //! bit-identical state.
 //!
-//! The **state root** is a SHA-256 over the canonical contents: entries in
-//! ascending key order, zero-valued entries removed. It is a pure function
-//! of the map — installing a snapshot with the same entries reproduces the
-//! same root regardless of the history that created it.
+//! # Lanes
+//!
+//! The keyspace is partitioned into [`MERKLE_LANES`] fixed **lanes** by
+//! key hash ([`lane_of`]). Lanes serve two purposes:
+//!
+//! 1. **Incremental roots.** Each lane maintains a content root that is
+//!    updated in O(1) per write: a 256-bit XOR multiset accumulator over
+//!    the SHA-256 leaf hashes of its live entries, finalized with the
+//!    entry count. The **state root** is a SHA-256 over the ordered
+//!    lane-root vector — computing it costs O(lanes), independent of the
+//!    keyspace size, where the pre-lane design re-scanned every entry.
+//!    (An XOR multiset hash is order-independent by construction — the
+//!    property a content address needs — at the cost of weaker collision
+//!    resistance than a sorted-leaf Merkle tree against *adversarially
+//!    chosen* entries; fine for this synthetic workload, and swappable
+//!    behind [`Lane::root`] without touching callers.)
+//!
+//! 2. **Parallel execution.** A block's ops are routed to lanes and the
+//!    lanes are processed by `exec_lanes` parallel workers
+//!    ([`KvState::apply_batch`]). The algorithm is defined entirely at
+//!    lane granularity, so its result — and therefore every root — is
+//!    bit-identical for *any* worker count: workers only group lanes.
+//!
+//! # Cross-lane transfers
+//!
+//! A `Transfer` whose `from` and `to` keys live in different lanes cannot
+//! be applied atomically by independent workers. It executes in two
+//! deterministic phases: phase 1 debits `from` in its own lane (in op
+//! order, clamped to the balance at that point) and emits a credit;
+//! phase 2 applies all cross-lane credits in global op-index order. A
+//! same-lane transfer credits immediately (sequential in-lane semantics).
+//! Both phases depend only on the fixed lane partition, never on the
+//! worker count. True read-your-cross-lane-writes transactions are a
+//! ROADMAP follow-up.
 
 use ladon_crypto::Sha256;
-use ladon_types::{Digest, TxOp};
+use ladon_types::{splitmix64, Digest, TxOp};
 use std::collections::BTreeMap;
 
-/// Default number of accounts the synthetic workload spreads ops over.
-///
-/// Small enough that per-epoch root computation and snapshot encoding stay
-/// cheap (a full snapshot is ≤ 48 KiB), large enough for contention to be
-/// rare.
+pub use ladon_types::MERKLE_LANES;
+
+/// Default number of accounts the synthetic workload spreads ops over
+/// (see [`ladon_types::SystemConfig::exec_keyspace`] for the knob).
 pub const DEFAULT_KEYSPACE: u32 = 4096;
+
+/// Default parallel execution workers (see
+/// [`ladon_types::SystemConfig::exec_lanes`] for the knob).
+pub const DEFAULT_EXEC_LANES: u32 = 4;
+
+/// Below this many ops a batch is applied on the calling thread even when
+/// `exec_lanes > 1` — spawning workers costs more than the work.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+/// The fixed lane a key lives in: a splitmix64 hash of the key, reduced
+/// modulo [`MERKLE_LANES`]. Hashing (rather than `key % lanes`) keeps the
+/// synthetic workload's low dense keys spread across every lane.
+#[inline]
+pub fn lane_of(key: u32) -> usize {
+    let mut state = key as u64 ^ 0x1ad0_0000_0000_00a1;
+    (splitmix64(&mut state) % MERKLE_LANES as u64) as usize
+}
 
 /// Counters of applied operations (per block or cumulative).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,61 +97,197 @@ impl ExecEffects {
     }
 }
 
-/// The replicated key-value state.
+/// What [`KvState::apply_batch`] did: summed effects plus per-lane op
+/// routing counts (phase-1 ops; cross-lane credits are spillover of the
+/// transfer already counted at its debit lane) and per-lane deferred
+/// credit counts (phase-2 writes — a lane can be dirtied by credits
+/// alone, so dirtiness tracking must consider both vectors).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct KvState {
-    /// Canonical contents: no zero-valued entries are ever stored.
-    entries: BTreeMap<u32, u64>,
+pub struct BatchOutcome {
+    /// Summed operation effects.
+    pub effects: ExecEffects,
+    /// Ops routed to each Merkle lane in phase 1 (length
+    /// [`MERKLE_LANES`]).
+    pub ops_per_lane: Vec<u32>,
+    /// Cross-lane credits applied to each Merkle lane in phase 2
+    /// (length [`MERKLE_LANES`]).
+    pub credits_per_lane: Vec<u32>,
 }
 
+/// SHA-256 leaf hash of one live entry.
+#[inline]
+fn leaf_hash(key: u32, value: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"ladon/state-leaf/v1");
+    h.update(&key.to_le_bytes());
+    h.update(&value.to_le_bytes());
+    h.finalize()
+}
+
+/// A deferred cross-lane credit emitted in phase 1.
+#[derive(Clone, Copy, Debug)]
+struct Credit {
+    /// Global op index within the batch (phase-2 application order).
+    idx: u32,
+    /// Credited key.
+    to: u32,
+    /// Amount actually moved (already clamped at the debit site).
+    amount: u64,
+}
+
+/// One Merkle lane: a shard of the key space with an incrementally
+/// maintained content root.
+#[derive(Clone, Debug, Default)]
+struct Lane {
+    /// Canonical contents: no zero-valued entries are ever stored.
+    entries: BTreeMap<u32, u64>,
+    /// XOR multiset accumulator over the leaf hashes of `entries` —
+    /// maintained in O(1) per write, so finalizing the lane root never
+    /// rescans the entries.
+    agg: [u8; 32],
+}
+
+impl Lane {
+    /// Reads `key` (0 when absent).
+    #[inline]
+    fn get(&self, key: u32) -> u64 {
+        self.entries.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Writes `key`, maintaining the accumulator: XOR out the old leaf,
+    /// XOR in the new one. Zero values delete (canonical form).
+    fn set(&mut self, key: u32, value: u64) {
+        let old = if value == 0 {
+            self.entries.remove(&key)
+        } else {
+            self.entries.insert(key, value)
+        };
+        if let Some(old) = old {
+            xor_into(&mut self.agg, &leaf_hash(key, old));
+        }
+        if value != 0 {
+            xor_into(&mut self.agg, &leaf_hash(key, value));
+        }
+    }
+
+    /// The lane's content root: a digest over the entry count and the
+    /// multiset accumulator. O(1) thanks to the accumulator.
+    fn root(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ladon/lane-root/v1");
+        h.update(&(self.entries.len() as u64).to_le_bytes());
+        h.update(&self.agg);
+        Digest(h.finalize())
+    }
+}
+
+#[inline]
+fn xor_into(acc: &mut [u8; 32], leaf: &[u8; 32]) {
+    for (a, b) in acc.iter_mut().zip(leaf) {
+        *a ^= b;
+    }
+}
+
+/// The replicated key-value state, sharded into [`MERKLE_LANES`] lanes.
+#[derive(Clone, Debug)]
+pub struct KvState {
+    lanes: Vec<Lane>,
+    /// Parallel workers used by [`Self::apply_batch`]. Has no effect on
+    /// any observable state or root — workers group lanes, nothing more.
+    exec_lanes: u32,
+    /// Reusable per-lane routing scratch for [`Self::apply_batch`]
+    /// (always left empty between batches, capacity retained — routing a
+    /// block allocates nothing after warmup).
+    op_scratch: Vec<Vec<(u32, TxOp)>>,
+    /// Reusable per-lane credit scratch (same lifecycle).
+    credit_scratch: Vec<Vec<Credit>>,
+}
+
+impl Default for KvState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for KvState {
+    /// Content equality (worker count is a local tuning choice).
+    fn eq(&self, other: &Self) -> bool {
+        self.lanes
+            .iter()
+            .zip(&other.lanes)
+            .all(|(a, b)| a.entries == b.entries)
+    }
+}
+
+impl Eq for KvState {}
+
 impl KvState {
-    /// Empty state.
+    /// Empty state applying batches on the calling thread.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_exec_lanes(1)
+    }
+
+    /// Empty state applying batches with `exec_lanes` parallel workers
+    /// (clamped to `1..=MERKLE_LANES`).
+    pub fn with_exec_lanes(exec_lanes: u32) -> Self {
+        Self {
+            lanes: vec![Lane::default(); MERKLE_LANES as usize],
+            exec_lanes: exec_lanes.clamp(1, MERKLE_LANES),
+            op_scratch: vec![Vec::new(); MERKLE_LANES as usize],
+            credit_scratch: vec![Vec::new(); MERKLE_LANES as usize],
+        }
     }
 
     /// Rebuilds state from canonical `(key, value)` entries (snapshot
     /// install). Zero values are dropped to restore canonical form.
     pub fn from_entries(entries: impl IntoIterator<Item = (u32, u64)>) -> Self {
-        Self {
-            entries: entries.into_iter().filter(|&(_, v)| v != 0).collect(),
+        let mut s = Self::new();
+        for (k, v) in entries {
+            s.lanes[lane_of(k)].set(k, v);
         }
+        s
+    }
+
+    /// Sets the parallel worker count without touching contents.
+    pub fn set_exec_lanes(&mut self, exec_lanes: u32) {
+        self.exec_lanes = exec_lanes.clamp(1, MERKLE_LANES);
     }
 
     /// Number of live (nonzero) entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lanes.iter().map(|l| l.entries.len()).sum()
     }
 
     /// True when no entry is set.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lanes.iter().all(|l| l.entries.is_empty())
     }
 
     /// Reads `key` (0 when absent).
     pub fn get(&self, key: u32) -> u64 {
-        self.entries.get(&key).copied().unwrap_or(0)
+        self.lanes[lane_of(key)].get(key)
     }
 
-    /// Canonical `(key, value)` entries in ascending key order.
-    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+    /// Canonical `(key, value)` entries in ascending key order, merged
+    /// across lanes (snapshot capture).
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.entries.iter().map(|(&k, &v)| (k, v)))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out.into_iter()
     }
 
-    fn set(&mut self, key: u32, value: u64) {
-        if value == 0 {
-            self.entries.remove(&key);
-        } else {
-            self.entries.insert(key, value);
-        }
-    }
-
-    /// Applies one operation, returning what it did.
+    /// Applies one operation immediately (cross-lane credits included),
+    /// returning what it did. Equivalent to a batch of one op; unit tests
+    /// and non-pipelined callers use this.
     pub fn apply(&mut self, op: &TxOp) -> ExecEffects {
         let mut fx = ExecEffects::default();
         match *op {
             TxOp::Put { key, value } => {
-                self.set(key, value);
+                self.lanes[lane_of(key)].set(key, value);
                 fx.puts = 1;
             }
             TxOp::Get { key } => {
@@ -118,9 +300,9 @@ impl KvState {
                 if moved == 0 || from == to {
                     fx.empty_transfers = 1;
                 } else {
-                    self.set(from, have - moved);
+                    self.lanes[lane_of(from)].set(from, have - moved);
                     let dest = self.get(to);
-                    self.set(to, dest.saturating_add(moved));
+                    self.lanes[lane_of(to)].set(to, dest.saturating_add(moved));
                     fx.transfers = 1;
                 }
             }
@@ -128,17 +310,195 @@ impl KvState {
         fx
     }
 
-    /// The content-addressed state root: SHA-256 over the canonical
-    /// entries in key order.
+    /// Applies a block's ops across lanes: route, phase-1 per-lane
+    /// sequential apply (debits at the `from` lane), phase-2 deferred
+    /// cross-lane credits in global op order. Lanes are processed by
+    /// `exec_lanes` parallel workers when the batch is large enough; the
+    /// result is identical for every worker count (see module docs).
+    pub fn apply_batch(&mut self, ops: &[TxOp]) -> BatchOutcome {
+        // Route ops to their phase-1 lane (reusing the warm scratch
+        // queues — no steady-state allocation on the hot path).
+        let mut queues = std::mem::take(&mut self.op_scratch);
+        queues.resize_with(MERKLE_LANES as usize, Vec::new);
+        for (idx, op) in ops.iter().enumerate() {
+            let lane = match *op {
+                TxOp::Put { key, .. } | TxOp::Get { key } => lane_of(key),
+                TxOp::Transfer { from, .. } => lane_of(from),
+            };
+            queues[lane].push((idx as u32, *op));
+        }
+        let ops_per_lane: Vec<u32> = queues.iter().map(|q| q.len() as u32).collect();
+
+        let workers = if ops.len() < PARALLEL_THRESHOLD {
+            1
+        } else {
+            self.exec_lanes.max(1) as usize
+        };
+        let chunk = MERKLE_LANES as usize;
+        let chunk = chunk.div_ceil(workers);
+
+        // Phase 1: per-lane sequential apply; cross-lane credits spill.
+        let mut effects = ExecEffects::default();
+        let mut credits: Vec<Credit> = Vec::new();
+        if workers == 1 {
+            for (lane, queue) in self.lanes.iter_mut().zip(&queues) {
+                let (fx, cr) = phase1(lane, queue);
+                effects.absorb(fx);
+                credits.extend(cr);
+            }
+        } else {
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .lanes
+                    .chunks_mut(chunk)
+                    .zip(queues.chunks(chunk))
+                    .map(|(lanes, qs)| {
+                        s.spawn(move || {
+                            let mut fx = ExecEffects::default();
+                            let mut cr = Vec::new();
+                            for (lane, queue) in lanes.iter_mut().zip(qs) {
+                                let (f, c) = phase1(lane, queue);
+                                fx.absorb(f);
+                                cr.extend(c);
+                            }
+                            (fx, cr)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("execution worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (fx, cr) in results {
+                effects.absorb(fx);
+                credits.extend(cr);
+            }
+        }
+
+        // Phase 2: deferred credits, in global op order per target lane.
+        let mut credits_per_lane = vec![0u32; MERKLE_LANES as usize];
+        if !credits.is_empty() {
+            credits.sort_unstable_by_key(|c| c.idx);
+            let mut credit_queues = std::mem::take(&mut self.credit_scratch);
+            credit_queues.resize_with(MERKLE_LANES as usize, Vec::new);
+            for c in credits {
+                credit_queues[lane_of(c.to)].push(c);
+            }
+            if workers == 1 {
+                for (lane, queue) in self.lanes.iter_mut().zip(&credit_queues) {
+                    phase2(lane, queue);
+                }
+            } else {
+                std::thread::scope(|s| {
+                    for (lanes, qs) in self
+                        .lanes
+                        .chunks_mut(chunk)
+                        .zip(credit_queues.chunks(chunk))
+                    {
+                        s.spawn(move || {
+                            for (lane, queue) in lanes.iter_mut().zip(qs) {
+                                phase2(lane, queue);
+                            }
+                        });
+                    }
+                });
+            }
+            for (lane, q) in credit_queues.iter_mut().enumerate() {
+                credits_per_lane[lane] = q.len() as u32;
+                q.clear();
+            }
+            self.credit_scratch = credit_queues;
+        }
+
+        // Return the routing scratch emptied, capacity intact.
+        for q in &mut queues {
+            q.clear();
+        }
+        self.op_scratch = queues;
+
+        BatchOutcome {
+            effects,
+            ops_per_lane,
+            credits_per_lane,
+        }
+    }
+
+    /// The ordered lane-root vector (length [`MERKLE_LANES`]) — the
+    /// Merkle leaves the state root digests, recorded verbatim in every
+    /// snapshot manifest.
+    pub fn lane_roots(&self) -> Vec<Digest> {
+        self.lanes.iter().map(Lane::root).collect()
+    }
+
+    /// The two-level state root: SHA-256 over the ordered lane roots.
+    /// O(lanes), independent of the keyspace size — each lane root is
+    /// maintained incrementally on write.
     pub fn root(&self) -> Digest {
+        let roots = self.lane_roots();
+        Self::root_of_lane_roots(&roots)
+    }
+
+    /// Folds an ordered lane-root vector into the state root (the same
+    /// digest [`Self::root`] returns; snapshot verification uses this to
+    /// bind the manifest's lane-root vector to the contents).
+    pub fn root_of_lane_roots(roots: &[Digest]) -> Digest {
         let mut h = Sha256::new();
-        h.update(b"ladon/state-root/v1");
-        h.update(&(self.entries.len() as u64).to_le_bytes());
-        for (&k, &v) in &self.entries {
-            h.update(&k.to_le_bytes());
-            h.update(&v.to_le_bytes());
+        h.update(b"ladon/state-root/v2");
+        h.update(&(roots.len() as u64).to_le_bytes());
+        for r in roots {
+            h.update(&r.0);
         }
         Digest(h.finalize())
+    }
+}
+
+/// Phase 1 for one lane: apply its queue in op order. Debits clamp at the
+/// balance seen at the debit point; same-lane credits land immediately,
+/// cross-lane credits are returned for phase 2.
+fn phase1(lane: &mut Lane, queue: &[(u32, TxOp)]) -> (ExecEffects, Vec<Credit>) {
+    let mut fx = ExecEffects::default();
+    let mut credits = Vec::new();
+    for &(idx, ref op) in queue {
+        match *op {
+            TxOp::Put { key, value } => {
+                lane.set(key, value);
+                fx.puts += 1;
+            }
+            TxOp::Get { key } => {
+                let _ = lane.get(key);
+                fx.gets += 1;
+            }
+            TxOp::Transfer { from, to, amount } => {
+                let have = lane.get(from);
+                let moved = have.min(amount);
+                if moved == 0 || from == to {
+                    fx.empty_transfers += 1;
+                } else {
+                    lane.set(from, have - moved);
+                    fx.transfers += 1;
+                    if lane_of(to) == lane_of(from) {
+                        let dest = lane.get(to);
+                        lane.set(to, dest.saturating_add(moved));
+                    } else {
+                        credits.push(Credit {
+                            idx,
+                            to,
+                            amount: moved,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (fx, credits)
+}
+
+/// Phase 2 for one lane: apply deferred credits in global op order.
+fn phase2(lane: &mut Lane, queue: &[Credit]) {
+    for c in queue {
+        let dest = lane.get(c.to);
+        lane.set(c.to, dest.saturating_add(c.amount));
     }
 }
 
@@ -212,6 +572,94 @@ mod tests {
     }
 
     #[test]
+    fn lane_roots_update_incrementally() {
+        let mut s = KvState::new();
+        s.apply(&TxOp::Put { key: 5, value: 9 });
+        let before = s.lane_roots();
+        // Touch exactly one key: exactly one lane root may change.
+        s.apply(&TxOp::Put { key: 5, value: 10 });
+        let after = s.lane_roots();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 1);
+        assert_eq!(before.len(), MERKLE_LANES as usize);
+        // Deleting restores the untouched-lane root exactly.
+        s.apply(&TxOp::Put { key: 5, value: 0 });
+        let cleared = s.lane_roots();
+        assert_eq!(cleared, KvState::new().lane_roots());
+    }
+
+    #[test]
+    fn root_matches_lane_root_fold() {
+        let mut s = KvState::new();
+        for k in 0..200u32 {
+            s.apply(&TxOp::Put {
+                key: k,
+                value: k as u64 + 1,
+            });
+        }
+        let roots = s.lane_roots();
+        assert_eq!(s.root(), KvState::root_of_lane_roots(&roots));
+    }
+
+    #[test]
+    fn batch_apply_is_worker_count_invariant() {
+        // Includes cross-lane transfers; large enough to cross the
+        // parallel threshold so multi-worker paths actually run.
+        let ops: Vec<TxOp> = (0..4096u64).map(|i| TxOp::for_id(TxId(i), 512)).collect();
+        let mut roots = Vec::new();
+        let mut fx = Vec::new();
+        for workers in [1, 2, 4, 8, 64] {
+            let mut s = KvState::with_exec_lanes(workers);
+            let out = s.apply_batch(&ops);
+            assert_eq!(out.effects.total(), ops.len() as u64);
+            assert_eq!(
+                out.ops_per_lane.iter().map(|&c| c as u64).sum::<u64>(),
+                ops.len() as u64
+            );
+            roots.push(s.root());
+            fx.push(out.effects);
+        }
+        assert!(roots.windows(2).all(|w| w[0] == w[1]), "{roots:?}");
+        assert!(fx.windows(2).all(|w| w[0] == w[1]), "{fx:?}");
+    }
+
+    #[test]
+    fn credit_only_lanes_are_reported() {
+        // Two keys in different lanes: the credited lane sees no phase-1
+        // op, only a phase-2 credit — and must still be reported dirty.
+        let a = 0u32;
+        let b = (1..DEFAULT_KEYSPACE)
+            .find(|&k| lane_of(k) != lane_of(a))
+            .expect("some key lands in another lane");
+        let mut s = KvState::new();
+        s.apply(&TxOp::Put { key: a, value: 10 });
+        let out = s.apply_batch(&[TxOp::Transfer {
+            from: a,
+            to: b,
+            amount: 4,
+        }]);
+        assert_eq!(out.effects.transfers, 1);
+        assert_eq!(out.ops_per_lane[lane_of(a)], 1);
+        assert_eq!(out.ops_per_lane[lane_of(b)], 0);
+        assert_eq!(out.credits_per_lane[lane_of(b)], 1);
+        assert_eq!(out.credits_per_lane[lane_of(a)], 0);
+        assert_eq!(s.get(b), 4);
+    }
+
+    #[test]
+    fn batch_apply_single_op_matches_apply() {
+        for i in 0..256u64 {
+            let op = TxOp::for_id(TxId(i), 64);
+            let mut a = KvState::new();
+            a.apply(&TxOp::Put { key: 1, value: 50 });
+            let mut b = a.clone();
+            a.apply(&op);
+            b.apply_batch(std::slice::from_ref(&op));
+            assert_eq!(a.root(), b.root(), "op {i}: {op:?}");
+        }
+    }
+
+    #[test]
     fn derived_ops_are_deterministic_and_mixed() {
         let mut kinds = [0u32; 3];
         for i in 0..1000u64 {
@@ -233,5 +681,18 @@ mod tests {
             }
         }
         assert!(kinds.iter().all(|&k| k > 100), "skewed op mix: {kinds:?}");
+    }
+
+    #[test]
+    fn lanes_are_reasonably_balanced() {
+        let mut counts = vec![0u32; MERKLE_LANES as usize];
+        for k in 0..DEFAULT_KEYSPACE {
+            counts[lane_of(k)] += 1;
+        }
+        let expect = DEFAULT_KEYSPACE / MERKLE_LANES;
+        assert!(
+            counts.iter().all(|&c| c > expect / 4 && c < expect * 4),
+            "lane skew: {counts:?}"
+        );
     }
 }

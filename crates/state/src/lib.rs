@@ -5,9 +5,12 @@
 //! that stream *mean* something. It follows the sans-IO replica
 //! execution-loop shape (confirmed blocks in, durable effects out):
 //!
-//! - [`kv`]: a deterministic key-value state machine ([`KvState`]) applying
-//!   transaction ops (put / get / transfer) in confirmed global order, with
-//!   a content-addressed SHA-256 state root over its canonical contents.
+//! - [`kv`]: a deterministic key-value state machine ([`KvState`]) sharded
+//!   into [`MERKLE_LANES`] fixed Merkle lanes by key hash. Blocks apply
+//!   across lanes with a configurable number of parallel workers
+//!   (`exec_lanes`), and each lane maintains an incrementally updated
+//!   content root, so the two-level state root costs O(lanes) — not
+//!   O(keyspace) — and is bit-identical for every worker count.
 //! - [`wal`]: a commit write-ahead log ([`CommitWal`]) of confirmed block
 //!   identities, checksummed and length-prefixed, over pluggable storage
 //!   ([`MemBackend`] for simulation, [`FileBackend`] for real durability).
@@ -29,7 +32,9 @@ pub mod pipeline;
 pub mod snapshot;
 pub mod wal;
 
-pub use kv::{ExecEffects, KvState, DEFAULT_KEYSPACE};
+pub use kv::{
+    lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, DEFAULT_KEYSPACE, MERKLE_LANES,
+};
 pub use pipeline::{ExecOutcome, ExecutionPipeline};
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use wal::{CommitWal, FileBackend, MemBackend, WalBackend, WalRecord};

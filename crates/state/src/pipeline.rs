@@ -2,12 +2,18 @@
 //!
 //! [`ExecutionPipeline`] is the single entry point `ladon-core` feeds.
 //! For every confirmed block it (1) appends a [`WalRecord`] to the commit
-//! log, then (2) applies the block's derived transaction ops to the KV
-//! state — WAL-before-apply, so a crash between the two replays the block
-//! on recovery instead of losing it. At every epoch checkpoint it captures
-//! a [`Snapshot`], compacts the WAL behind it, and returns the snapshot's
-//! manifest root — covering the execution position and frontier as well
-//! as the KV contents — which the checkpoint quorum signs.
+//! log, then (2) applies the block's derived transaction ops to the
+//! sharded KV state — WAL-before-apply, so a crash between the two
+//! replays the block on recovery instead of losing it. Application fans
+//! out across the fixed Merkle lanes with `exec_lanes` parallel workers
+//! (see [`crate::kv`]); the pipeline also keeps a per-lane ledger of how
+//! many ops each WAL record routed where and which `sn` last dirtied
+//! each lane. At every epoch checkpoint it captures a [`Snapshot`],
+//! compacts the WAL behind it, and returns the snapshot's manifest root —
+//! covering the execution position, frontier, and the ordered lane-root
+//! vector — which the checkpoint quorum signs. Checkpoint root cost is
+//! O(lanes), not O(keyspace): lane roots are maintained incrementally on
+//! write.
 //!
 //! Recovery composes the two artifacts: install the latest snapshot, then
 //! re-execute the WAL tail ([`ExecutionPipeline::recover`] /
@@ -15,7 +21,7 @@
 //! the recovered root equals the pre-crash root — the crash-recovery
 //! example and the WAL-replay property test assert exactly this.
 
-use crate::kv::{ExecEffects, KvState};
+use crate::kv::{ExecEffects, KvState, DEFAULT_EXEC_LANES, MERKLE_LANES};
 use crate::snapshot::{Snapshot, SnapshotStore};
 use crate::wal::{CommitWal, FileBackend, MemBackend, WalBackend, WalRecord};
 use ladon_types::{Block, Digest};
@@ -57,19 +63,40 @@ pub struct ExecutionPipeline {
     effects: ExecEffects,
     /// Accounts in the derived-op key space.
     keyspace: u32,
+    /// Parallel execution workers over the Merkle lanes.
+    exec_lanes: u32,
+    /// Cumulative ops routed to each Merkle lane (length
+    /// [`MERKLE_LANES`]) — the lane-load ledger behind the WAL: each
+    /// appended record's ops are accounted to the lanes they dirtied.
+    lane_ops: Vec<u64>,
+    /// Per-lane `sn` high-water mark: the last WAL `sn` whose ops touched
+    /// the lane, `None` while untouched. Lanes whose mark is below the
+    /// latest snapshot's `applied` are clean — their lane roots were
+    /// unchanged by the WAL tail (the basis for per-lane WAL segments, a
+    /// ROADMAP follow-up).
+    lane_last_sn: Vec<Option<u64>>,
 }
 
 impl ExecutionPipeline {
-    /// In-memory pipeline (simulation default).
+    /// In-memory pipeline with the default worker count (simulation
+    /// default).
     pub fn in_memory(keyspace: u32) -> Self {
+        Self::in_memory_with(keyspace, DEFAULT_EXEC_LANES)
+    }
+
+    /// In-memory pipeline with an explicit parallel worker count.
+    pub fn in_memory_with(keyspace: u32, exec_lanes: u32) -> Self {
         Self {
-            kv: KvState::new(),
+            kv: KvState::with_exec_lanes(exec_lanes),
             wal: CommitWal::in_memory(),
             store: SnapshotStore::in_memory(),
             applied: 0,
             executed_txs: 0,
             effects: ExecEffects::default(),
             keyspace,
+            exec_lanes,
+            lane_ops: vec![0; MERKLE_LANES as usize],
+            lane_last_sn: vec![None; MERKLE_LANES as usize],
         }
     }
 
@@ -77,28 +104,41 @@ impl ExecutionPipeline {
     /// recovering state from whatever the directory already holds:
     /// snapshot install, then WAL-tail replay.
     pub fn recover(dir: impl AsRef<Path>, keyspace: u32) -> std::io::Result<Self> {
+        Self::recover_with(dir, keyspace, DEFAULT_EXEC_LANES)
+    }
+
+    /// [`Self::recover`] with an explicit parallel worker count.
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        keyspace: u32,
+        exec_lanes: u32,
+    ) -> std::io::Result<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let store = SnapshotStore::at_dir(dir)?;
         let wal = CommitWal::open(Box::new(FileBackend::open(dir.join("commit.wal"))?));
-        Ok(Self::rebuild(wal, store, keyspace))
+        Ok(Self::rebuild(wal, store, keyspace, exec_lanes))
     }
 
     /// Rebuilds a pipeline from an already-opened WAL and snapshot store
     /// (the recovery path, shared by disk and byte-shipped variants).
-    fn rebuild(wal: CommitWal, store: SnapshotStore, keyspace: u32) -> Self {
+    fn rebuild(wal: CommitWal, store: SnapshotStore, keyspace: u32, exec_lanes: u32) -> Self {
         let mut p = Self {
-            kv: KvState::new(),
+            kv: KvState::with_exec_lanes(exec_lanes),
             wal,
             store,
             applied: 0,
             executed_txs: 0,
             effects: ExecEffects::default(),
             keyspace,
+            exec_lanes,
+            lane_ops: vec![0; MERKLE_LANES as usize],
+            lane_last_sn: vec![None; MERKLE_LANES as usize],
         };
         if let Some(snap) = p.store.latest().cloned() {
             if snap.verify() {
                 p.kv = KvState::from_entries(snap.entries.iter().copied());
+                p.kv.set_exec_lanes(exec_lanes);
                 p.applied = snap.applied;
                 p.executed_txs = snap.executed_txs;
             }
@@ -121,7 +161,7 @@ impl ExecutionPipeline {
             if rec.sn != p.applied {
                 break;
             }
-            p.apply_batch(&rec.batch());
+            p.apply_batch(rec.sn, &rec.batch());
             p.applied = rec.sn + 1;
         }
         p
@@ -130,6 +170,16 @@ impl ExecutionPipeline {
     /// Reconstructs a pipeline from byte-shipped parts (in-sim restart and
     /// sync paths): an optional encoded snapshot plus a WAL-tail encoding.
     pub fn from_parts(snapshot: Option<&[u8]>, wal_bytes: &[u8], keyspace: u32) -> Self {
+        Self::from_parts_with(snapshot, wal_bytes, keyspace, DEFAULT_EXEC_LANES)
+    }
+
+    /// [`Self::from_parts`] with an explicit parallel worker count.
+    pub fn from_parts_with(
+        snapshot: Option<&[u8]>,
+        wal_bytes: &[u8],
+        keyspace: u32,
+        exec_lanes: u32,
+    ) -> Self {
         let mut store = SnapshotStore::in_memory();
         if let Some(bytes) = snapshot {
             if let Some(snap) = Snapshot::decode(bytes) {
@@ -141,7 +191,7 @@ impl ExecutionPipeline {
         let mut backend = MemBackend::default();
         backend.reset(wal_bytes);
         let wal = CommitWal::open(Box::new(backend));
-        Self::rebuild(wal, store, keyspace)
+        Self::rebuild(wal, store, keyspace, exec_lanes)
     }
 
     /// Exports `(latest snapshot encoding, WAL-tail encoding)` — the exact
@@ -170,19 +220,34 @@ impl ExecutionPipeline {
         }
         // WAL first: a crash after this point replays the block.
         self.wal.append(WalRecord::of_block(sn, block));
-        let txs = self.apply_batch(&block.batch);
+        let txs = self.apply_batch(sn, &block.batch);
         self.applied = sn + 1;
         ExecOutcome::Applied { txs }
     }
 
-    fn apply_batch(&mut self, batch: &ladon_types::Batch) -> u64 {
-        let mut txs = 0u64;
-        for tx in batch.txs(self.keyspace) {
-            self.effects.absorb(self.kv.apply(&tx.op));
-            txs += 1;
+    /// Applies one block's ops across the Merkle lanes (parallel when the
+    /// batch is large enough) and accounts the routed ops to each lane
+    /// against the block's WAL `sn`.
+    fn apply_batch(&mut self, sn: u64, batch: &ladon_types::Batch) -> u64 {
+        let ops: Vec<ladon_types::TxOp> = batch.txs(self.keyspace).map(|tx| tx.op).collect();
+        let out = self.kv.apply_batch(&ops);
+        self.effects.absorb(out.effects);
+        // A lane is dirtied by phase-1 ops *or* phase-2 cross-lane
+        // credits — a block whose only effect on a lane is a credit still
+        // changes that lane's root.
+        for (lane, (&count, &credits)) in out
+            .ops_per_lane
+            .iter()
+            .zip(&out.credits_per_lane)
+            .enumerate()
+        {
+            self.lane_ops[lane] += count as u64;
+            if count > 0 || credits > 0 {
+                self.lane_last_sn[lane] = Some(sn);
+            }
         }
-        self.executed_txs += txs;
-        txs
+        self.executed_txs += ops.len() as u64;
+        ops.len() as u64
     }
 
     /// Epoch checkpoint: captures a snapshot of the current state, compacts
@@ -213,6 +278,7 @@ impl ExecutionPipeline {
             return false;
         }
         self.kv = KvState::from_entries(snap.entries.iter().copied());
+        self.kv.set_exec_lanes(self.exec_lanes);
         self.applied = snap.applied;
         self.executed_txs = snap.executed_txs;
         if self.store.put(snap.clone()) {
@@ -221,10 +287,37 @@ impl ExecutionPipeline {
         true
     }
 
-    /// Current state root (O(state size); called at checkpoints and in
-    /// assertions, not per block).
+    /// Current state root. O([`MERKLE_LANES`]) — folded from the
+    /// incrementally maintained lane roots, independent of state size.
     pub fn state_root(&self) -> Digest {
         self.kv.root()
+    }
+
+    /// The ordered lane-root vector of the current state.
+    pub fn lane_roots(&self) -> Vec<Digest> {
+        self.kv.lane_roots()
+    }
+
+    /// Parallel execution workers this pipeline applies batches with.
+    pub fn exec_lanes(&self) -> u32 {
+        self.exec_lanes
+    }
+
+    /// Cumulative ops routed to each Merkle lane (length
+    /// [`MERKLE_LANES`]).
+    pub fn lane_ops(&self) -> &[u64] {
+        &self.lane_ops
+    }
+
+    /// Lanes dirtied by the current WAL tail: their last-touched `sn` is
+    /// at or past the applied frontier of the latest snapshot (every lane
+    /// root outside this set is already covered by the snapshot).
+    pub fn dirty_lanes(&self) -> usize {
+        let covered = self.store.latest().map(|s| s.applied).unwrap_or(0);
+        self.lane_last_sn
+            .iter()
+            .filter(|sn| sn.is_some_and(|sn| sn >= covered))
+            .count()
     }
 
     /// Confirmed blocks applied (the next expected `sn`).
@@ -309,6 +402,38 @@ mod tests {
         assert_eq!(a.state_root(), b.state_root());
         assert_eq!(a.executed_txs(), 1000);
         assert!(a.effects().total() >= 1000);
+    }
+
+    #[test]
+    fn roots_are_worker_count_invariant() {
+        let mut roots = Vec::new();
+        for lanes in [1u32, 2, 8, 64] {
+            let mut p = ExecutionPipeline::in_memory_with(DEFAULT_KEYSPACE, lanes);
+            run_blocks(&mut p, 0, 20);
+            roots.push(p.state_root());
+        }
+        assert!(
+            roots.windows(2).all(|w| w[0] == w[1]),
+            "state roots must not depend on exec_lanes: {roots:?}"
+        );
+    }
+
+    #[test]
+    fn lane_ledger_tracks_wal_tail() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut p, 0, 8);
+        assert_eq!(p.lane_ops().iter().sum::<u64>(), 8 * 50);
+        assert!(p.dirty_lanes() > 0);
+        // A checkpoint covers every dirtied lane.
+        p.checkpoint(0, Vec::new());
+        assert_eq!(p.dirty_lanes(), 0, "snapshot must cover all lanes");
+        // One 50-op block dirties at most 100 lanes (each op touches at
+        // most one phase-1 lane plus one credited lane), clamped to the
+        // lane count.
+        run_blocks(&mut p, 8, 1);
+        let dirty = p.dirty_lanes();
+        let cap = 100.min(MERKLE_LANES as usize);
+        assert!((1..=cap).contains(&dirty), "dirty lanes = {dirty}");
     }
 
     #[test]

@@ -2,19 +2,20 @@
 //!
 //! A [`Snapshot`] freezes the full canonical KV contents at an epoch
 //! boundary together with the execution position (`applied` confirmed
-//! blocks, cumulative executed transactions) and the *manifest root* the
-//! whole snapshot hashes to. The root covers every field an installer
-//! acts on — epoch, `applied`, `executed_txs`, `frontier`, and the KV
-//! contents — not just the entries: execution is deterministic, so honest
-//! replicas completing the same epoch produce identical manifests, and
-//! the checkpoint quorum's signature over the root therefore attests to
-//! the metadata as much as to the state. Snapshots are
-//! *content-addressed*: the root is recomputable from the fields, so a
-//! receiver can verify a snapshot in isolation ([`Snapshot::verify`]) and
-//! then check the root against the quorum-signed `StableCheckpoint`
-//! before installing — a Byzantine peer can serve a correct snapshot or
-//! nothing, and cannot splice a forged `applied` or `frontier` onto
-//! genuine entries.
+//! blocks, cumulative executed transactions), the ordered **lane-root
+//! vector** of the sharded state ([`crate::kv::KvState::lane_roots`]),
+//! and the *manifest root* the whole snapshot hashes to. The root covers
+//! every field an installer acts on — epoch, `applied`, `executed_txs`,
+//! `frontier`, and the lane roots (which commit to the KV contents) —
+//! not just the entries: execution is deterministic, so honest replicas
+//! completing the same epoch produce identical manifests, and the
+//! checkpoint quorum's signature over the root therefore attests to the
+//! metadata as much as to the state. Snapshots are *content-addressed*:
+//! the root is recomputable from the fields, so a receiver can verify a
+//! snapshot in isolation ([`Snapshot::verify`]) and then check the root
+//! against the quorum-signed `StableCheckpoint` before installing — a
+//! Byzantine peer can serve a correct snapshot or nothing, and cannot
+//! splice a forged `applied` or `frontier` onto genuine entries.
 //!
 //! The [`SnapshotStore`] retains the latest snapshot in memory and, when
 //! given a directory, persists each snapshot to
@@ -22,28 +23,31 @@
 
 use crate::kv::KvState;
 use ladon_crypto::fnv::Fnv64;
-use ladon_types::{sizes, Digest, WireSize};
+use ladon_types::{sizes, Digest, WireSize, MERKLE_LANES};
 use std::path::{Path, PathBuf};
 
-/// Snapshot format version. v2: `root` became the manifest root covering
-/// the metadata as well as the contents — v1 snapshots (contents-only
-/// root) would silently fail [`Snapshot::verify`], so they are rejected
-/// at decode instead.
-const SNAP_VERSION: u8 = 2;
+/// Snapshot format version. v3: the manifest commits to the sharded
+/// state's ordered lane-root vector (now stored in the snapshot) instead
+/// of a single full-scan contents root. v2 snapshots hash differently and
+/// would silently fail [`Snapshot::verify`], so they are rejected at
+/// decode — a restarting replica falls back to peer sync rather than
+/// trusting a stale-format artifact.
+const SNAP_VERSION: u8 = 3;
 
 /// Computes the attested manifest root: a digest over the snapshot's
 /// complete manifest — epoch, execution position, consensus frontier, and
-/// the canonical KV contents root. This is what checkpoint quorums sign,
-/// so every one of these fields is authenticated on install.
+/// the ordered lane-root vector of the sharded KV state. This is what
+/// checkpoint quorums sign, so every one of these fields is authenticated
+/// on install.
 fn manifest_root(
     epoch: u64,
     applied: u64,
     executed_txs: u64,
     frontier: &[u64],
-    kv_root: &Digest,
+    lane_roots: &[Digest],
 ) -> Digest {
     let mut h = ladon_crypto::Sha256::new();
-    h.update(b"ladon/snapshot-manifest/v1");
+    h.update(b"ladon/snapshot-manifest/v2");
     h.update(&epoch.to_le_bytes());
     h.update(&applied.to_le_bytes());
     h.update(&executed_txs.to_le_bytes());
@@ -51,7 +55,7 @@ fn manifest_root(
     for &r in frontier {
         h.update(&r.to_le_bytes());
     }
-    h.update(&kv_root.0);
+    h.update(&KvState::root_of_lane_roots(lane_roots).0);
     Digest(h.finalize())
 }
 
@@ -65,8 +69,9 @@ pub struct Snapshot {
     /// Cumulative transactions executed.
     pub executed_txs: u64,
     /// Manifest root: digest over `epoch`, `applied`, `executed_txs`,
-    /// `frontier`, and the canonical contents root (content address of
-    /// the whole snapshot, and the root checkpoint quorums sign).
+    /// `frontier`, and the state root folded from `lane_roots` (content
+    /// address of the whole snapshot, and the root checkpoint quorums
+    /// sign).
     pub root: Digest,
     /// Per-instance commit-round frontier at capture time (`frontier[i]`
     /// is instance `i`'s last committed round in the snapshotted prefix).
@@ -75,6 +80,11 @@ pub struct Snapshot {
     /// Empty for state-only snapshots (HotStuff instances, whose commit
     /// height at epoch completion is not replica-deterministic).
     pub frontier: Vec<u64>,
+    /// Ordered lane roots of the sharded state at capture time (length
+    /// [`MERKLE_LANES`]). Redundant with `entries` — and checked against
+    /// them on [`Self::verify`] — but shipped so an installer can audit
+    /// which lanes differ from its own state without rehashing anything.
+    pub lane_roots: Vec<Digest>,
     /// Canonical state contents, ascending key order, no zero values.
     pub entries: Vec<(u32, u64)>,
 }
@@ -88,35 +98,54 @@ impl Snapshot {
         frontier: Vec<u64>,
         kv: &KvState,
     ) -> Self {
+        let lane_roots = kv.lane_roots();
         Self {
             epoch,
             applied,
             executed_txs,
-            root: manifest_root(epoch, applied, executed_txs, &frontier, &kv.root()),
+            root: manifest_root(epoch, applied, executed_txs, &frontier, &lane_roots),
             frontier,
+            lane_roots,
             entries: kv.entries().collect(),
         }
     }
 
-    /// Recomputes the manifest root from every field and compares.
-    /// Tampering with the entries *or* the metadata (`applied`,
-    /// `frontier`, …) fails this check; re-hashing around the tampering
-    /// instead changes `root`, which then no longer matches the
-    /// quorum-signed checkpoint root.
+    /// Recomputes the lane roots from the entries and the manifest root
+    /// from every field, and compares. Tampering with the entries *or*
+    /// the metadata (`applied`, `frontier`, `lane_roots`, …) fails this
+    /// check; re-hashing around the tampering instead changes `root`,
+    /// which then no longer matches the quorum-signed checkpoint root.
     pub fn verify(&self) -> bool {
-        let kv_root = KvState::from_entries(self.entries.iter().copied()).root();
-        manifest_root(
-            self.epoch,
-            self.applied,
-            self.executed_txs,
-            &self.frontier,
-            &kv_root,
-        ) == self.root
+        let computed = KvState::from_entries(self.entries.iter().copied()).lane_roots();
+        computed == self.lane_roots
+            && manifest_root(
+                self.epoch,
+                self.applied,
+                self.executed_txs,
+                &self.frontier,
+                &self.lane_roots,
+            ) == self.root
+    }
+
+    /// The state root the lane-root vector folds to — what a replica's
+    /// own [`KvState::root`] reports after installing this snapshot.
+    pub fn state_root(&self) -> Digest {
+        KvState::root_of_lane_roots(&self.lane_roots)
     }
 
     /// Serializes to the versioned binary format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + 8 * 3 + 32 + 8 + self.entries.len() * 12 + 8);
+        let mut out = Vec::with_capacity(
+            1 + 8 * 3
+                + 32
+                + 8
+                + self.frontier.len() * 8
+                + 8
+                + self.lane_roots.len() * 32
+                + 8
+                + self.entries.len() * 12
+                + 8,
+        );
         out.push(SNAP_VERSION);
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.applied.to_le_bytes());
@@ -125,6 +154,10 @@ impl Snapshot {
         out.extend_from_slice(&(self.frontier.len() as u64).to_le_bytes());
         for &r in &self.frontier {
             out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.lane_roots.len() as u64).to_le_bytes());
+        for r in &self.lane_roots {
+            out.extend_from_slice(&r.0);
         }
         out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
         for &(k, v) in &self.entries {
@@ -137,9 +170,10 @@ impl Snapshot {
     }
 
     /// Deserializes, checking version and checksum (not the root; call
-    /// [`Self::verify`] for that).
+    /// [`Self::verify`] for that). v2 and earlier formats are rejected
+    /// here — their roots have different semantics.
     pub fn decode(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 1 + 24 + 32 + 8 + 8 || bytes[0] != SNAP_VERSION {
+        if bytes.len() < 1 + 24 + 32 + 8 + 8 + 8 || bytes[0] != SNAP_VERSION {
             return None;
         }
         let (payload, sum) = bytes.split_at(bytes.len() - 8);
@@ -159,9 +193,22 @@ impl Snapshot {
         let mut root = [0u8; 32];
         root.copy_from_slice(take(32)?);
         let flen = u64::from_le_bytes(take(8)?.try_into().ok()?) as usize;
-        let mut frontier = Vec::with_capacity(flen.min(1 << 16));
+        if flen > 1 << 16 {
+            return None;
+        }
+        let mut frontier = Vec::with_capacity(flen);
         for _ in 0..flen {
             frontier.push(u64::from_le_bytes(take(8)?.try_into().ok()?));
+        }
+        let llen = u64::from_le_bytes(take(8)?.try_into().ok()?) as usize;
+        if llen > 4 * MERKLE_LANES as usize {
+            return None;
+        }
+        let mut lane_roots = Vec::with_capacity(llen);
+        for _ in 0..llen {
+            let mut r = [0u8; 32];
+            r.copy_from_slice(take(32)?);
+            lane_roots.push(Digest(r));
         }
         let len = u64::from_le_bytes(take(8)?.try_into().ok()?) as usize;
         let mut entries = Vec::with_capacity(len.min(1 << 20));
@@ -176,6 +223,7 @@ impl Snapshot {
             executed_txs,
             root: Digest(root),
             frontier,
+            lane_roots,
             entries,
         })
     }
@@ -192,6 +240,8 @@ impl WireSize for Snapshot {
             + sizes::DIGEST
             + 8
             + self.frontier.len() as u64 * 8
+            + 8
+            + self.lane_roots.len() as u64 * sizes::DIGEST
             + 8
             + self.entries.len() as u64 * 12
             + 8
@@ -315,9 +365,13 @@ mod tests {
         let kv = sample_state();
         let snap = Snapshot::capture(3, 120, 5000, vec![7, 9, 11], &kv);
         assert!(snap.verify());
+        assert_eq!(snap.lane_roots.len(), MERKLE_LANES as usize);
+        assert_eq!(snap.state_root(), kv.root());
         let decoded = Snapshot::decode(&snap.encode()).expect("decode");
         assert_eq!(decoded, snap);
         assert!(decoded.verify());
+        // The lane-root vector round-trips byte-identically.
+        assert_eq!(decoded.lane_roots, snap.lane_roots);
     }
 
     #[test]
@@ -332,6 +386,14 @@ mod tests {
             tampered.entries[0].1 += 1;
         }
         assert!(!tampered.verify());
+    }
+
+    #[test]
+    fn prior_version_rejected_at_decode() {
+        let snap = Snapshot::capture(1, 10, 100, vec![2], &sample_state());
+        let mut bytes = snap.encode();
+        bytes[0] = 2; // masquerade as the v2 (pre-lane) format
+        assert!(Snapshot::decode(&bytes).is_none(), "v2 must be rejected");
     }
 
     #[test]
@@ -358,6 +420,11 @@ mod tests {
 
         let mut forged = snap.clone();
         forged.epoch += 1;
+        assert!(!forged.verify());
+
+        // A forged lane-root vector no longer matches the entries.
+        let mut forged = snap.clone();
+        forged.lane_roots[0] = Digest([0xab; 32]);
         assert!(!forged.verify());
     }
 

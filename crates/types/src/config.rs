@@ -4,6 +4,16 @@ use crate::ids::{Epoch, Rank};
 use crate::time::TimeNs;
 use serde::{Deserialize, Serialize};
 
+/// Number of fixed Merkle lanes the execution keyspace is partitioned
+/// into. This is a *protocol constant*, not a tuning knob: every key maps
+/// to one of these lanes by hash, each lane maintains an incrementally
+/// updated content root, and the checkpoint state root is a digest over
+/// the ordered lane-root vector. Keeping the partition fixed is what makes
+/// the state root bit-identical across replicas regardless of how many
+/// parallel execution workers ([`SystemConfig::exec_lanes`]) each replica
+/// runs — workers merely group lanes; they never change the lane layout.
+pub const MERKLE_LANES: u32 = 64;
+
 /// Network environment preset (§6.1 deployment settings).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum NetEnv {
@@ -131,6 +141,21 @@ pub struct SystemConfig {
     /// produces nothing for this long. The paper's honest stragglers stay
     /// under this bound so the mechanisms do not fire.
     pub quiet_leader_timeout: TimeNs,
+    /// Parallel execution lanes: how many workers apply a confirmed
+    /// block's ops concurrently. Workers own disjoint groups of the
+    /// [`MERKLE_LANES`] fixed key partitions, so any value in
+    /// `1..=MERKLE_LANES` yields the same state roots — this knob trades
+    /// CPU parallelism only, never determinism.
+    pub exec_lanes: u32,
+    /// Accounts in the execution key space (the synthetic workload derives
+    /// every op over `0..exec_keyspace`).
+    pub exec_keyspace: u32,
+    /// Snapshot serving minimum gap: a sync responder ships its latest
+    /// execution snapshot only when the requester's applied frontier lags
+    /// it by at least this many blocks. Smaller gaps are repaired by log
+    /// entries alone — shipping a full-keyspace snapshot to a replica one
+    /// block behind wastes ~50 KiB per probe.
+    pub snapshot_min_lag: u64,
 }
 
 impl SystemConfig {
@@ -148,6 +173,9 @@ impl SystemConfig {
             opt_keys: 16,
             rcc_lag_threshold: 16,
             quiet_leader_timeout: TimeNs::from_secs(30),
+            exec_lanes: 4,
+            exec_keyspace: 4096,
+            snapshot_min_lag: 16,
         }
     }
 
@@ -209,6 +237,27 @@ impl SystemConfig {
         if self.opt_keys == 0 {
             return Err(LadonError::Config("opt_keys must be > 0".into()));
         }
+        if self.exec_lanes == 0 || self.exec_lanes > MERKLE_LANES {
+            return Err(LadonError::Config(format!(
+                "exec_lanes = {} must be in 1..={MERKLE_LANES}",
+                self.exec_lanes
+            )));
+        }
+        if self.exec_keyspace == 0 {
+            return Err(LadonError::Config("exec_keyspace must be > 0".into()));
+        }
+        // Snapshots are captured once per epoch and consensus instances
+        // only retain roughly an epoch of committed rounds: a min-lag
+        // threshold beyond one epoch's worth of blocks could leave a
+        // deep lagger a dead zone where neither log entries (pruned) nor
+        // a snapshot (gap "too small") repair it.
+        if self.snapshot_min_lag > self.epoch_length {
+            return Err(LadonError::Config(format!(
+                "snapshot_min_lag = {} must not exceed epoch_length = {} \
+                 (the consensus log retention window)",
+                self.snapshot_min_lag, self.epoch_length
+            )));
+        }
         Ok(())
     }
 }
@@ -257,6 +306,37 @@ mod tests {
         assert_eq!(max1, Rank(127));
         assert_eq!(c.epoch_of_rank(Rank(63)), Epoch(0));
         assert_eq!(c.epoch_of_rank(Rank(64)), Epoch(1));
+    }
+
+    #[test]
+    fn exec_knobs_validated() {
+        let c = SystemConfig::paper_default(16, NetEnv::Wan);
+        assert_eq!(c.exec_lanes, 4);
+        assert_eq!(c.exec_keyspace, 4096);
+        assert_eq!(c.snapshot_min_lag, 16);
+
+        let mut bad = c.clone();
+        bad.exec_lanes = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = c.clone();
+        bad.exec_lanes = MERKLE_LANES + 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = c.clone();
+        bad.exec_keyspace = 0;
+        assert!(bad.validate().is_err());
+
+        // A min-lag beyond the log retention window would strand deep
+        // laggers (neither entries nor snapshot served).
+        let mut bad = c.clone();
+        bad.snapshot_min_lag = bad.epoch_length + 1;
+        assert!(bad.validate().is_err());
+
+        let mut ok = c;
+        ok.exec_lanes = MERKLE_LANES;
+        ok.snapshot_min_lag = ok.epoch_length;
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod tx;
 pub mod wire;
 
 pub use block::{Block, BlockHeader, Digest, OrderKey};
-pub use config::{NetEnv, ProtocolKind, SystemConfig};
+pub use config::{NetEnv, ProtocolKind, SystemConfig, MERKLE_LANES};
 pub use error::LadonError;
 pub use ids::{ClientId, Epoch, InstanceId, Rank, ReplicaId, Round, View};
 pub use time::{TimeNs, NS_PER_MS, NS_PER_SEC, NS_PER_US};

@@ -82,6 +82,11 @@ pub struct Report {
     /// Peer snapshots installed across all replicas (execution
     /// fast-forward during state transfer).
     pub snapshot_installs: u64,
+    /// Confirmed `sn`s fast-forwarded over by snapshot installs, summed
+    /// across replicas: the prefix for which the installing replicas hold
+    /// no `ConfirmRecord`s (agreement checks join on `sn` for exactly
+    /// this reason). Nonzero whenever `snapshot_installs` is.
+    pub skipped_sns: u64,
 }
 
 /// Inputs to aggregation.
@@ -245,6 +250,7 @@ pub fn aggregate(data: &RunData) -> Report {
     };
     let root_conflicts = data.nodes.iter().map(|n| n.root_conflicts).sum();
     let snapshot_installs = data.nodes.iter().map(|n| n.snapshot_installs).sum();
+    let skipped_sns = data.nodes.iter().map(|n| n.skipped_sns).sum();
 
     // Timeline: per-sample ktps at the reference replica (Fig. 8).
     let mut timeline = Vec::new();
@@ -296,6 +302,7 @@ pub fn aggregate(data: &RunData) -> Report {
         state_root_agreement,
         root_conflicts,
         snapshot_installs,
+        skipped_sns,
     }
 }
 
@@ -427,6 +434,18 @@ mod tests {
         let rep = aggregate(&run_data(nodes));
         assert_eq!(rep.causal_strength, 1.0);
         assert_eq!(rep.committed_txs, 500);
+    }
+
+    #[test]
+    fn skipped_sns_summed_across_replicas() {
+        let mut nodes = empty_nodes(4);
+        nodes[1].skipped_sns = 10;
+        nodes[1].snapshot_installs = 1;
+        nodes[3].skipped_sns = 5;
+        nodes[3].snapshot_installs = 2;
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.skipped_sns, 15);
+        assert_eq!(rep.snapshot_installs, 3);
     }
 
     #[test]

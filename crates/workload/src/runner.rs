@@ -171,6 +171,9 @@ impl ExperimentConfig {
         let mut sys = SystemConfig::paper_default(self.n, self.env);
         if let Some(l) = self.epoch_length {
             sys.epoch_length = l;
+            // Keep the snapshot-serving policy inside the (shrunken) log
+            // retention window.
+            sys.snapshot_min_lag = sys.snapshot_min_lag.min(l);
         }
         if let Some(t) = self.view_timeout_s {
             sys.view_change_timeout = TimeNs::from_secs_f64(t);

@@ -46,6 +46,11 @@ pub struct ClusterOpts {
     /// Probability each message is silently dropped (robustness tests;
     /// the paper assumes reliable links).
     pub loss_probability: f64,
+    /// Override the parallel execution-lane worker count (the
+    /// fault-scenario matrix runs every fault at ≥ 2 lane counts).
+    pub exec_lanes: Option<u32>,
+    /// Override the execution keyspace size.
+    pub exec_keyspace: Option<u32>,
 }
 
 impl Default for ClusterOpts {
@@ -65,6 +70,8 @@ impl Default for ClusterOpts {
             view_timeout_s: None,
             partitions: Vec::new(),
             loss_probability: 0.0,
+            exec_lanes: None,
+            exec_keyspace: None,
         }
     }
 }
@@ -74,10 +81,21 @@ pub fn cluster(opts: ClusterOpts) -> TestCluster {
     let mut sys = SystemConfig::paper_default(opts.n, opts.env);
     if let Some(l) = opts.epoch_length {
         sys.epoch_length = l;
+        // Keep the snapshot-serving policy inside the (possibly
+        // shrunken) log retention window.
+        sys.snapshot_min_lag = sys.snapshot_min_lag.min(l);
     }
     if let Some(t) = opts.view_timeout_s {
         sys.view_change_timeout = TimeNs::from_secs_f64(t);
     }
+    if let Some(l) = opts.exec_lanes {
+        sys.exec_lanes = l;
+    }
+    if let Some(k) = opts.exec_keyspace {
+        sys.exec_keyspace = k;
+    }
+    sys.validate()
+        .expect("cluster options produced a bad config");
     let registry = KeyRegistry::generate(opts.n, sys.opt_keys, opts.seed ^ 0x5eed);
     let topo = Topology::paper(opts.env, opts.n + 1);
     let mut net = NicNetwork::new(topo);

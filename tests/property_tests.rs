@@ -223,6 +223,69 @@ proptest! {
         prop_assert_eq!(recovered.state_root(), p.state_root());
     }
 
+    /// Lane-count invariance: for arbitrary op sequences (random block
+    /// sizes over a random keyspace) and any execution-lane count in
+    /// {1, 2, 4, 8}, the sharded state root — and the whole lane-root
+    /// vector — equals the 1-lane result, and a snapshot taken at the end
+    /// round-trips the lane-root vector byte-identically through
+    /// encode/decode.
+    #[test]
+    fn sharded_root_is_lane_count_invariant(
+        counts in proptest::collection::vec(0u32..96, 1..24),
+        keyspace in 64u32..1024,
+    ) {
+        let mut reference: Option<ExecutionPipeline> = None;
+        for lanes in [1u32, 2, 4, 8] {
+            let mut p = ExecutionPipeline::in_memory_with(keyspace, lanes);
+            let mut first_tx = 0u64;
+            for (sn, &count) in counts.iter().enumerate() {
+                let block = Block {
+                    header: BlockHeader {
+                        index: InstanceId((sn % 4) as u32),
+                        round: Round(sn as u64 / 4 + 1),
+                        rank: Rank(sn as u64),
+                        payload_digest: Digest([sn as u8; 32]),
+                    },
+                    batch: Batch {
+                        first_tx: TxId(first_tx),
+                        count,
+                        payload_bytes: count as u64 * 500,
+                        arrival_sum_ns: 0,
+                        earliest_arrival: TimeNs::ZERO,
+                        bucket: 0,
+                        refs: Vec::new(),
+                    },
+                    proposed_at: TimeNs::ZERO,
+                };
+                first_tx += count as u64;
+                let out = p.execute(sn as u64, &block);
+                prop_assert_eq!(out, ExecOutcome::Applied { txs: count as u64 });
+            }
+            if let Some(r) = &reference {
+                prop_assert_eq!(
+                    p.state_root(), r.state_root(),
+                    "{} lanes diverged from 1 lane", lanes
+                );
+                prop_assert_eq!(p.lane_roots(), r.lane_roots());
+                prop_assert_eq!(p.executed_txs(), r.executed_txs());
+            } else {
+                reference = Some(p);
+            }
+        }
+        // Snapshot → restore round-trips the lane-root vector
+        // byte-identically.
+        let mut p = reference.unwrap();
+        p.checkpoint(0, vec![0; 4]);
+        let snap = p.latest_snapshot().unwrap();
+        prop_assert_eq!(&snap.lane_roots, &p.lane_roots());
+        let decoded = ladon::state::Snapshot::decode(&snap.encode()).expect("decode");
+        prop_assert_eq!(&decoded.lane_roots, &snap.lane_roots);
+        prop_assert!(decoded.verify());
+        let restored = ExecutionPipeline::from_parts(Some(&snap.encode()), &[], keyspace);
+        prop_assert_eq!(restored.lane_roots(), p.lane_roots());
+        prop_assert_eq!(restored.state_root(), p.state_root());
+    }
+
     /// Bucket rotation is always a permutation of instances.
     #[test]
     fn bucket_rotation_is_permutation(m in 1usize..32, rotations in 0usize..64) {

@@ -4,18 +4,27 @@
 //! The core claim: at every stable checkpoint, all honest replicas'
 //! execution state roots are identical — under healthy runs, under
 //! stragglers, and across a crash + restart that recovers from the
-//! durable snapshot + WAL pair.
+//! durable snapshot + WAL pair. With the sharded execution lanes the
+//! claim is strengthened to a **fault-scenario matrix**: every fault
+//! scenario runs at ≥ 2 execution-lane counts, and because lane workers
+//! never affect observable state, the runs must produce *identical*
+//! final roots.
 
 mod common;
 
-use common::{cluster, ClusterOpts};
-use ladon::core::{Behavior, MultiBftNode, NodeConfig};
+use common::{cluster, ClusterOpts, TestCluster};
+use ladon::core::{Behavior, MultiBftNode, NodeConfig, SyncRequest};
 use ladon::state::ExecutionPipeline;
-use ladon::types::{Digest, ProtocolKind};
+use ladon::types::{Digest, ProtocolKind, Round};
 use std::collections::BTreeMap;
 
+/// The lane counts every fault scenario in the matrix runs at (4 is the
+/// config default; 1 is the degenerate sequential case the sharded roots
+/// must match bit-for-bit).
+const LANE_MATRIX: [u32; 2] = [1, 4];
+
 /// Collects `(epoch → roots reported across replicas)` from a cluster.
-fn roots_by_epoch(c: &common::TestCluster, replicas: &[usize]) -> BTreeMap<u64, Vec<Digest>> {
+fn roots_by_epoch(c: &TestCluster, replicas: &[usize]) -> BTreeMap<u64, Vec<Digest>> {
     let mut out: BTreeMap<u64, Vec<Digest>> = BTreeMap::new();
     for &r in replicas {
         for &(_, epoch, root) in &c.node(r).metrics.state_roots {
@@ -27,7 +36,7 @@ fn roots_by_epoch(c: &common::TestCluster, replicas: &[usize]) -> BTreeMap<u64, 
 
 /// Asserts every epoch reported by at least two of `replicas` has one
 /// unanimous root, and returns how many such epochs there were.
-fn assert_root_agreement(c: &common::TestCluster, replicas: &[usize]) -> usize {
+fn assert_root_agreement(c: &TestCluster, replicas: &[usize]) -> usize {
     let by_epoch = roots_by_epoch(c, replicas);
     let mut checked = 0;
     for (epoch, roots) in &by_epoch {
@@ -41,6 +50,16 @@ fn assert_root_agreement(c: &common::TestCluster, replicas: &[usize]) -> usize {
         );
     }
     checked
+}
+
+/// Asserts one fault scenario's per-lane-count final roots are identical:
+/// execution lanes are a parallelism knob, never a semantic one, even
+/// under faults.
+fn assert_lane_invariant(scenario: &str, roots: &[(u32, Digest)]) {
+    assert!(
+        roots.windows(2).all(|w| w[0].1 == w[1].1),
+        "{scenario}: final roots differ across lane counts: {roots:?}"
+    );
 }
 
 #[test]
@@ -72,9 +91,21 @@ fn honest_replicas_agree_on_state_roots_at_every_checkpoint() {
         checked >= 2,
         "need ≥ 2 comparable checkpoints, got {checked}"
     );
-    // Checkpoints carry snapshots: the WAL is compacted behind them.
+    // Checkpoints carry snapshots: the WAL is compacted behind them, the
+    // manifest records the full lane-root vector, and the lane ledger
+    // accounts every executed op to a lane.
     let node = c.node(0);
-    assert!(node.exec.latest_snapshot().is_some());
+    let snap = node.exec.latest_snapshot().expect("checkpointed");
+    assert_eq!(
+        snap.lane_roots.len(),
+        ladon::state::MERKLE_LANES as usize,
+        "snapshot must carry the complete lane-root vector"
+    );
+    assert_eq!(
+        node.exec.lane_ops().iter().sum::<u64>(),
+        node.metrics.executed_txs,
+        "lane ledger must account every executed op"
+    );
     c.assert_agreement(&[0, 1, 2, 3]);
 }
 
@@ -125,8 +156,16 @@ fn hotstuff_replicas_agree_on_state_roots_with_state_only_snapshots() {
     );
 }
 
-#[test]
-fn straggler_cluster_still_agrees_on_state_roots() {
+// ---------------------------------------------------------------------
+// Fault-scenario matrix: every scenario below runs at each lane count in
+// LANE_MATRIX and returns a final root for the cross-lane-count
+// invariance check (the simulation is deterministic per seed, and lane
+// workers must not perturb any observable state).
+// ---------------------------------------------------------------------
+
+/// Straggler catch-up: one replica proposes at 1/10 rate with empty
+/// batches; epochs must still checkpoint with unanimous roots.
+fn straggler_catch_up_at(lanes: u32) -> Digest {
     let mut c = cluster(ClusterOpts {
         protocol: ProtocolKind::LadonPbft,
         n: 4,
@@ -134,6 +173,7 @@ fn straggler_cluster_still_agrees_on_state_roots() {
         straggler_k: 10.0,
         epoch_length: Some(16),
         submit_until_s: 25.0,
+        exec_lanes: Some(lanes),
         ..Default::default()
     });
     c.run_secs(30.0);
@@ -141,25 +181,36 @@ fn straggler_cluster_still_agrees_on_state_roots() {
     let checked = assert_root_agreement(&c, &[0, 1, 2, 3]);
     assert!(
         checked >= 1,
-        "a straggler must not stop epochs from checkpointing"
+        "lanes={lanes}: a straggler must not stop epochs from checkpointing"
     );
     // The straggler executes the same log as everyone else.
     assert!(c.node(1).metrics.executed_txs > 0);
+    assert_eq!(c.node(0).exec.exec_lanes(), lanes);
     c.assert_agreement(&[0, 1, 2, 3]);
+    c.node(0).exec.state_root()
 }
 
-/// The crash/restart scenario the execution subsystem exists for: replica
-/// 3 crashes mid-run; a new process recovers its execution state from the
-/// durable snapshot + WAL pair (byte-identical root), rejoins via state
-/// transfer, and ends the run agreeing with the cluster.
 #[test]
-fn restarted_replica_recovers_via_snapshot_and_wal_replay() {
+fn straggler_cluster_still_agrees_on_state_roots_across_lane_counts() {
+    let roots: Vec<(u32, Digest)> = LANE_MATRIX
+        .iter()
+        .map(|&l| (l, straggler_catch_up_at(l)))
+        .collect();
+    assert_lane_invariant("straggler catch-up", &roots);
+}
+
+/// Crash mid-epoch + restart: replica 3 crashes at 6 s; a new process
+/// recovers its execution state from the durable snapshot + WAL pair
+/// (byte-identical root, lane-root vector included), rejoins via state
+/// transfer, and ends the run agreeing with the cluster.
+fn crash_restart_mid_epoch_at(lanes: u32) -> Digest {
     let mut c = cluster(ClusterOpts {
         protocol: ProtocolKind::LadonPbft,
         n: 4,
         epoch_length: Some(16),
         crash: Some((3, 6.0)),
         submit_until_s: 30.0,
+        exec_lanes: Some(lanes),
         ..Default::default()
     });
     c.run_secs(10.0);
@@ -168,27 +219,45 @@ fn restarted_replica_recovers_via_snapshot_and_wal_replay() {
     // last completed epoch plus the WAL tail past it.
     let crashed = c.node(3);
     let pre_crash_root = crashed.exec.state_root();
+    let pre_crash_lane_roots = crashed.exec.lane_roots();
     let pre_crash_applied = crashed.exec.applied();
     assert!(
         pre_crash_applied > 0,
-        "the replica must have executed before crashing"
+        "lanes={lanes}: the replica must have executed before crashing"
     );
     let (snap_bytes, wal_bytes) = crashed.exec.export_parts();
 
-    // Recovery: snapshot install + WAL replay reproduces the exact state.
-    let recovered = ExecutionPipeline::from_parts(
-        snap_bytes.as_deref(),
-        &wal_bytes,
-        ladon::state::DEFAULT_KEYSPACE,
-    );
-    assert_eq!(recovered.applied(), pre_crash_applied);
-    assert_eq!(
-        recovered.state_root(),
-        pre_crash_root,
-        "snapshot + WAL replay must reproduce the pre-crash root"
-    );
+    // Recovery: snapshot install + WAL replay reproduces the exact state,
+    // at *every* lane count (recover with the other lane count too).
+    for recover_lanes in LANE_MATRIX {
+        let recovered = ExecutionPipeline::from_parts_with(
+            snap_bytes.as_deref(),
+            &wal_bytes,
+            c.sys.exec_keyspace,
+            recover_lanes,
+        );
+        assert_eq!(recovered.applied(), pre_crash_applied);
+        assert_eq!(
+            recovered.state_root(),
+            pre_crash_root,
+            "lanes={lanes}→{recover_lanes}: snapshot + WAL replay must \
+             reproduce the pre-crash root"
+        );
+        assert_eq!(
+            recovered.lane_roots(),
+            pre_crash_lane_roots,
+            "lanes={lanes}→{recover_lanes}: recovered lane-root vector \
+             must be byte-identical"
+        );
+    }
 
     // Restart the process: same replica id, recovered pipeline, no crash.
+    let recovered = ExecutionPipeline::from_parts_with(
+        snap_bytes.as_deref(),
+        &wal_bytes,
+        c.sys.exec_keyspace,
+        lanes,
+    );
     let node = MultiBftNode::with_execution(
         NodeConfig {
             sys: c.sys.clone(),
@@ -207,26 +276,35 @@ fn restarted_replica_recovers_via_snapshot_and_wal_replay() {
     let r3 = c.node(3);
     assert!(
         r3.metrics.sync_requests > 0,
-        "restarted replica never asked for sync"
+        "lanes={lanes}: restarted replica never asked for sync"
     );
     assert!(
         r3.metrics.sync_installed > 0 || r3.metrics.snapshot_installs > 0,
-        "nothing was installed from peers"
+        "lanes={lanes}: nothing was installed from peers"
     );
     // Execution moved past the recovered frontier.
     assert!(
         r3.exec.applied() > pre_crash_applied,
-        "execution stalled at the recovered frontier ({})",
-        pre_crash_applied
+        "lanes={lanes}: execution stalled at the recovered frontier ({pre_crash_applied})"
     );
     // It rejoined the epoch schedule and agrees on every comparable root.
     assert_eq!(
         r3.epoch(),
         c.node(0).epoch(),
-        "restarted replica must reach the cluster's epoch"
+        "lanes={lanes}: restarted replica must reach the cluster's epoch"
     );
     assert_root_agreement(&c, &[0, 1, 2, 3]);
     c.assert_agreement(&[0, 1, 2]);
+    c.node(0).exec.state_root()
+}
+
+#[test]
+fn restarted_replica_recovers_via_snapshot_and_wal_replay_across_lane_counts() {
+    let roots: Vec<(u32, Digest)> = LANE_MATRIX
+        .iter()
+        .map(|&l| (l, crash_restart_mid_epoch_at(l)))
+        .collect();
+    assert_lane_invariant("crash-restart mid-epoch", &roots);
 }
 
 /// Worst-case restart: the replica lost its disk too (fresh execution
@@ -234,14 +312,14 @@ fn restarted_replica_recovers_via_snapshot_and_wal_replay() {
 /// quorum-signed stable checkpoint; the replica installs it, fast-forwards
 /// its state machine and consensus intake past the snapshotted history,
 /// and rejoins without re-executing from genesis.
-#[test]
-fn disk_loss_recovers_via_peer_snapshot_install() {
+fn disk_loss_at(lanes: u32) -> Digest {
     let mut c = cluster(ClusterOpts {
         protocol: ProtocolKind::LadonPbft,
         n: 4,
         epoch_length: Some(16),
         crash: Some((3, 6.0)),
         submit_until_s: 30.0,
+        exec_lanes: Some(lanes),
         ..Default::default()
     });
     c.run_secs(12.0);
@@ -263,10 +341,93 @@ fn disk_loss_recovers_via_peer_snapshot_install() {
     let r3 = c.node(3);
     assert!(
         r3.metrics.snapshot_installs > 0,
-        "a from-zero replica must recover via a peer snapshot, not log replay"
+        "lanes={lanes}: a from-zero replica must recover via a peer \
+         snapshot, not log replay"
+    );
+    // The fast-forwarded prefix is surfaced, not silent: the replica
+    // skipped exactly the confirm records the snapshot covered.
+    assert!(
+        r3.metrics.skipped_sns > 0,
+        "lanes={lanes}: a snapshot install on a from-zero replica must \
+         report the fast-forwarded prefix as skipped sns"
     );
     assert!(r3.exec.applied() >= healthy_applied);
     assert_eq!(r3.epoch(), c.node(0).epoch());
     assert_eq!(r3.metrics.root_conflicts, 0);
     assert_root_agreement(&c, &[0, 1, 2, 3]);
+    c.node(0).exec.state_root()
+}
+
+#[test]
+fn disk_loss_recovers_via_peer_snapshot_install_across_lane_counts() {
+    let roots: Vec<(u32, Digest)> = LANE_MATRIX.iter().map(|&l| (l, disk_loss_at(l))).collect();
+    assert_lane_invariant("disk loss + peer snapshot", &roots);
+}
+
+/// Snapshot serving minimum-gap policy: a replica one block behind the
+/// responder's snapshot gets log entries, never a full-keyspace snapshot;
+/// a deeply lagging replica gets the snapshot with its proving
+/// checkpoint.
+#[test]
+fn one_block_behind_gets_log_sync_not_snapshot() {
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 12.0,
+        ..Default::default()
+    });
+    c.run_secs(15.0);
+
+    let responder = c.node(0);
+    let snap = responder
+        .exec
+        .latest_snapshot()
+        .expect("responder must have checkpointed");
+    assert!(snap.applied > 1, "need history to lag behind");
+    let m = c.sys.m;
+
+    // A requester one block behind the snapshot, with a near-tip commit
+    // frontier (one round behind per instance — old rounds are pruned at
+    // epoch boundaries, exactly like a real barely-behind replica's
+    // request): log sync only.
+    let near = SyncRequest {
+        epoch: ladon::types::Epoch(responder.epoch()),
+        applied: snap.applied - 1,
+        frontier: responder
+            .commit_frontier()
+            .iter()
+            .map(|r| Round(r.0.saturating_sub(1)))
+            .collect(),
+    };
+    let resp = responder
+        .build_sync_response(&near)
+        .expect("log entries must still be served");
+    assert!(
+        resp.snapshot.is_none(),
+        "a 1-block-behind replica must not be shipped a snapshot"
+    );
+    assert!(
+        !resp.entries.is_empty(),
+        "the near-frontier requester is repaired by log entries"
+    );
+
+    // A from-zero requester: lags by ≥ snapshot_min_lag, gets the
+    // snapshot plus the checkpoint that proves it.
+    assert!(
+        snap.applied >= c.sys.snapshot_min_lag,
+        "run too short for the policy threshold"
+    );
+    let deep = SyncRequest {
+        epoch: ladon::types::Epoch(0),
+        applied: 0,
+        frontier: vec![Round(0); m],
+    };
+    let resp = responder
+        .build_sync_response(&deep)
+        .expect("a deep lagger must be served");
+    let shipped = resp.snapshot.expect("deep lag must ship the snapshot");
+    assert_eq!(shipped.applied, snap.applied);
+    let cp = resp.checkpoint.expect("snapshot must come with its proof");
+    assert_eq!(cp.state_root, shipped.root);
 }

@@ -142,6 +142,14 @@ pub struct NodeMetrics {
     /// Must stay 0; nonzero means a confirmation bug corrupted the
     /// execution order and the replica's root can no longer advance.
     pub exec_gaps: u64,
+    /// Durable WAL writes (segment appends, compaction rotations,
+    /// manifest publishes) that reported failure — mirrored from
+    /// [`ladon_state::ExecutionPipeline::wal_write_failures`] so silent
+    /// append failures surface in runs and test assertions. Must stay 0;
+    /// nonzero means a crash right now could lose acknowledged records
+    /// (the next successful compaction repairs the backend from the
+    /// in-memory mirror).
+    pub wal_write_failures: u64,
     /// Checkpoint quorums observed on a root different from ours.
     pub root_conflicts: u64,
 }
@@ -215,7 +223,14 @@ impl MultiBftNode {
     /// pipeline (the simulation default), sized and parallelized by the
     /// system config's `exec_keyspace` / `exec_lanes` knobs.
     pub fn new(cfg: NodeConfig) -> Self {
-        let exec = ExecutionPipeline::in_memory_with(cfg.sys.exec_keyspace, cfg.sys.exec_lanes);
+        let exec = ExecutionPipeline::in_memory_opts(
+            cfg.sys.exec_keyspace,
+            cfg.sys.exec_lanes,
+            ladon_state::WalOptions {
+                lane_groups: cfg.sys.wal_lane_groups,
+                segment_records: cfg.sys.wal_segment_records,
+            },
+        );
         Self::with_execution(cfg, exec)
     }
 
@@ -561,6 +576,9 @@ impl MultiBftNode {
                             .collect()
                     };
                     let root = self.exec.checkpoint(epoch.0, frontier);
+                    // The checkpoint compacts the WAL (segment rotation);
+                    // surface any failed rotation step immediately.
+                    self.metrics.wal_write_failures = self.exec.wal_write_failures();
                     self.metrics.state_roots.push((now, epoch.0, root));
                     let signer = self.cfg.registry.signer(self.cfg.me);
                     broadcast = Some(pm.make_checkpoint(&signer, root));
@@ -605,6 +623,10 @@ impl MultiBftNode {
                     self.metrics.exec_gaps += 1;
                 }
             }
+            // Mirror the durability alarm after every append so a failed
+            // WAL write is visible the moment it happens, not only at
+            // the next checkpoint.
+            self.metrics.wal_write_failures = self.exec.wal_write_failures();
             self.metrics.confirms.push(ConfirmRecord {
                 sn: c.sn,
                 instance: b.index().0,
@@ -934,6 +956,8 @@ impl MultiBftNode {
                 && self.exec.install_snapshot(snap)
             {
                 self.metrics.snapshot_installs += 1;
+                // Installing compacts the WAL behind the snapshot.
+                self.metrics.wal_write_failures = self.exec.wal_write_failures();
                 // The fast-forwarded prefix never gets ConfirmRecords
                 // here: surface the gap instead of leaving it implicit in
                 // a shorter log.

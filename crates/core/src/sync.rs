@@ -101,10 +101,14 @@ pub struct SyncResponse {
     /// The responder's latest execution snapshot, when it is ahead of the
     /// requester's applied frontier. The receiver recomputes its manifest
     /// root — which covers the `applied`/`frontier`/`executed_txs`
-    /// metadata as well as the entries — and checks it against
-    /// `checkpoint.state_root` before installing, so a Byzantine
-    /// responder can serve correct state or nothing: neither the contents
-    /// nor the metadata the installer fast-forwards by can be forged.
+    /// metadata and the per-lane covered-sn vector as well as the
+    /// entries — and checks it against `checkpoint.state_root` before
+    /// installing, so a Byzantine responder can serve correct state or
+    /// nothing: neither the contents nor the metadata the installer
+    /// fast-forwards by can be forged. Installing restores the
+    /// requester's per-lane ledger from the covered-sn vector, so its
+    /// next checkpoint and its segmented WAL routing continue from the
+    /// donor's frontier as if it had executed the history itself.
     pub snapshot: Option<Snapshot>,
     /// Missing log entries past the requester's frontier.
     pub entries: Vec<SyncEntry>,
@@ -220,7 +224,7 @@ mod tests {
                 value: k as u64 + 1,
             });
         }
-        let snap = Snapshot::capture(2, 500, 10_000, vec![0; 4], &kv);
+        let snap = Snapshot::capture(2, 500, 10_000, vec![0; 4], vec![400; 64], &kv);
         let without = SyncResponse {
             checkpoint: None,
             snapshot: None,

@@ -13,16 +13,22 @@
 //! key hash ([`lane_of`]). Lanes serve two purposes:
 //!
 //! 1. **Incremental roots.** Each lane maintains a content root that is
-//!    updated in O(1) per write: a 256-bit XOR multiset accumulator over
-//!    the SHA-256 leaf hashes of its live entries, finalized with the
-//!    entry count. The **state root** is a SHA-256 over the ordered
-//!    lane-root vector — computing it costs O(lanes), independent of the
-//!    keyspace size, where the pre-lane design re-scanned every entry.
-//!    (An XOR multiset hash is order-independent by construction — the
-//!    property a content address needs — at the cost of weaker collision
-//!    resistance than a sorted-leaf Merkle tree against *adversarially
-//!    chosen* entries; fine for this synthetic workload, and swappable
-//!    behind [`Lane::root`] without touching callers.)
+//!    updated in O(1) per write: a MuHash-style multiset accumulator —
+//!    the sum, modulo the 256-bit prime `2^256 − 189`, of the SHA-256
+//!    leaf hashes of its live entries — finalized with the entry count.
+//!    The **state root** is a SHA-256 over the ordered lane-root vector —
+//!    computing it costs O(lanes), independent of the keyspace size,
+//!    where the pre-lane design re-scanned every entry. (Addition mod p
+//!    is order-independent by construction — the property a content
+//!    address needs — and strictly stronger than the XOR accumulator it
+//!    replaced: no small-order elements, so a duplicated leaf does not
+//!    cancel to the empty set and collisions are no longer a trivial
+//!    GF(2) kernel. It is still an *additive* set hash, though, and
+//!    Wagner's generalized-birthday attack finds modular subset-sum
+//!    collisions well below 2^128 work — an adversary with enough
+//!    chosen-entry freedom could exploit that. Full MuHash multiplies in
+//!    a large group for exactly this reason; the upgrade is localized
+//!    behind [`Lane::root`] and recorded in the ROADMAP.)
 //!
 //! 2. **Parallel execution.** A block's ops are routed to lanes and the
 //!    lanes are processed by `exec_lanes` parallel workers
@@ -124,6 +130,104 @@ fn leaf_hash(key: u32, value: u64) -> [u8; 32] {
     h.finalize()
 }
 
+// ---------------------------------------------------------------------
+// MuHash-style multiset accumulator: 256-bit addition mod p.
+// ---------------------------------------------------------------------
+
+/// The accumulator modulus `p = 2^256 − 189`, the largest 256-bit prime,
+/// as little-endian 64-bit limbs.
+const MUHASH_P: [u64; 4] = [u64::MAX - 188, u64::MAX, u64::MAX, u64::MAX];
+
+/// A 256-bit residue mod [`MUHASH_P`], little-endian limbs.
+type Acc = [u64; 4];
+
+/// Interprets a leaf hash as a residue (reduced mod p; the reduction
+/// fires with probability ~2⁻²⁴⁸, but determinism requires it).
+#[inline]
+fn acc_of_leaf(leaf: &[u8; 32]) -> Acc {
+    let mut limbs = [0u64; 4];
+    for (i, limb) in limbs.iter_mut().enumerate() {
+        *limb = u64::from_le_bytes(leaf[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    if acc_geq(&limbs, &MUHASH_P) {
+        limbs = raw_sub(&limbs, &MUHASH_P).0;
+    }
+    limbs
+}
+
+/// `a >= b` on 256-bit little-endian limbs.
+#[inline]
+fn acc_geq(a: &Acc, b: &Acc) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// Wrapping 256-bit add; returns (sum mod 2^256, carry).
+#[inline]
+fn raw_add(a: &Acc, b: &Acc) -> (Acc, bool) {
+    let mut out = [0u64; 4];
+    let mut carry = false;
+    for i in 0..4 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 | c2;
+    }
+    (out, carry)
+}
+
+/// Wrapping 256-bit subtract; returns (diff mod 2^256, borrow).
+#[inline]
+fn raw_sub(a: &Acc, b: &Acc) -> (Acc, bool) {
+    let mut out = [0u64; 4];
+    let mut borrow = false;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 | b2;
+    }
+    (out, borrow)
+}
+
+/// `(a + b) mod p` for residues `a, b < p`.
+#[inline]
+fn acc_add(a: &Acc, b: &Acc) -> Acc {
+    let (sum, carry) = raw_add(a, b);
+    if carry || acc_geq(&sum, &MUHASH_P) {
+        // Subtracting p from a 257-bit sum ≡ adding 189 mod 2^256.
+        raw_sub(&sum, &MUHASH_P).0
+    } else {
+        sum
+    }
+}
+
+/// `(a − b) mod p` for residues `a, b < p`.
+#[inline]
+fn acc_sub(a: &Acc, b: &Acc) -> Acc {
+    let (diff, borrow) = raw_sub(a, b);
+    if borrow {
+        raw_add(&diff, &MUHASH_P).0
+    } else {
+        diff
+    }
+}
+
+/// Serializes a residue to the 32 little-endian bytes the lane root
+/// digests.
+#[inline]
+fn acc_bytes(a: &Acc) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in a.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+    }
+    out
+}
+
 /// A deferred cross-lane credit emitted in phase 1.
 #[derive(Clone, Copy, Debug)]
 struct Credit {
@@ -141,10 +245,10 @@ struct Credit {
 struct Lane {
     /// Canonical contents: no zero-valued entries are ever stored.
     entries: BTreeMap<u32, u64>,
-    /// XOR multiset accumulator over the leaf hashes of `entries` —
-    /// maintained in O(1) per write, so finalizing the lane root never
-    /// rescans the entries.
-    agg: [u8; 32],
+    /// MuHash-style multiset accumulator over the leaf hashes of
+    /// `entries` (sum mod `2^256 − 189`) — maintained in O(1) per write,
+    /// so finalizing the lane root never rescans the entries.
+    agg: Acc,
 }
 
 impl Lane {
@@ -154,8 +258,8 @@ impl Lane {
         self.entries.get(&key).copied().unwrap_or(0)
     }
 
-    /// Writes `key`, maintaining the accumulator: XOR out the old leaf,
-    /// XOR in the new one. Zero values delete (canonical form).
+    /// Writes `key`, maintaining the accumulator: subtract the old leaf's
+    /// residue, add the new one. Zero values delete (canonical form).
     fn set(&mut self, key: u32, value: u64) {
         let old = if value == 0 {
             self.entries.remove(&key)
@@ -163,10 +267,10 @@ impl Lane {
             self.entries.insert(key, value)
         };
         if let Some(old) = old {
-            xor_into(&mut self.agg, &leaf_hash(key, old));
+            self.agg = acc_sub(&self.agg, &acc_of_leaf(&leaf_hash(key, old)));
         }
         if value != 0 {
-            xor_into(&mut self.agg, &leaf_hash(key, value));
+            self.agg = acc_add(&self.agg, &acc_of_leaf(&leaf_hash(key, value)));
         }
     }
 
@@ -174,17 +278,10 @@ impl Lane {
     /// multiset accumulator. O(1) thanks to the accumulator.
     fn root(&self) -> Digest {
         let mut h = Sha256::new();
-        h.update(b"ladon/lane-root/v1");
+        h.update(b"ladon/lane-root/v2");
         h.update(&(self.entries.len() as u64).to_le_bytes());
-        h.update(&self.agg);
+        h.update(&acc_bytes(&self.agg));
         Digest(h.finalize())
-    }
-}
-
-#[inline]
-fn xor_into(acc: &mut [u8; 32], leaf: &[u8; 32]) {
-    for (a, b) in acc.iter_mut().zip(leaf) {
-        *a ^= b;
     }
 }
 
@@ -569,6 +666,27 @@ mod tests {
         });
         assert_eq!(fx.empty_transfers, 1);
         assert_eq!(s.root(), before);
+    }
+
+    #[test]
+    fn muhash_accumulator_algebra() {
+        // add/sub are inverses, addition commutes, and p reduces to zero.
+        let x = acc_of_leaf(&leaf_hash(1, 10));
+        let y = acc_of_leaf(&leaf_hash(2, 20));
+        let zero = [0u64; 4];
+        assert_eq!(acc_sub(&acc_add(&zero, &x), &x), zero);
+        assert_eq!(acc_add(&x, &y), acc_add(&y, &x));
+        assert_eq!(
+            acc_sub(&acc_sub(&acc_add(&acc_add(&zero, &x), &y), &x), &y),
+            zero
+        );
+        // Unlike XOR, a doubled element does not cancel: {x, x} ≠ {}.
+        assert_ne!(acc_add(&x, &x), zero);
+        // Wrap-around: (p − 1) + 1 ≡ 0, and 0 − 1 ≡ p − 1.
+        let one = [1u64, 0, 0, 0];
+        let p_minus_1 = raw_sub(&MUHASH_P, &one).0;
+        assert_eq!(acc_add(&p_minus_1, &one), zero);
+        assert_eq!(acc_sub(&zero, &one), p_minus_1);
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!   (`exec_lanes`), and each lane maintains an incrementally updated
 //!   content root, so the two-level state root costs O(lanes) — not
 //!   O(keyspace) — and is bit-identical for every worker count.
-//! - [`wal`]: a commit write-ahead log ([`CommitWal`]) of confirmed block
-//!   identities, checksummed and length-prefixed, over pluggable storage
-//!   ([`MemBackend`] for simulation, [`FileBackend`] for real durability).
+//! - [`wal`]: a segmented commit write-ahead log ([`CommitWal`]) of
+//!   confirmed block identities — checksummed, length-prefixed records
+//!   fanned out across per-lane-group segment chains under a checksummed
+//!   manifest, compacted by atomic segment rotation (never in-place
+//!   truncation) — over pluggable storage ([`MemBackend`] for
+//!   simulation, [`FileBackend`] for real durability).
 //! - [`snapshot`]: epoch-aligned state snapshots ([`Snapshot`]) keyed by
 //!   their state root, with a [`SnapshotStore`] that can persist them
 //!   content-addressed on disk.
@@ -35,6 +38,9 @@ pub mod wal;
 pub use kv::{
     lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, DEFAULT_KEYSPACE, MERKLE_LANES,
 };
-pub use pipeline::{ExecOutcome, ExecutionPipeline};
+pub use pipeline::{static_lane_mask, ExecOutcome, ExecutionPipeline, ReplayStats};
 pub use snapshot::{Snapshot, SnapshotStore};
-pub use wal::{CommitWal, FileBackend, MemBackend, WalBackend, WalRecord};
+pub use wal::{
+    decode_records, group_of_lane, CommitWal, FileBackend, MemBackend, SegmentMeta, WalBackend,
+    WalLoadStats, WalOptions, WalRecord,
+};

@@ -17,14 +17,23 @@
 //!
 //! Recovery composes the two artifacts: install the latest snapshot, then
 //! re-execute the WAL tail ([`ExecutionPipeline::recover`] /
-//! [`ExecutionPipeline::from_parts`]). Because execution is deterministic,
-//! the recovered root equals the pre-crash root — the crash-recovery
-//! example and the WAL-replay property test assert exactly this.
+//! [`ExecutionPipeline::from_parts`]). The snapshot's `applied` frontier
+//! is handed to the segmented WAL as a *floor*: sealed segments entirely
+//! below it are skipped without being read, so replay work is
+//! proportional to the dirty tail, not to the total log length — and the
+//! tail itself re-executes through the same lane-parallel
+//! [`crate::kv::KvState::apply_batch`] fan-out as live execution, so the
+//! recovered root is bit-identical for *any* `exec_lanes` worker count.
+//! [`ReplayStats`] records what recovery touched (segments scanned vs
+//! skipped, records replayed per lane). Because execution is
+//! deterministic, the recovered root equals the pre-crash root — the
+//! crash-recovery example and the WAL-replay property test assert
+//! exactly this.
 
-use crate::kv::{ExecEffects, KvState, DEFAULT_EXEC_LANES, MERKLE_LANES};
+use crate::kv::{lane_of, ExecEffects, KvState, DEFAULT_EXEC_LANES, MERKLE_LANES};
 use crate::snapshot::{Snapshot, SnapshotStore};
-use crate::wal::{CommitWal, FileBackend, MemBackend, WalBackend, WalRecord};
-use ladon_types::{Block, Digest};
+use crate::wal::{CommitWal, FileBackend, WalBackend, WalLoadStats, WalOptions, WalRecord};
+use ladon_types::{Block, Digest, TxOp};
 use std::path::Path;
 
 /// What [`ExecutionPipeline::execute`] did with a block.
@@ -50,6 +59,78 @@ pub enum ExecOutcome {
     },
 }
 
+/// What the last recovery (rebuild from snapshot + WAL) touched:
+/// segment-level skip accounting from the storage layer plus
+/// record-level replay accounting from the pipeline. The partial-replay
+/// contract in numbers — `records_replayed` tracks the dirty tail, never
+/// the total log length.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Segments read and decoded on open.
+    pub segments_scanned: u64,
+    /// Segments skipped without reading (entirely below the snapshot's
+    /// covered floor).
+    pub segments_skipped: u64,
+    /// Records dropped at load because the snapshot already covered them
+    /// (straddling segments keep covered records until compaction).
+    pub records_below_floor: u64,
+    /// Records dropped from torn/corrupt segment tails.
+    pub records_torn: u64,
+    /// True when the WAL manifest existed but was undecodable and the
+    /// live set was rebuilt by scanning storage (no data lost, but the
+    /// segment-skip optimization was unavailable for this open).
+    pub manifest_recovered: bool,
+    /// WAL-tail records re-executed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Transactions those records re-executed.
+    pub replayed_txs: u64,
+    /// Union lane mask of the replayed records: which Merkle lanes the
+    /// replay actually touched.
+    pub replayed_lane_mask: u64,
+    /// Replayed records per Merkle lane (length [`MERKLE_LANES`]; a
+    /// record counts toward every lane its mask touches).
+    pub records_per_lane: Vec<u64>,
+}
+
+impl ReplayStats {
+    fn from_load(load: WalLoadStats) -> Self {
+        Self {
+            segments_scanned: load.segments_scanned,
+            segments_skipped: load.segments_skipped,
+            records_below_floor: load.records_below_floor,
+            records_torn: load.records_torn,
+            manifest_recovered: load.manifest_recovered,
+            records_per_lane: vec![0; MERKLE_LANES as usize],
+            ..Self::default()
+        }
+    }
+
+    /// Lanes the replay dirtied (popcount of the union mask).
+    pub fn dirty_lanes(&self) -> u32 {
+        self.replayed_lane_mask.count_ones()
+    }
+}
+
+/// The static lane-routing mask of a block's derived ops: bit `l` set
+/// when some op routes to Merkle lane `l`. Computed *before* execution
+/// (a transfer sets both its debit and its credit lane, whether or not
+/// the credit ends up moving value), so it is a conservative superset of
+/// the lanes the block dirties — exactly what the WAL needs to fan the
+/// record out to lane-group segments ahead of the apply.
+pub fn static_lane_mask(ops: &[TxOp]) -> u64 {
+    let mut mask = 0u64;
+    for op in ops {
+        match *op {
+            TxOp::Put { key, .. } | TxOp::Get { key } => mask |= 1 << lane_of(key),
+            TxOp::Transfer { from, to, .. } => {
+                mask |= 1 << lane_of(from);
+                mask |= 1 << lane_of(to);
+            }
+        }
+    }
+    mask
+}
+
 /// The replica's execution pipeline.
 pub struct ExecutionPipeline {
     kv: KvState,
@@ -72,9 +153,12 @@ pub struct ExecutionPipeline {
     /// Per-lane `sn` high-water mark: the last WAL `sn` whose ops touched
     /// the lane, `None` while untouched. Lanes whose mark is below the
     /// latest snapshot's `applied` are clean — their lane roots were
-    /// unchanged by the WAL tail (the basis for per-lane WAL segments, a
-    /// ROADMAP follow-up).
+    /// unchanged by the WAL tail. The ledger drives the per-lane WAL
+    /// segment routing, is recorded in every snapshot's
+    /// `lane_covered_sn`, and is restored from it on recovery.
     lane_last_sn: Vec<Option<u64>>,
+    /// What the last rebuild replayed (all zeros for fresh pipelines).
+    recovery: ReplayStats,
 }
 
 impl ExecutionPipeline {
@@ -86,9 +170,19 @@ impl ExecutionPipeline {
 
     /// In-memory pipeline with an explicit parallel worker count.
     pub fn in_memory_with(keyspace: u32, exec_lanes: u32) -> Self {
+        Self::in_memory_opts(keyspace, exec_lanes, WalOptions::default())
+    }
+
+    /// In-memory pipeline with explicit worker count and WAL segment
+    /// layout.
+    pub fn in_memory_opts(keyspace: u32, exec_lanes: u32, wal_opts: WalOptions) -> Self {
+        Self::fresh(CommitWal::in_memory_with(wal_opts), keyspace, exec_lanes)
+    }
+
+    fn fresh(wal: CommitWal, keyspace: u32, exec_lanes: u32) -> Self {
         Self {
             kv: KvState::with_exec_lanes(exec_lanes),
-            wal: CommitWal::in_memory(),
+            wal,
             store: SnapshotStore::in_memory(),
             applied: 0,
             executed_txs: 0,
@@ -97,12 +191,14 @@ impl ExecutionPipeline {
             exec_lanes,
             lane_ops: vec![0; MERKLE_LANES as usize],
             lane_last_sn: vec![None; MERKLE_LANES as usize],
+            recovery: ReplayStats::default(),
         }
     }
 
-    /// Durable pipeline rooted at `dir` (`commit.wal` + `snap-*.bin`),
-    /// recovering state from whatever the directory already holds:
-    /// snapshot install, then WAL-tail replay.
+    /// Durable pipeline rooted at `dir` (`wal/` segment directory +
+    /// `snap-*.bin`), recovering state from whatever the directory
+    /// already holds: snapshot install, then lane-parallel WAL-tail
+    /// replay that skips snapshot-covered segments without reading them.
     pub fn recover(dir: impl AsRef<Path>, keyspace: u32) -> std::io::Result<Self> {
         Self::recover_with(dir, keyspace, DEFAULT_EXEC_LANES)
     }
@@ -113,35 +209,64 @@ impl ExecutionPipeline {
         keyspace: u32,
         exec_lanes: u32,
     ) -> std::io::Result<Self> {
+        Self::recover_opts(dir, keyspace, exec_lanes, WalOptions::default())
+    }
+
+    /// [`Self::recover`] with explicit worker count and WAL segment
+    /// layout.
+    pub fn recover_opts(
+        dir: impl AsRef<Path>,
+        keyspace: u32,
+        exec_lanes: u32,
+        wal_opts: WalOptions,
+    ) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let backend = FileBackend::open_dir(dir.join("wal"))?;
+        Self::recover_backend(dir, Box::new(backend), keyspace, exec_lanes, wal_opts)
+    }
+
+    /// Durable pipeline whose WAL runs over a caller-supplied backend
+    /// while snapshots persist under `dir` — the seam fault-injection
+    /// tests use to model storage that dies mid-protocol.
+    pub fn recover_backend(
+        dir: impl AsRef<Path>,
+        backend: Box<dyn WalBackend>,
+        keyspace: u32,
+        exec_lanes: u32,
+        wal_opts: WalOptions,
+    ) -> std::io::Result<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let store = SnapshotStore::at_dir(dir)?;
-        let wal = CommitWal::open(Box::new(FileBackend::open(dir.join("commit.wal"))?));
-        Ok(Self::rebuild(wal, store, keyspace, exec_lanes))
-    }
-
-    /// Rebuilds a pipeline from an already-opened WAL and snapshot store
-    /// (the recovery path, shared by disk and byte-shipped variants).
-    fn rebuild(wal: CommitWal, store: SnapshotStore, keyspace: u32, exec_lanes: u32) -> Self {
-        let mut p = Self {
-            kv: KvState::with_exec_lanes(exec_lanes),
-            wal,
+        Ok(Self::rebuild(
+            |floor| CommitWal::open_with_floor(backend, wal_opts, floor),
             store,
-            applied: 0,
-            executed_txs: 0,
-            effects: ExecEffects::default(),
             keyspace,
             exec_lanes,
-            lane_ops: vec![0; MERKLE_LANES as usize],
-            lane_last_sn: vec![None; MERKLE_LANES as usize],
-        };
-        if let Some(snap) = p.store.latest().cloned() {
-            if snap.verify() {
-                p.kv = KvState::from_entries(snap.entries.iter().copied());
-                p.kv.set_exec_lanes(exec_lanes);
-                p.applied = snap.applied;
-                p.executed_txs = snap.executed_txs;
-            }
+        ))
+    }
+
+    /// Rebuilds a pipeline from a snapshot store plus a WAL opener (the
+    /// recovery path, shared by disk and byte-shipped variants). The
+    /// opener receives the snapshot-covered floor so the segmented WAL
+    /// can skip covered segments without reading them.
+    fn rebuild<F>(open_wal: F, store: SnapshotStore, keyspace: u32, exec_lanes: u32) -> Self
+    where
+        F: FnOnce(u64) -> CommitWal,
+    {
+        let snap = store.latest().cloned().filter(Snapshot::verify);
+        let floor = snap.as_ref().map_or(0, |s| s.applied);
+        let wal = open_wal(floor);
+        let mut p = Self::fresh(wal, keyspace, exec_lanes);
+        p.store = store;
+        let mut stats = ReplayStats::from_load(p.wal.load_stats());
+        if let Some(snap) = snap {
+            p.kv = KvState::from_entries(snap.entries.iter().copied());
+            p.kv.set_exec_lanes(exec_lanes);
+            p.applied = snap.applied;
+            p.executed_txs = snap.executed_txs;
+            p.restore_lane_ledger(&snap);
         }
         // Replay the WAL tail past the snapshot. A gap between the
         // snapshot's applied frontier and the first tail record means the
@@ -149,7 +274,9 @@ impl ExecutionPipeline {
         // after its compaction): applying misaligned records would produce
         // a silently divergent root, so stop at the gap instead — the
         // replica stays at the snapshot frontier and re-fetches the rest
-        // from peers.
+        // from peers. Each replayed block re-executes through the same
+        // lane-parallel apply as live execution, so the recovered root is
+        // identical for every worker count.
         let tail: Vec<WalRecord> = p
             .wal
             .records()
@@ -161,10 +288,40 @@ impl ExecutionPipeline {
             if rec.sn != p.applied {
                 break;
             }
-            p.apply_batch(rec.sn, &rec.batch());
+            let ops: Vec<TxOp> = rec.batch().txs(p.keyspace).map(|tx| tx.op).collect();
+            stats.records_replayed += 1;
+            stats.replayed_txs += ops.len() as u64;
+            stats.replayed_lane_mask |= rec.lane_mask;
+            let mut mask = rec.lane_mask;
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                stats.records_per_lane[lane] += 1;
+            }
+            p.apply_ops(rec.sn, &ops);
             p.applied = rec.sn + 1;
         }
+        // A dangling suffix the replay could not reach (its first record
+        // sits above the frontier — corruption opened a gap below it) is
+        // unreplayable here forever: drop it so the dense-append
+        // invariant holds when execution resumes, and so its stale
+        // records can never shadow the re-fetched blocks' entries.
+        if p.wal.records().last().is_some_and(|l| l.sn >= p.applied) {
+            p.wal.truncate_from(p.applied);
+        }
+        p.recovery = stats;
         p
+    }
+
+    /// Restores the per-lane dirtiness ledger from a snapshot's
+    /// covered-sn vector (every mark is below `applied`, so restored
+    /// lanes read as clean until the tail re-dirties them).
+    fn restore_lane_ledger(&mut self, snap: &Snapshot) {
+        if snap.lane_covered_sn.len() == MERKLE_LANES as usize {
+            for (lane, &covered) in snap.lane_covered_sn.iter().enumerate() {
+                self.lane_last_sn[lane] = covered.checked_sub(1);
+            }
+        }
     }
 
     /// Reconstructs a pipeline from byte-shipped parts (in-sim restart and
@@ -188,10 +345,12 @@ impl ExecutionPipeline {
                 }
             }
         }
-        let mut backend = MemBackend::default();
-        backend.reset(wal_bytes);
-        let wal = CommitWal::open(Box::new(backend));
-        Self::rebuild(wal, store, keyspace, exec_lanes)
+        Self::rebuild(
+            |_floor| CommitWal::from_flat_bytes(wal_bytes, WalOptions::default()),
+            store,
+            keyspace,
+            exec_lanes,
+        )
     }
 
     /// Exports `(latest snapshot encoding, WAL-tail encoding)` — the exact
@@ -218,19 +377,23 @@ impl ExecutionPipeline {
                 expected: self.applied,
             };
         }
+        // Derive the ops once: their static lane mask routes the WAL
+        // record to per-lane-group segments, and the same vector then
+        // feeds the apply.
+        let ops: Vec<TxOp> = block.batch.txs(self.keyspace).map(|tx| tx.op).collect();
         // WAL first: a crash after this point replays the block.
-        self.wal.append(WalRecord::of_block(sn, block));
-        let txs = self.apply_batch(sn, &block.batch);
+        self.wal
+            .append(WalRecord::of_block(sn, block, static_lane_mask(&ops)));
+        let txs = self.apply_ops(sn, &ops);
         self.applied = sn + 1;
         ExecOutcome::Applied { txs }
     }
 
-    /// Applies one block's ops across the Merkle lanes (parallel when the
-    /// batch is large enough) and accounts the routed ops to each lane
-    /// against the block's WAL `sn`.
-    fn apply_batch(&mut self, sn: u64, batch: &ladon_types::Batch) -> u64 {
-        let ops: Vec<ladon_types::TxOp> = batch.txs(self.keyspace).map(|tx| tx.op).collect();
-        let out = self.kv.apply_batch(&ops);
+    /// Applies one block's derived ops across the Merkle lanes (parallel
+    /// when the batch is large enough) and accounts the routed ops to
+    /// each lane against the block's WAL `sn`.
+    fn apply_ops(&mut self, sn: u64, ops: &[TxOp]) -> u64 {
+        let out = self.kv.apply_batch(ops);
         self.effects.absorb(out.effects);
         // A lane is dirtied by phase-1 ops *or* phase-2 cross-lane
         // credits — a block whose only effect on a lane is a credit still
@@ -258,7 +421,19 @@ impl ExecutionPipeline {
     /// vector when it is not (state-only snapshot, see
     /// [`crate::snapshot::Snapshot::frontier`]).
     pub fn checkpoint(&mut self, epoch: u64, frontier: Vec<u64>) -> Digest {
-        let snap = Snapshot::capture(epoch, self.applied, self.executed_txs, frontier, &self.kv);
+        let lane_covered_sn: Vec<u64> = self
+            .lane_last_sn
+            .iter()
+            .map(|s| s.map_or(0, |sn| sn + 1))
+            .collect();
+        let snap = Snapshot::capture(
+            epoch,
+            self.applied,
+            self.executed_txs,
+            frontier,
+            lane_covered_sn,
+            &self.kv,
+        );
         let root = snap.root;
         // Compact only when the snapshot is durably stored: dropping the
         // WAL prefix a failed snapshot was meant to cover would make the
@@ -281,6 +456,7 @@ impl ExecutionPipeline {
         self.kv.set_exec_lanes(self.exec_lanes);
         self.applied = snap.applied;
         self.executed_txs = snap.executed_txs;
+        self.restore_lane_ledger(snap);
         if self.store.put(snap.clone()) {
             self.wal.compact(self.applied);
         }
@@ -343,6 +519,18 @@ impl ExecutionPipeline {
     /// Records currently in the WAL tail (past the last snapshot).
     pub fn wal_len(&self) -> usize {
         self.wal.len()
+    }
+
+    /// The WAL's live segment set (manifest mirror) — what a recovery
+    /// would scan or skip.
+    pub fn wal_segments(&self) -> &[crate::wal::SegmentMeta] {
+        self.wal.segments()
+    }
+
+    /// What the last rebuild (disk recovery or parts reconstruction)
+    /// replayed. All zeros for a pipeline that started fresh.
+    pub fn recovery_stats(&self) -> &ReplayStats {
+        &self.recovery
     }
 
     /// Failed durable writes (WAL appends/compactions that did not reach

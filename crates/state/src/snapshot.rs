@@ -26,13 +26,16 @@ use ladon_crypto::fnv::Fnv64;
 use ladon_types::{sizes, Digest, WireSize, MERKLE_LANES};
 use std::path::{Path, PathBuf};
 
-/// Snapshot format version. v3: the manifest commits to the sharded
-/// state's ordered lane-root vector (now stored in the snapshot) instead
-/// of a single full-scan contents root. v2 snapshots hash differently and
-/// would silently fail [`Snapshot::verify`], so they are rejected at
-/// decode — a restarting replica falls back to peer sync rather than
-/// trusting a stale-format artifact.
-const SNAP_VERSION: u8 = 3;
+/// Snapshot format version. v4: the manifest additionally commits to the
+/// per-lane covered-sn vector (the storage layer's partial-recovery
+/// frontier) and the lane roots switched from the XOR multiset
+/// accumulator to the MuHash-style addition-mod-p set hash
+/// ([`crate::kv`]), so every root differs from v3. v3 and earlier
+/// snapshots hash differently and would silently fail
+/// [`Snapshot::verify`], so they are rejected at decode — a restarting
+/// replica falls back to peer sync rather than trusting a stale-format
+/// artifact.
+const SNAP_VERSION: u8 = 4;
 
 /// Computes the attested manifest root: a digest over the snapshot's
 /// complete manifest — epoch, execution position, consensus frontier, and
@@ -44,16 +47,21 @@ fn manifest_root(
     applied: u64,
     executed_txs: u64,
     frontier: &[u64],
+    lane_covered_sn: &[u64],
     lane_roots: &[Digest],
 ) -> Digest {
     let mut h = ladon_crypto::Sha256::new();
-    h.update(b"ladon/snapshot-manifest/v2");
+    h.update(b"ladon/snapshot-manifest/v3");
     h.update(&epoch.to_le_bytes());
     h.update(&applied.to_le_bytes());
     h.update(&executed_txs.to_le_bytes());
     h.update(&(frontier.len() as u64).to_le_bytes());
     for &r in frontier {
         h.update(&r.to_le_bytes());
+    }
+    h.update(&(lane_covered_sn.len() as u64).to_le_bytes());
+    for &c in lane_covered_sn {
+        h.update(&c.to_le_bytes());
     }
     h.update(&KvState::root_of_lane_roots(lane_roots).0);
     Digest(h.finalize())
@@ -80,6 +88,18 @@ pub struct Snapshot {
     /// Empty for state-only snapshots (HotStuff instances, whose commit
     /// height at epoch completion is not replica-deterministic).
     pub frontier: Vec<u64>,
+    /// Per-lane covered-sn vector (length [`MERKLE_LANES`], or empty for
+    /// snapshots captured outside a pipeline): `lane_covered_sn[l]` is
+    /// one past the last `sn` whose ops routed to Merkle lane `l` at
+    /// capture time (0 = the lane was never touched). Every lane is
+    /// fully covered up to `applied` — this vector records how *stale*
+    /// each lane is below that bar, which is what lets a recovering
+    /// replica rebuild its per-lane ledger without replay and lets the
+    /// storage layer reason about which WAL segments a lane still needs.
+    /// Replica-deterministic (derived from the confirmed op stream), so
+    /// it sits under the quorum-signed manifest root like every other
+    /// field an installer acts on.
+    pub lane_covered_sn: Vec<u64>,
     /// Ordered lane roots of the sharded state at capture time (length
     /// [`MERKLE_LANES`]). Redundant with `entries` — and checked against
     /// them on [`Self::verify`] — but shipped so an installer can audit
@@ -90,12 +110,15 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Captures the current state of `kv` at `epoch`.
+    /// Captures the current state of `kv` at `epoch`. `lane_covered_sn`
+    /// is the pipeline's per-lane dirtiness ledger (empty when the
+    /// caller keeps none).
     pub fn capture(
         epoch: u64,
         applied: u64,
         executed_txs: u64,
         frontier: Vec<u64>,
+        lane_covered_sn: Vec<u64>,
         kv: &KvState,
     ) -> Self {
         let lane_roots = kv.lane_roots();
@@ -103,8 +126,16 @@ impl Snapshot {
             epoch,
             applied,
             executed_txs,
-            root: manifest_root(epoch, applied, executed_txs, &frontier, &lane_roots),
+            root: manifest_root(
+                epoch,
+                applied,
+                executed_txs,
+                &frontier,
+                &lane_covered_sn,
+                &lane_roots,
+            ),
             frontier,
+            lane_covered_sn,
             lane_roots,
             entries: kv.entries().collect(),
         }
@@ -123,6 +154,7 @@ impl Snapshot {
                 self.applied,
                 self.executed_txs,
                 &self.frontier,
+                &self.lane_covered_sn,
                 &self.lane_roots,
             ) == self.root
     }
@@ -141,6 +173,8 @@ impl Snapshot {
                 + 8
                 + self.frontier.len() * 8
                 + 8
+                + self.lane_covered_sn.len() * 8
+                + 8
                 + self.lane_roots.len() * 32
                 + 8
                 + self.entries.len() * 12
@@ -154,6 +188,10 @@ impl Snapshot {
         out.extend_from_slice(&(self.frontier.len() as u64).to_le_bytes());
         for &r in &self.frontier {
             out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.lane_covered_sn.len() as u64).to_le_bytes());
+        for &c in &self.lane_covered_sn {
+            out.extend_from_slice(&c.to_le_bytes());
         }
         out.extend_from_slice(&(self.lane_roots.len() as u64).to_le_bytes());
         for r in &self.lane_roots {
@@ -200,6 +238,14 @@ impl Snapshot {
         for _ in 0..flen {
             frontier.push(u64::from_le_bytes(take(8)?.try_into().ok()?));
         }
+        let clen = u64::from_le_bytes(take(8)?.try_into().ok()?) as usize;
+        if clen > 4 * MERKLE_LANES as usize {
+            return None;
+        }
+        let mut lane_covered_sn = Vec::with_capacity(clen);
+        for _ in 0..clen {
+            lane_covered_sn.push(u64::from_le_bytes(take(8)?.try_into().ok()?));
+        }
         let llen = u64::from_le_bytes(take(8)?.try_into().ok()?) as usize;
         if llen > 4 * MERKLE_LANES as usize {
             return None;
@@ -223,6 +269,7 @@ impl Snapshot {
             executed_txs,
             root: Digest(root),
             frontier,
+            lane_covered_sn,
             lane_roots,
             entries,
         })
@@ -240,6 +287,8 @@ impl WireSize for Snapshot {
             + sizes::DIGEST
             + 8
             + self.frontier.len() as u64 * 8
+            + 8
+            + self.lane_covered_sn.len() as u64 * 8
             + 8
             + self.lane_roots.len() as u64 * sizes::DIGEST
             + 8
@@ -363,7 +412,14 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_verifies() {
         let kv = sample_state();
-        let snap = Snapshot::capture(3, 120, 5000, vec![7, 9, 11], &kv);
+        let snap = Snapshot::capture(
+            3,
+            120,
+            5000,
+            vec![7, 9, 11],
+            vec![60; MERKLE_LANES as usize],
+            &kv,
+        );
         assert!(snap.verify());
         assert_eq!(snap.lane_roots.len(), MERKLE_LANES as usize);
         assert_eq!(snap.state_root(), kv.root());
@@ -376,7 +432,7 @@ mod tests {
 
     #[test]
     fn corruption_is_detected() {
-        let snap = Snapshot::capture(1, 10, 100, vec![2], &sample_state());
+        let snap = Snapshot::capture(1, 10, 100, vec![2], Vec::new(), &sample_state());
         let mut bytes = snap.encode();
         bytes[40] ^= 1;
         assert!(Snapshot::decode(&bytes).is_none(), "checksum must catch it");
@@ -390,7 +446,7 @@ mod tests {
 
     #[test]
     fn prior_version_rejected_at_decode() {
-        let snap = Snapshot::capture(1, 10, 100, vec![2], &sample_state());
+        let snap = Snapshot::capture(1, 10, 100, vec![2], Vec::new(), &sample_state());
         let mut bytes = snap.encode();
         bytes[0] = 2; // masquerade as the v2 (pre-lane) format
         assert!(Snapshot::decode(&bytes).is_none(), "v2 must be rejected");
@@ -403,7 +459,14 @@ mod tests {
         // genuine entries: verify() catches the splice, and recomputing
         // the root around it would break the match with the quorum-signed
         // checkpoint root instead.
-        let snap = Snapshot::capture(4, 200, 9000, vec![11, 13], &sample_state());
+        let snap = Snapshot::capture(
+            4,
+            200,
+            9000,
+            vec![11, 13],
+            vec![150; MERKLE_LANES as usize],
+            &sample_state(),
+        );
         assert!(snap.verify());
 
         let mut forged = snap.clone();
@@ -434,8 +497,22 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let mut store = SnapshotStore::at_dir(&dir).unwrap();
-            store.put(Snapshot::capture(1, 10, 100, vec![2], &sample_state()));
-            store.put(Snapshot::capture(2, 20, 200, vec![4], &sample_state()));
+            store.put(Snapshot::capture(
+                1,
+                10,
+                100,
+                vec![2],
+                Vec::new(),
+                &sample_state(),
+            ));
+            store.put(Snapshot::capture(
+                2,
+                20,
+                200,
+                vec![4],
+                Vec::new(),
+                &sample_state(),
+            ));
         }
         let store = SnapshotStore::at_dir(&dir).unwrap();
         assert_eq!(store.latest().map(|s| s.epoch), Some(2));

@@ -1,4 +1,4 @@
-//! The commit write-ahead log.
+//! The commit write-ahead log: segmented, per-lane-group storage.
 //!
 //! Every globally confirmed block is appended *before* it is applied to
 //! the state machine, so a crash between append and apply loses nothing:
@@ -7,28 +7,127 @@
 //! [`crate::kv`]).
 //!
 //! A record stores the block *identity* — `(sn, instance, round, rank)`,
-//! the batch coordinates `(first_tx, count, bucket)` and the payload
-//! digest — not the payload itself: the synthetic workload derives each
+//! the batch coordinates `(first_tx, count, bucket)`, the payload digest
+//! and the **lane mask** of the Merkle lanes the block's ops route to —
+//! not the payload itself: the synthetic workload derives each
 //! transaction's op from its id ([`ladon_types::TxOp::for_id`]), so the
 //! identity is sufficient to re-execute. Records are length-prefixed and
 //! FNV-checksummed; a torn tail (partial final record, e.g. a crash
 //! mid-append) is detected and discarded on load.
 //!
-//! Storage is pluggable: [`MemBackend`] keeps bytes in memory (simulation,
-//! tests), [`FileBackend`] appends to a real file with fsync-on-append
-//! (examples, benches). The WAL itself is sans-IO: it encodes/decodes and
-//! the backend moves bytes.
+//! # Segments, lane groups, and the manifest
+//!
+//! Storage is a set of **segment files**, never one monolithic log. The
+//! [`ladon_types::MERKLE_LANES`] lanes are partitioned into
+//! [`WalOptions::lane_groups`] contiguous **lane groups**; each group
+//! owns its own segment chain — sealed immutable segments plus one
+//! active segment — and a record is appended to the active segment of
+//! *every group its lane mask touches* (records are ~100-byte
+//! identities, so the duplication is noise next to the payloads they
+//! stand for). A small FNV-checksummed **manifest** names the live
+//! segment set with each segment's `(group, seq, sn-range, lane mask)`;
+//! it is the single source of truth for which files belong to the log,
+//! and it is replaced only via temp-file + fsync + atomic rename +
+//! directory fsync.
+//!
+//! The layout buys two things:
+//!
+//! - **Crash-safe compaction.** Dropping the snapshot-covered prefix
+//!   writes *new* segment files for any straddling tail, atomically
+//!   publishes a manifest naming the new set, and only then deletes the
+//!   old files — in-place truncation never happens, so a crash at any
+//!   byte of the protocol leaves either the complete old log or the
+//!   complete new one on disk (plus ignorable orphans).
+//! - **Partial recovery.** A snapshot covers every record below its
+//!   `applied` frontier, so recovery skips — without reading — every
+//!   segment whose `last_sn` sits below that floor, and a lane group
+//!   whose chain holds no tail records contributes nothing. Replay work
+//!   is proportional to the dirty tail, not to the total log length
+//!   (`fig_recovery_scaling` asserts exactly this with deterministic
+//!   record counts).
+//!
+//! Storage is pluggable behind [`WalBackend`]: [`MemBackend`] keeps the
+//! segment set in memory (simulation, tests), [`FileBackend`] maps it
+//! onto a directory of `wal-g*-*.seg` files with fsync-on-append
+//! (examples, benches, durable deployments). The WAL itself is sans-IO:
+//! it encodes/decodes records, segments and manifests; the backend moves
+//! bytes.
 
 use ladon_crypto::fnv::Fnv64;
-use ladon_types::{Batch, Block, Digest};
-use std::io::{Read, Seek, Write};
+use ladon_types::{Batch, Block, Digest, MERKLE_LANES};
+use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Record format version (first byte of every record body).
-const WAL_VERSION: u8 = 1;
+/// Record format version (first byte of every record body). v2 adds the
+/// 64-bit lane mask; v1 records (no mask) are rejected, which reads as a
+/// corrupt log — pre-segment WAL files are not carried forward.
+const WAL_VERSION: u8 = 2;
 /// Encoded body size: version + sn + instance + round + rank + first_tx +
-/// count + bucket + payload_bytes + digest.
-const BODY_LEN: usize = 1 + 8 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 32;
+/// count + bucket + payload_bytes + lane_mask + digest.
+const BODY_LEN: usize = 1 + 8 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8 + 32;
+
+/// Manifest format version (first byte of the manifest file).
+const MANIFEST_VERSION: u8 = 1;
+
+/// Tuning knobs for the segmented layout (see
+/// [`ladon_types::SystemConfig::wal_segment_records`] /
+/// [`ladon_types::SystemConfig::wal_lane_groups`] for the config
+/// surface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Contiguous lane groups the [`MERKLE_LANES`] lanes are partitioned
+    /// into; each owns an independent segment chain. Clamped to
+    /// `1..=MERKLE_LANES`. The layout is fixed at log creation: reopening
+    /// an existing log adopts the group count recorded in its manifest,
+    /// so a changed knob takes effect on fresh logs only.
+    pub lane_groups: u32,
+    /// Records an active segment holds before it is sealed and the group
+    /// rolls to a fresh one. Clamped to ≥ 1.
+    pub segment_records: u32,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            lane_groups: 8,
+            segment_records: 1024,
+        }
+    }
+}
+
+impl WalOptions {
+    fn normalized(self) -> Self {
+        Self {
+            lane_groups: self.lane_groups.clamp(1, MERKLE_LANES),
+            segment_records: self.segment_records.max(1),
+        }
+    }
+}
+
+/// The lane group a lane belongs to: contiguous ranges of
+/// `MERKLE_LANES / groups` lanes.
+#[inline]
+pub fn group_of_lane(lane: u32, groups: u32) -> u32 {
+    (lane as u64 * groups as u64 / MERKLE_LANES as u64) as u32
+}
+
+/// The groups a record's lane mask touches, as a group bitmask. A record
+/// that routed no ops to any lane (an empty block) is homed to group 0 so
+/// the global log stays dense in every recovery.
+fn groups_of_mask(lane_mask: u64, groups: u32) -> u64 {
+    if lane_mask == 0 {
+        return 1;
+    }
+    let mut out = 0u64;
+    let mut mask = lane_mask;
+    while mask != 0 {
+        let lane = mask.trailing_zeros();
+        out |= 1 << group_of_lane(lane, groups);
+        mask &= mask - 1;
+    }
+    out
+}
 
 /// One confirmed-block entry in the commit log.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,13 +148,21 @@ pub struct WalRecord {
     pub bucket: u32,
     /// Total payload bytes (bandwidth accounting on replay).
     pub payload_bytes: u64,
+    /// Bitmask of the Merkle lanes the block's ops route to (bit `l` =
+    /// lane `l`; [`MERKLE_LANES`] ≤ 64 by construction). Computed
+    /// statically from the derived ops *before* execution — a
+    /// conservative superset of the lanes the block dirties (a clamped
+    /// empty transfer still sets its target lane's bit) — and the key
+    /// that routes the record to lane-group segment chains.
+    pub lane_mask: u64,
     /// Payload digest (integrity binding to the consensus artifact).
     pub payload_digest: Digest,
 }
 
 impl WalRecord {
-    /// Builds the record for confirmed block `sn`.
-    pub fn of_block(sn: u64, block: &Block) -> Self {
+    /// Builds the record for confirmed block `sn` with the lane routing
+    /// mask of its derived ops.
+    pub fn of_block(sn: u64, block: &Block, lane_mask: u64) -> Self {
         Self {
             sn,
             instance: block.index().0,
@@ -65,6 +172,7 @@ impl WalRecord {
             count: block.batch.count,
             bucket: block.batch.bucket,
             payload_bytes: block.batch.payload_bytes,
+            lane_mask,
             payload_digest: block.header.payload_digest,
         }
     }
@@ -98,6 +206,7 @@ impl WalRecord {
         put(&self.count.to_le_bytes());
         put(&self.bucket.to_le_bytes());
         put(&self.payload_bytes.to_le_bytes());
+        put(&self.lane_mask.to_le_bytes());
         put(&self.payload_digest.0);
         debug_assert_eq!(at, BODY_LEN);
         let checksum = Fnv64::new().write(&body).finish();
@@ -126,6 +235,7 @@ impl WalRecord {
         let count = u32le(take(4));
         let bucket = u32le(take(4));
         let payload_bytes = u64le(take(8));
+        let lane_mask = u64le(take(8));
         let mut digest = [0u8; 32];
         digest.copy_from_slice(take(32));
         Some(Self {
@@ -137,94 +247,9 @@ impl WalRecord {
             count,
             bucket,
             payload_bytes,
+            lane_mask,
             payload_digest: Digest(digest),
         })
-    }
-}
-
-/// Byte storage behind a [`CommitWal`].
-pub trait WalBackend: Send {
-    /// Appends `bytes` durably (fsynced before return for file backends).
-    /// Returns `false` when the bytes did not reach storage.
-    fn append(&mut self, bytes: &[u8]) -> bool;
-    /// Reads the whole log back.
-    fn load(&mut self) -> Vec<u8>;
-    /// Replaces the whole log with `bytes` (compaction). Returns `false`
-    /// when the rewrite failed (the caller must keep its in-memory copy).
-    fn reset(&mut self, bytes: &[u8]) -> bool;
-}
-
-/// In-memory backend (simulation and tests).
-#[derive(Default, Clone, Debug)]
-pub struct MemBackend {
-    bytes: Vec<u8>,
-}
-
-impl WalBackend for MemBackend {
-    fn append(&mut self, bytes: &[u8]) -> bool {
-        self.bytes.extend_from_slice(bytes);
-        true
-    }
-    fn load(&mut self) -> Vec<u8> {
-        self.bytes.clone()
-    }
-    fn reset(&mut self, bytes: &[u8]) -> bool {
-        self.bytes = bytes.to_vec();
-        true
-    }
-}
-
-/// File-backed backend with fsync-on-append.
-pub struct FileBackend {
-    path: PathBuf,
-    file: std::fs::File,
-}
-
-impl FileBackend {
-    /// Opens (or creates) the log file at `path` for appending.
-    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&path)?;
-        Ok(Self { path, file })
-    }
-
-    /// The backing file path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-}
-
-impl WalBackend for FileBackend {
-    fn append(&mut self, bytes: &[u8]) -> bool {
-        // fsync, not just flush: `File` has no userspace buffer, so
-        // `flush()` is a no-op and an OS crash could lose acknowledged
-        // records. `sync_data` forces the bytes (and the size metadata
-        // needed to read them back) to stable storage.
-        self.file
-            .write_all(bytes)
-            .and_then(|()| self.file.sync_data())
-            .is_ok()
-    }
-    fn load(&mut self) -> Vec<u8> {
-        let mut out = Vec::new();
-        let _ = self.file.seek(std::io::SeekFrom::Start(0));
-        let _ = self.file.read_to_end(&mut out);
-        let _ = self.file.seek(std::io::SeekFrom::End(0));
-        out
-    }
-    fn reset(&mut self, bytes: &[u8]) -> bool {
-        // Rewrite atomically-enough for the simulation: truncate + append.
-        // (Atomic segment rotation is a ROADMAP item.)
-        self.file
-            .set_len(0)
-            .and_then(|()| self.file.seek(std::io::SeekFrom::Start(0)).map(|_| ()))
-            .and_then(|()| self.file.write_all(bytes))
-            .and_then(|()| self.file.sync_all())
-            .is_ok()
     }
 }
 
@@ -254,37 +279,595 @@ pub fn decode_records(bytes: &[u8]) -> Vec<WalRecord> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Segment metadata and the manifest
+// ---------------------------------------------------------------------
+
+/// Manifest entry for one live segment file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Owning lane group.
+    pub group: u32,
+    /// Monotonic sequence number (unique across groups; names the file).
+    pub seq: u64,
+    /// Lowest record `sn` in the segment (meaningless when `records`
+    /// is 0).
+    pub first_sn: u64,
+    /// Highest record `sn` in the segment.
+    pub last_sn: u64,
+    /// Records in the segment. For the active segment this is the count
+    /// at the last manifest publish; the true count is re-derived from
+    /// the file on open (appends do not rewrite the manifest).
+    pub records: u32,
+    /// Union of the member records' lane masks.
+    pub lane_mask: u64,
+    /// Sealed segments are immutable; exactly one unsealed (active)
+    /// segment may exist per group.
+    pub sealed: bool,
+}
+
+impl SegmentMeta {
+    fn fresh(group: u32, seq: u64) -> Self {
+        Self {
+            group,
+            seq,
+            first_sn: 0,
+            last_sn: 0,
+            records: 0,
+            lane_mask: 0,
+            sealed: false,
+        }
+    }
+
+    fn absorb(&mut self, rec: &WalRecord) {
+        if self.records == 0 {
+            self.first_sn = rec.sn;
+        }
+        self.last_sn = rec.sn;
+        self.records += 1;
+        self.lane_mask |= rec.lane_mask;
+    }
+}
+
+/// What a rotation does with one live segment (see
+/// [`CommitWal::rotate_segments`]).
+enum SegmentFate {
+    /// Untouched; carried into the new manifest.
+    Keep,
+    /// Dropped entirely (every record is outside the surviving set).
+    Delete,
+    /// Replaced by a fresh file holding the mirror's records in
+    /// `first..=last` that route to the segment's group.
+    Rewrite {
+        /// First surviving `sn` (inclusive).
+        first: u64,
+        /// Last surviving `sn` (inclusive).
+        last: u64,
+    },
+}
+
+/// The manifest: the authoritative live segment set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Manifest {
+    /// Next unused segment sequence number.
+    next_seq: u64,
+    /// The lane-group count the segment chains were laid out with (0 =
+    /// fresh/absent manifest). The layout is a *disk* property: a WAL
+    /// reopened under a different configured group count adopts this
+    /// value, otherwise record→group routing (appends, compaction
+    /// rewrites) would silently disagree with where the records live.
+    lane_groups: u32,
+    /// Live segments, ascending `(group, seq)`.
+    segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 8 + 4 + 8 + self.segments.len() * 45 + 8);
+        out.push(MANIFEST_VERSION);
+        out.extend_from_slice(&self.next_seq.to_le_bytes());
+        out.extend_from_slice(&self.lane_groups.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u64).to_le_bytes());
+        for s in &self.segments {
+            out.extend_from_slice(&s.group.to_le_bytes());
+            out.extend_from_slice(&s.seq.to_le_bytes());
+            out.extend_from_slice(&s.first_sn.to_le_bytes());
+            out.extend_from_slice(&s.last_sn.to_le_bytes());
+            out.extend_from_slice(&s.records.to_le_bytes());
+            out.extend_from_slice(&s.lane_mask.to_le_bytes());
+            out.push(s.sealed as u8);
+        }
+        let checksum = Fnv64::new().write(&out).finish();
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 1 + 16 + 8 || bytes[0] != MANIFEST_VERSION {
+            return None;
+        }
+        let (payload, sum) = bytes.split_at(bytes.len() - 8);
+        if Fnv64::new().write(payload).finish() != u64::from_le_bytes(sum.try_into().ok()?) {
+            return None;
+        }
+        let mut at = 1usize;
+        let mut take = |n: usize| {
+            let s = payload.get(at..at + n)?;
+            at += n;
+            Some(s)
+        };
+        let next_seq = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        let lane_groups = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let count = u64::from_le_bytes(take(8)?.try_into().ok()?) as usize;
+        if count > 1 << 20 {
+            return None;
+        }
+        let mut segments = Vec::with_capacity(count.min(1 << 12));
+        for _ in 0..count {
+            let group = u32::from_le_bytes(take(4)?.try_into().ok()?);
+            let seq = u64::from_le_bytes(take(8)?.try_into().ok()?);
+            let first_sn = u64::from_le_bytes(take(8)?.try_into().ok()?);
+            let last_sn = u64::from_le_bytes(take(8)?.try_into().ok()?);
+            let records = u32::from_le_bytes(take(4)?.try_into().ok()?);
+            let lane_mask = u64::from_le_bytes(take(8)?.try_into().ok()?);
+            let sealed = take(1)?[0] != 0;
+            segments.push(SegmentMeta {
+                group,
+                seq,
+                first_sn,
+                last_sn,
+                records,
+                lane_mask,
+                sealed,
+            });
+        }
+        Some(Self {
+            next_seq,
+            lane_groups,
+            segments,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage backends
+// ---------------------------------------------------------------------
+
+/// Segment-file storage behind a [`CommitWal`].
+///
+/// Every mutating operation returns `false` on failure; the WAL treats a
+/// failed write as a durability alarm ([`CommitWal::write_failures`]),
+/// keeps its in-memory mirror authoritative, and repairs the backend at
+/// the next successful compaction. The contract the compaction protocol
+/// leans on: [`Self::publish_manifest`] replaces the manifest
+/// *atomically* (a reader sees the old bytes or the new bytes, never a
+/// mix), and [`Self::append_segment`] / [`Self::write_segment`] are
+/// durable (fsynced) before they return `true`.
+pub trait WalBackend: Send {
+    /// Appends `bytes` to segment `seq` of `group`, creating the file if
+    /// absent.
+    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool;
+    /// Creates-or-replaces segment `seq` of `group` with exactly `bytes`
+    /// (compaction rewrite target; truncates any orphan at the name).
+    fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool;
+    /// Reads a whole segment back (`None` when missing/unreadable).
+    fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>>;
+    /// Deletes a segment file (idempotent).
+    fn delete_segment(&mut self, group: u32, seq: u64) -> bool;
+    /// Atomically replaces the manifest.
+    fn publish_manifest(&mut self, bytes: &[u8]) -> bool;
+    /// Reads the current manifest (`None` when absent).
+    fn load_manifest(&mut self) -> Option<Vec<u8>>;
+    /// Every segment present in storage, referenced by the manifest or
+    /// not (orphan discovery after a mid-compaction crash).
+    fn list_segments(&mut self) -> Vec<(u32, u64)>;
+}
+
+/// In-memory backend (simulation and tests).
+#[derive(Default, Clone, Debug)]
+pub struct MemBackend {
+    segments: BTreeMap<(u32, u64), Vec<u8>>,
+    manifest: Option<Vec<u8>>,
+}
+
+impl WalBackend for MemBackend {
+    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        self.segments
+            .entry((group, seq))
+            .or_default()
+            .extend_from_slice(bytes);
+        true
+    }
+    fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        self.segments.insert((group, seq), bytes.to_vec());
+        true
+    }
+    fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+        self.segments.get(&(group, seq)).cloned()
+    }
+    fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+        self.segments.remove(&(group, seq));
+        true
+    }
+    fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+        self.manifest = Some(bytes.to_vec());
+        true
+    }
+    fn load_manifest(&mut self) -> Option<Vec<u8>> {
+        self.manifest.clone()
+    }
+    fn list_segments(&mut self) -> Vec<(u32, u64)> {
+        self.segments.keys().copied().collect()
+    }
+}
+
+/// Directory-backed storage: `wal-g<group>-<seq>.seg` segment files plus
+/// a `wal.manifest`, all under one directory. Appends and rewrites fsync
+/// before reporting success; the manifest is replaced via temp-file +
+/// fsync + rename + directory fsync, so a crash leaves either the old or
+/// the new manifest intact.
+pub struct FileBackend {
+    dir: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the segment directory.
+    pub fn open_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file name of segment `(group, seq)`.
+    pub fn segment_name(group: u32, seq: u64) -> String {
+        format!("wal-g{group:02}-{seq:08}.seg")
+    }
+
+    fn segment_path(&self, group: u32, seq: u64) -> PathBuf {
+        self.dir.join(Self::segment_name(group, seq))
+    }
+
+    /// Makes directory metadata (created/renamed/deleted names) durable.
+    fn sync_dir(&self) -> std::io::Result<()> {
+        std::fs::File::open(&self.dir)?.sync_all()
+    }
+}
+
+impl WalBackend for FileBackend {
+    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        // fsync, not just flush: `File` has no userspace buffer, so
+        // `flush()` is a no-op and an OS crash could lose acknowledged
+        // records. `sync_data` forces the bytes (and the size metadata
+        // needed to read them back) to stable storage.
+        let run = || -> std::io::Result<()> {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.segment_path(group, seq))?;
+            f.write_all(bytes)?;
+            f.sync_data()
+        };
+        run().is_ok()
+    }
+
+    fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        let run = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(self.segment_path(group, seq))?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            self.sync_dir()
+        };
+        run().is_ok()
+    }
+
+    fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+        std::fs::read(self.segment_path(group, seq)).ok()
+    }
+
+    fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+        match std::fs::remove_file(self.segment_path(group, seq)) {
+            Ok(()) => self.sync_dir().is_ok(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+            Err(_) => false,
+        }
+    }
+
+    fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+        let run = || -> std::io::Result<()> {
+            let tmp = self.dir.join("wal.manifest.tmp");
+            {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(bytes)?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, self.dir.join("wal.manifest"))?;
+            self.sync_dir()
+        };
+        run().is_ok()
+    }
+
+    fn load_manifest(&mut self) -> Option<Vec<u8>> {
+        // Only a confirmed NotFound means "fresh log". Any other read
+        // error must surface as present-but-undecodable (empty bytes
+        // never decode), routing the caller into scan recovery instead
+        // of the orphan sweep that a "fresh" answer would license.
+        match std::fs::read(self.dir.join("wal.manifest")) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(_) => Some(Vec::new()),
+        }
+    }
+
+    fn list_segments(&mut self) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in rd.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(rest) = name
+                .strip_prefix("wal-g")
+                .and_then(|s| s.strip_suffix(".seg"))
+            else {
+                continue;
+            };
+            let Some((g, s)) = rest.split_once('-') else {
+                continue;
+            };
+            if let (Ok(group), Ok(seq)) = (g.parse(), s.parse()) {
+                out.push((group, seq));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The WAL manager
+// ---------------------------------------------------------------------
+
+/// What [`CommitWal::open_with_floor`] did: segment- and record-level
+/// accounting of the load, the raw material for recovery reporting
+/// ([`crate::pipeline::ReplayStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalLoadStats {
+    /// Segments read and decoded.
+    pub segments_scanned: u64,
+    /// Segments skipped without reading: their `last_sn` sat below the
+    /// snapshot-covered floor.
+    pub segments_skipped: u64,
+    /// Distinct records loaded into the mirror (deduplicated across lane
+    /// groups).
+    pub records_loaded: u64,
+    /// Records discarded because they sat below the floor (straddling
+    /// segments keep covered records on disk until compaction).
+    pub records_below_floor: u64,
+    /// Records dropped from a torn or corrupt segment tail, summed over
+    /// the scanned segments against the manifest's last-published count
+    /// (a lower bound of what was durably appended; duplicates in other
+    /// groups may still have recovered the records).
+    pub records_torn: u64,
+    /// True when a manifest file existed but failed to decode, and the
+    /// live set was rebuilt by scanning every segment on disk. Data is
+    /// preserved (nothing is swept as an orphan in this mode), but the
+    /// skip-unread optimization is unavailable for this open and the
+    /// event deserves operator attention.
+    pub manifest_recovered: bool,
+}
+
 /// The commit log: an in-memory mirror of the records past the last
-/// snapshot, plus a storage backend holding their encoding.
+/// snapshot, plus a segmented storage backend holding their encoding
+/// fanned out across lane-group chains.
 pub struct CommitWal {
     backend: Box<dyn WalBackend>,
+    opts: WalOptions,
     /// Records currently in the log (ascending, dense `sn`).
     records: Vec<WalRecord>,
+    /// The live segment set (manifest mirror), ascending `(group, seq)`.
+    segments: Vec<SegmentMeta>,
+    /// Next unused segment sequence number.
+    next_seq: u64,
     /// Backend writes that reported failure. The in-memory mirror stays
     /// authoritative, and the next successful compaction rewrites the
     /// backend from it, repairing earlier losses — but a crash while this
     /// is nonzero may lose the affected records, so operators must treat
     /// it as a durability alarm.
     write_failures: u64,
+    /// Accounting of the open-time load.
+    load_stats: WalLoadStats,
 }
 
 impl CommitWal {
-    /// A WAL over `backend`, replaying whatever the backend already holds.
-    pub fn open(mut backend: Box<dyn WalBackend>) -> Self {
-        let records = decode_records(&backend.load());
-        Self {
-            backend,
-            records,
-            write_failures: 0,
+    /// A WAL over `backend`, replaying whatever the backend already
+    /// holds.
+    pub fn open(backend: Box<dyn WalBackend>, opts: WalOptions) -> Self {
+        Self::open_with_floor(backend, opts, 0)
+    }
+
+    /// [`Self::open`] with a snapshot-covered floor: segments whose
+    /// `last_sn < floor` are skipped without reading (every record in
+    /// them is covered by the snapshot the caller recovered), and loaded
+    /// records below the floor are dropped from the mirror. The skipped
+    /// segments stay in the manifest so a later [`Self::compact`] can
+    /// delete them.
+    pub fn open_with_floor(mut backend: Box<dyn WalBackend>, opts: WalOptions, floor: u64) -> Self {
+        let mut opts = opts.normalized();
+        let mut stats = WalLoadStats::default();
+        // An *absent* manifest means a fresh log; a *present but
+        // undecodable* one (bit rot, read error) must NOT be treated the
+        // same — an empty "authoritative" set would let the orphan sweep
+        // below delete every intact segment on disk. Fall back to
+        // rebuilding the live set by scanning storage instead: every
+        // record survives, at the cost of reading everything once.
+        let manifest = match backend.load_manifest() {
+            None => Manifest::default(),
+            Some(bytes) => match Manifest::decode(&bytes) {
+                Some(m) => m,
+                None => {
+                    stats.manifest_recovered = true;
+                    // All scanned segments are marked sealed: their true
+                    // fill is unknown, and appending to more than one
+                    // unsealed segment per group would break sn order.
+                    let segments = backend
+                        .list_segments()
+                        .into_iter()
+                        .map(|(group, seq)| {
+                            let mut meta = SegmentMeta::fresh(group, seq);
+                            meta.sealed = true;
+                            // Force a scan: claim one record so the
+                            // floor-skip (which trusts meta) never fires.
+                            meta.records = 1;
+                            meta.last_sn = u64::MAX;
+                            meta
+                        })
+                        .collect::<Vec<_>>();
+                    let next_seq = segments.iter().map(|s| s.seq + 1).max().unwrap_or(0);
+                    Manifest {
+                        next_seq,
+                        lane_groups: 0,
+                        segments,
+                    }
+                }
+            },
+        };
+        // The lane-group layout is a property of the on-disk chains, not
+        // of this process's config: adopt the manifest's grouping so
+        // appends and compaction rewrites route records to the chains
+        // they actually live in. A changed `wal_lane_groups` knob takes
+        // effect on fresh logs only.
+        if manifest.lane_groups != 0 {
+            opts.lane_groups = manifest.lane_groups.clamp(1, MERKLE_LANES);
         }
+
+        // Orphan cleanup: files on disk the manifest does not reference
+        // are leftovers of a mid-compaction or mid-roll crash. The
+        // manifest is authoritative; drop them so stale bytes can never
+        // resurface. (Skipped in manifest-recovery mode, where every
+        // file on disk IS the live set.)
+        if !stats.manifest_recovered {
+            let referenced: std::collections::BTreeSet<(u32, u64)> =
+                manifest.segments.iter().map(|s| (s.group, s.seq)).collect();
+            for (group, seq) in backend.list_segments() {
+                if !referenced.contains(&(group, seq)) {
+                    let _ = backend.delete_segment(group, seq);
+                }
+            }
+        }
+
+        // Load the live set, floor-skipping covered segments, and
+        // re-derive each scanned segment's metadata from its actual
+        // content (active segments grew past their manifest entry;
+        // corrupt tails shrink it).
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        let mut by_sn: BTreeMap<u64, WalRecord> = BTreeMap::new();
+        for meta in &manifest.segments {
+            if meta.records > 0 && meta.last_sn < floor && meta.sealed {
+                stats.segments_skipped += 1;
+                segments.push(*meta);
+                continue;
+            }
+            stats.segments_scanned += 1;
+            let bytes = backend
+                .read_segment(meta.group, meta.seq)
+                .unwrap_or_default();
+            let decoded = decode_records(&bytes);
+            // The manifest's last-published count is a lower bound of
+            // what was durably appended — for active segments too (their
+            // count is published at creation and at compaction rewrite).
+            // Decoding fewer means a definite torn/corrupt loss in this
+            // chain. Not meaningful in manifest-recovery mode, where the
+            // counts above are fabricated.
+            if !stats.manifest_recovered && (decoded.len() as u32) < meta.records {
+                stats.records_torn += (meta.records - decoded.len() as u32) as u64;
+            }
+            let mut fresh = SegmentMeta::fresh(meta.group, meta.seq);
+            fresh.sealed = meta.sealed;
+            for rec in decoded {
+                fresh.absorb(&rec);
+                if rec.sn < floor {
+                    stats.records_below_floor += 1;
+                } else {
+                    by_sn.entry(rec.sn).or_insert(rec);
+                }
+            }
+            segments.push(fresh);
+        }
+
+        // The mirror is the longest dense run from the lowest loaded sn:
+        // a gap means a corrupt chain, and nothing past it can be
+        // trusted to replay at the right position.
+        let mut records: Vec<WalRecord> = Vec::with_capacity(by_sn.len());
+        for (_, rec) in by_sn {
+            if records.last().is_some_and(|last| last.sn + 1 != rec.sn) {
+                break;
+            }
+            records.push(rec);
+        }
+        stats.records_loaded = records.len() as u64;
+
+        let mut wal = Self {
+            backend,
+            opts,
+            records,
+            segments,
+            next_seq: manifest.next_seq,
+            write_failures: 0,
+            load_stats: stats,
+        };
+        // After a scan-recovery the old chains' lane grouping is
+        // unknowable, so rewrite storage from the mirror under the
+        // current options and leave a decodable manifest behind — the
+        // next open is a normal one.
+        if stats.manifest_recovered {
+            wal.rebuild_storage();
+        }
+        wal
     }
 
-    /// An empty in-memory WAL.
+    /// An empty in-memory WAL with default segment options.
     pub fn in_memory() -> Self {
-        Self::open(Box::new(MemBackend::default()))
+        Self::in_memory_with(WalOptions::default())
     }
 
-    /// Appends (and durably stores) one confirmed-block record.
+    /// An empty in-memory WAL with explicit segment options.
+    pub fn in_memory_with(opts: WalOptions) -> Self {
+        Self::open(Box::new(MemBackend::default()), opts)
+    }
+
+    /// An in-memory WAL seeded from a flat record encoding (the sync /
+    /// restart-from-bytes path: [`Self::to_bytes`] on the sender side).
+    pub fn from_flat_bytes(bytes: &[u8], opts: WalOptions) -> Self {
+        let mut wal = Self::in_memory_with(opts);
+        for rec in decode_records(bytes) {
+            wal.append(rec);
+        }
+        wal
+    }
+
+    /// The segment options in effect.
+    pub fn options(&self) -> WalOptions {
+        self.opts
+    }
+
+    /// Accounting of the open-time load (segment skips, torn tails).
+    pub fn load_stats(&self) -> WalLoadStats {
+        self.load_stats
+    }
+
+    /// The live segment set (manifest mirror).
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.segments
+    }
+
+    /// Appends (and durably stores) one confirmed-block record to every
+    /// lane-group chain its mask touches.
     pub fn append(&mut self, rec: WalRecord) {
         debug_assert!(
             self.records.last().is_none_or(|l| l.sn + 1 == rec.sn),
@@ -294,13 +877,141 @@ impl CommitWal {
         );
         let mut bytes = Vec::with_capacity(4 + BODY_LEN + 8);
         rec.encode_into(&mut bytes);
-        if !self.backend.append(&bytes) {
+        let mut groups = groups_of_mask(rec.lane_mask, self.opts.lane_groups);
+        let mut failed = false;
+        let mut sealed_any = false;
+        while groups != 0 {
+            let group = groups.trailing_zeros();
+            groups &= groups - 1;
+            let idx = match self.active_segment(group) {
+                Some(idx) => idx,
+                None => {
+                    // Roll a fresh active segment for the group: create
+                    // the (empty) file, then publish the manifest that
+                    // references it — BEFORE any record bytes land in
+                    // it. Appending first would open a crash window in
+                    // which a durably-written record sits in a file the
+                    // manifest never named, and the next open's orphan
+                    // sweep would delete it. A crash between create and
+                    // publish leaves only an ignorable empty orphan.
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if !self.backend.write_segment(group, seq, &[]) {
+                        failed = true;
+                    }
+                    self.segments.push(SegmentMeta::fresh(group, seq));
+                    self.segments.sort_unstable_by_key(|s| (s.group, s.seq));
+                    if !self.publish_manifest() {
+                        failed = true;
+                    }
+                    self.segment_index(group, seq).expect("just inserted")
+                }
+            };
+            let meta = &mut self.segments[idx];
+            if !self.backend.append_segment(meta.group, meta.seq, &bytes) {
+                failed = true;
+            }
+            meta.absorb(&rec);
+            if meta.records >= self.opts.segment_records {
+                meta.sealed = true;
+                sealed_any = true;
+            }
+        }
+        // Seal events only refresh metadata of already-referenced files;
+        // deferring their publish to the end opens no sweep window.
+        if sealed_any && !self.publish_manifest() {
+            failed = true;
+        }
+        if failed {
             self.write_failures += 1;
         }
         self.records.push(rec);
     }
 
-    /// Backend writes that reported failure since open (durability alarm).
+    /// Rewrites the whole backend from the mirror under the current
+    /// options — the manifest-recovery path, where the on-disk chains'
+    /// original lane grouping is unknowable (routing rewrites through
+    /// the wrong grouping could drop records from every chain they live
+    /// in). Same commit discipline as [`Self::rotate_segments`]: new
+    /// files first (one durable write per segment), manifest publish as
+    /// the commit point, old files deleted last — and an abort before
+    /// the commit point on any failed write. A crash or abort before
+    /// the publish leaves the (still undecodable) old manifest, so the
+    /// next open re-enters scan recovery with all data intact (the
+    /// partial new files simply join the scan and deduplicate).
+    fn rebuild_storage(&mut self) {
+        let old: Vec<(u32, u64)> = self.segments.iter().map(|s| (s.group, s.seq)).collect();
+        let mut ok = true;
+        let mut new_segments: Vec<SegmentMeta> = Vec::new();
+        let records = std::mem::take(&mut self.records);
+        for group in 0..self.opts.lane_groups {
+            let group_bit = 1u64 << group;
+            let mut bytes = Vec::new();
+            let mut meta = SegmentMeta::fresh(group, 0);
+            for rec in &records {
+                if groups_of_mask(rec.lane_mask, self.opts.lane_groups) & group_bit == 0 {
+                    continue;
+                }
+                rec.encode_into(&mut bytes);
+                meta.absorb(rec);
+                if meta.records >= self.opts.segment_records {
+                    meta.sealed = true;
+                    meta.seq = self.next_seq;
+                    self.next_seq += 1;
+                    ok &= self.backend.write_segment(group, meta.seq, &bytes);
+                    new_segments.push(meta);
+                    bytes = Vec::new();
+                    meta = SegmentMeta::fresh(group, 0);
+                }
+            }
+            if meta.records > 0 {
+                meta.seq = self.next_seq;
+                self.next_seq += 1;
+                ok &= self.backend.write_segment(group, meta.seq, &bytes);
+                new_segments.push(meta);
+            }
+        }
+        self.records = records;
+        if !ok {
+            self.write_failures += 1;
+            return;
+        }
+        new_segments.sort_unstable_by_key(|s| (s.group, s.seq));
+        self.segments = new_segments;
+        if !self.publish_manifest() {
+            self.write_failures += 1;
+            return;
+        }
+        for (group, seq) in old {
+            if !self.backend.delete_segment(group, seq) {
+                self.write_failures += 1;
+            }
+        }
+    }
+
+    fn active_segment(&self, group: u32) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|s| s.group == group && !s.sealed)
+    }
+
+    fn segment_index(&self, group: u32, seq: u64) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|s| s.group == group && s.seq == seq)
+    }
+
+    fn publish_manifest(&mut self) -> bool {
+        let manifest = Manifest {
+            next_seq: self.next_seq,
+            lane_groups: self.opts.lane_groups,
+            segments: self.segments.clone(),
+        };
+        self.backend.publish_manifest(&manifest.encode())
+    }
+
+    /// Backend writes that reported failure since open (durability
+    /// alarm).
     pub fn write_failures(&self) -> u64 {
         self.write_failures
     }
@@ -320,23 +1031,156 @@ impl CommitWal {
         self.records.is_empty()
     }
 
-    /// Drops records with `sn < upto` (they are covered by a snapshot) and
-    /// rewrites the backend.
+    /// Drops records with `sn < upto` (they are covered by a snapshot).
+    ///
+    /// Storage-side this is the atomic segment rotation, never an
+    /// in-place truncation:
+    ///
+    /// 1. fully covered segments are marked for deletion; straddling
+    ///    segments get their surviving tail written to *new* segment
+    ///    files (fsynced);
+    /// 2. a manifest naming the new live set is published atomically
+    ///    (temp + fsync + rename + dir-fsync) — the commit point;
+    /// 3. only then are the old files deleted.
+    ///
+    /// A crash (or a failed write) anywhere in the protocol leaves a
+    /// readable log: before the commit point the old manifest still
+    /// names the complete old set; after it the new manifest names the
+    /// complete new set, and stale files are orphans the next open
+    /// sweeps away. No step ever modifies a file the current manifest
+    /// references.
     pub fn compact(&mut self, upto: u64) {
         let keep_from = self.records.partition_point(|r| r.sn < upto);
-        if keep_from == 0 {
+        let affected = self
+            .segments
+            .iter()
+            .any(|s| s.records > 0 && s.first_sn < upto);
+        if keep_from == 0 && !affected {
             return;
         }
-        let mut bytes = Vec::new();
-        for r in &self.records[keep_from..] {
-            r.encode_into(&mut bytes);
+        // Mirror first: it is authoritative regardless of storage luck.
+        self.records.drain(..keep_from);
+        self.rotate_segments(|meta| {
+            if meta.records == 0 || meta.first_sn >= upto {
+                SegmentFate::Keep
+            } else if meta.last_sn < upto {
+                SegmentFate::Delete
+            } else {
+                // Straddler: the surviving tail, capped at the
+                // straddler's own range — the group's later segments
+                // keep theirs.
+                SegmentFate::Rewrite {
+                    first: upto,
+                    last: meta.last_sn,
+                }
+            }
+        });
+    }
+
+    /// Drops records with `sn >= from_sn` from the log — the unreplayable
+    /// dangling suffix left when corruption opened a gap below it.
+    /// Records the mirror no longer holds (covered, torn, or past the
+    /// gap) are dropped with their segments.
+    pub fn truncate_from(&mut self, from_sn: u64) {
+        let cut = self.records.partition_point(|r| r.sn < from_sn);
+        let affected = self
+            .segments
+            .iter()
+            .any(|s| s.records > 0 && s.last_sn >= from_sn);
+        if cut == self.records.len() && !affected {
+            return;
         }
-        if self.backend.reset(&bytes) {
-            self.records.drain(..keep_from);
-        } else {
-            // Keep everything in memory; the longer on-disk log is still
-            // consistent (recovery skips records a snapshot covers).
+        self.records.truncate(cut);
+        self.rotate_segments(|meta| {
+            if meta.records == 0 || meta.last_sn < from_sn {
+                SegmentFate::Keep
+            } else if meta.first_sn >= from_sn {
+                SegmentFate::Delete
+            } else {
+                SegmentFate::Rewrite {
+                    first: meta.first_sn,
+                    last: from_sn - 1,
+                }
+            }
+        });
+    }
+
+    /// The atomic segment rotation behind [`Self::compact`] and
+    /// [`Self::truncate_from`], never an in-place truncation:
+    ///
+    /// 1. each live segment is kept, marked for deletion, or — when it
+    ///    straddles the cut — has its surviving `first..=last` records
+    ///    rewritten (from the mirror, restricted to the records routed
+    ///    to its group) to a *new* fsynced segment file;
+    /// 2. a manifest naming the new live set is published atomically
+    ///    (temp + fsync + rename + dir-fsync) — the commit point;
+    /// 3. only then are the replaced files deleted.
+    ///
+    /// A crash (or a failed write) anywhere in the protocol leaves a
+    /// readable log: before the commit point the old manifest still
+    /// names the complete old set, which no step ever modifies; after it
+    /// the new manifest names the complete new set, and stale files are
+    /// orphans the next open sweeps away.
+    fn rotate_segments(&mut self, fate: impl Fn(&SegmentMeta) -> SegmentFate) {
+        let mut ok = true;
+        let mut new_segments: Vec<SegmentMeta> = Vec::with_capacity(self.segments.len());
+        let mut delete: Vec<(u32, u64)> = Vec::new();
+        for meta in self.segments.clone() {
+            match fate(&meta) {
+                SegmentFate::Keep => new_segments.push(meta),
+                SegmentFate::Delete => delete.push((meta.group, meta.seq)),
+                SegmentFate::Rewrite { first, last } => {
+                    let group_bit = 1u64 << meta.group;
+                    let mut bytes = Vec::new();
+                    let mut fresh = SegmentMeta::fresh(meta.group, self.next_seq);
+                    fresh.sealed = meta.sealed;
+                    for rec in &self.records {
+                        if (first..=last).contains(&rec.sn)
+                            && groups_of_mask(rec.lane_mask, self.opts.lane_groups) & group_bit != 0
+                        {
+                            rec.encode_into(&mut bytes);
+                            fresh.absorb(rec);
+                        }
+                    }
+                    self.next_seq += 1;
+                    delete.push((meta.group, meta.seq));
+                    if fresh.records == 0 {
+                        // Nothing survives (e.g. the mirror lost the
+                        // range to corruption): just drop the segment.
+                        continue;
+                    }
+                    if !self.backend.write_segment(fresh.group, fresh.seq, &bytes) {
+                        ok = false;
+                    }
+                    new_segments.push(fresh);
+                }
+            }
+        }
+        if !ok {
+            // New files did not all reach storage: abort the rotation.
+            // The old manifest still names the complete old set, which
+            // remains untouched on disk; the orphaned new files are
+            // swept on the next open.
             self.write_failures += 1;
+            return;
+        }
+
+        // The commit point.
+        new_segments.sort_unstable_by_key(|s| (s.group, s.seq));
+        self.segments = new_segments;
+        if !self.publish_manifest() {
+            // Old manifest still governs; old files still intact. Keep
+            // the mirror authoritative and raise the alarm.
+            self.write_failures += 1;
+            return;
+        }
+
+        // Old files are now unreferenced; delete them.
+        for (group, seq) in delete {
+            if !self.backend.delete_segment(group, seq) {
+                // Harmless (orphan swept on next open), but surface it.
+                self.write_failures += 1;
+            }
         }
     }
 
@@ -353,8 +1197,42 @@ impl CommitWal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A [`MemBackend`] whose storage survives the WAL that owns it, so
+    /// tests can reopen "the same disk".
+    #[derive(Clone, Default)]
+    struct SharedMem(Arc<Mutex<MemBackend>>);
+
+    impl WalBackend for SharedMem {
+        fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+            self.0.lock().unwrap().append_segment(group, seq, bytes)
+        }
+        fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+            self.0.lock().unwrap().write_segment(group, seq, bytes)
+        }
+        fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+            self.0.lock().unwrap().read_segment(group, seq)
+        }
+        fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+            self.0.lock().unwrap().delete_segment(group, seq)
+        }
+        fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+            self.0.lock().unwrap().publish_manifest(bytes)
+        }
+        fn load_manifest(&mut self) -> Option<Vec<u8>> {
+            self.0.lock().unwrap().load_manifest()
+        }
+        fn list_segments(&mut self) -> Vec<(u32, u64)> {
+            self.0.lock().unwrap().list_segments()
+        }
+    }
 
     fn rec(sn: u64) -> WalRecord {
+        rec_masked(sn, 1 << (sn % MERKLE_LANES as u64))
+    }
+
+    fn rec_masked(sn: u64, lane_mask: u64) -> WalRecord {
         WalRecord {
             sn,
             instance: (sn % 4) as u32,
@@ -364,7 +1242,15 @@ mod tests {
             count: 7,
             bucket: 1,
             payload_bytes: 3500,
+            lane_mask,
             payload_digest: Digest([sn as u8; 32]),
+        }
+    }
+
+    fn opts(groups: u32, seg: u32) -> WalOptions {
+        WalOptions {
+            lane_groups: groups,
+            segment_records: seg,
         }
     }
 
@@ -405,8 +1291,63 @@ mod tests {
     }
 
     #[test]
+    fn lane_groups_partition_contiguously() {
+        for groups in [1u32, 2, 4, 8, 16, 64] {
+            let mut seen = vec![0u32; groups as usize];
+            let mut last = 0u32;
+            for lane in 0..MERKLE_LANES {
+                let g = group_of_lane(lane, groups);
+                assert!(g < groups);
+                assert!(g >= last, "groups must be contiguous in lane order");
+                last = g;
+                seen[g as usize] += 1;
+            }
+            assert!(seen.iter().all(|&c| c > 0), "no empty group at {groups}");
+        }
+        // Empty masks are homed to group 0 (dense log even for empty
+        // blocks).
+        assert_eq!(groups_of_mask(0, 8), 1);
+        // A full mask touches every group.
+        assert_eq!(groups_of_mask(u64::MAX, 8).count_ones(), 8);
+    }
+
+    #[test]
+    fn records_fan_out_to_touched_groups_only() {
+        let mut wal = CommitWal::in_memory_with(opts(8, 1024));
+        // Lane 0 → group 0; lane 63 → group 7.
+        wal.append(rec_masked(0, 1 << 0));
+        wal.append(rec_masked(1, 1 << 63));
+        wal.append(rec_masked(2, (1 << 0) | (1 << 63)));
+        let groups: Vec<u32> = wal.segments().iter().map(|s| s.group).collect();
+        assert_eq!(groups, vec![0, 7]);
+        assert_eq!(wal.segments()[0].records, 2); // sns 0, 2
+        assert_eq!(wal.segments()[1].records, 2); // sns 1, 2
+        assert_eq!(wal.len(), 3, "mirror holds each record once");
+    }
+
+    #[test]
+    fn segments_roll_and_reopen_merges_groups() {
+        let disk = SharedMem::default();
+        {
+            let mut wal = CommitWal::open(Box::new(disk.clone()), opts(4, 4));
+            for sn in 0..20 {
+                wal.append(rec(sn));
+            }
+            assert!(
+                wal.segments().iter().any(|s| s.sealed),
+                "4-record segments must have sealed by 20 appends"
+            );
+        }
+        let wal = CommitWal::open(Box::new(disk), opts(4, 4));
+        assert_eq!(wal.len(), 20, "reopen must merge all groups losslessly");
+        for (i, r) in wal.records().iter().enumerate() {
+            assert_eq!(*r, rec(i as u64));
+        }
+    }
+
+    #[test]
     fn compaction_drops_snapshotted_prefix() {
-        let mut wal = CommitWal::in_memory();
+        let mut wal = CommitWal::in_memory_with(opts(4, 8));
         for sn in 0..20 {
             wal.append(rec(sn));
         }
@@ -416,23 +1357,218 @@ mod tests {
         // Backend rewritten too: reopening sees only the tail.
         let reopened = decode_records(&wal.to_bytes());
         assert_eq!(reopened.len(), 5);
+        // No live segment still reaches below the cut.
+        assert!(wal
+            .segments()
+            .iter()
+            .all(|s| s.records == 0 || s.first_sn >= 15));
+    }
+
+    #[test]
+    fn open_with_floor_skips_covered_segments() {
+        let disk = SharedMem::default();
+        {
+            let mut wal = CommitWal::open(Box::new(disk.clone()), opts(2, 4));
+            for sn in 0..32 {
+                wal.append(rec(sn));
+            }
+        }
+        let wal = CommitWal::open_with_floor(Box::new(disk), opts(2, 4), 24);
+        let stats = wal.load_stats();
+        assert!(
+            stats.segments_skipped > 0,
+            "sealed segments below the floor must be skipped unread: {stats:?}"
+        );
+        assert_eq!(wal.records().first().map(|r| r.sn), Some(24));
+        assert_eq!(wal.len(), 8);
+        assert_eq!(
+            stats.records_loaded, 8,
+            "only the tail is mirrored: {stats:?}"
+        );
     }
 
     #[test]
     fn file_backend_survives_reopen() {
         let dir = std::env::temp_dir().join(format!("ladon-wal-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("commit.wal");
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
         {
-            let mut wal = CommitWal::open(Box::new(FileBackend::open(&path).unwrap()));
+            let mut wal =
+                CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(4, 3));
             for sn in 0..8 {
                 wal.append(rec(sn));
             }
         }
-        let wal = CommitWal::open(Box::new(FileBackend::open(&path).unwrap()));
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(4, 3));
         assert_eq!(wal.len(), 8);
         assert_eq!(wal.records()[7], rec(7));
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_compaction_is_atomic_rename_and_delete() {
+        let dir = std::env::temp_dir().join(format!("ladon-wal-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(2, 4));
+        for sn in 0..20 {
+            wal.append(rec(sn));
+        }
+        let before: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        wal.compact(18);
+        assert_eq!(wal.write_failures(), 0);
+        // Old segment files are gone; the manifest and the tail remain.
+        let after: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(after.iter().any(|n| n == "wal.manifest"));
+        assert!(!after.iter().any(|n| n.ends_with(".tmp")));
+        assert!(
+            after.iter().filter(|n| n.ends_with(".seg")).count()
+                < before.iter().filter(|n| n.ends_with(".seg")).count(),
+            "compaction must shrink the segment set: {before:?} -> {after:?}"
+        );
+        drop(wal);
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(2, 4));
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.records()[0].sn, 18);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_recovers_by_scan_and_loses_nothing() {
+        let dir = std::env::temp_dir().join(format!("ladon-wal-badman-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut wal =
+                CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(4, 3));
+            for sn in 0..14 {
+                wal.append(rec(sn));
+            }
+        }
+        // Bit-rot the manifest: one flipped byte must NOT read as "empty
+        // authoritative set" (which would sweep every segment as an
+        // orphan).
+        let manifest_path = dir.join("wal.manifest");
+        let mut bytes = std::fs::read(&manifest_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&manifest_path, &bytes).unwrap();
+
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(4, 3));
+        assert!(wal.load_stats().manifest_recovered);
+        assert_eq!(wal.len(), 14, "scan recovery must preserve every record");
+        for (i, r) in wal.records().iter().enumerate() {
+            assert_eq!(*r, rec(i as u64));
+        }
+        assert_eq!(
+            wal.write_failures(),
+            0,
+            "the storage rebuild itself must succeed"
+        );
+        drop(wal);
+        // The rebuild left a decodable manifest: the next open is normal
+        // and still holds everything.
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(4, 3));
+        assert!(!wal.load_stats().manifest_recovered);
+        assert_eq!(wal.len(), 14);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_segments_are_swept_on_open() {
+        let dir = std::env::temp_dir().join(format!("ladon-wal-orphan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut wal =
+                CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(2, 4));
+            for sn in 0..6 {
+                wal.append(rec(sn));
+            }
+        }
+        // A mid-compaction crash leaves a new-tail file the manifest
+        // never came to reference.
+        std::fs::write(dir.join(FileBackend::segment_name(0, 99)), b"garbage").unwrap();
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(2, 4));
+        assert_eq!(wal.len(), 6, "orphans must not perturb the log");
+        assert!(
+            !dir.join(FileBackend::segment_name(0, 99)).exists(),
+            "the orphan must be swept"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_different_lane_groups_adopts_disk_layout() {
+        // The manifest records the grouping the chains were laid out
+        // with; a process configured differently must adopt it, or
+        // compaction rewrites would route records to chains they do not
+        // live in and silently drop them.
+        let disk = SharedMem::default();
+        {
+            let mut wal = CommitWal::open(Box::new(disk.clone()), opts(8, 4));
+            for sn in 0..20 {
+                wal.append(rec(sn));
+            }
+        }
+        let mut wal = CommitWal::open(Box::new(disk.clone()), opts(2, 4));
+        assert_eq!(
+            wal.options().lane_groups,
+            8,
+            "the on-disk layout must win over the configured knob"
+        );
+        assert_eq!(wal.len(), 20);
+        // Appends and a mid-segment compaction still route correctly.
+        for sn in 20..26 {
+            wal.append(rec(sn));
+        }
+        wal.compact(18);
+        assert_eq!(wal.write_failures(), 0);
+        drop(wal);
+        let wal = CommitWal::open(Box::new(disk), opts(2, 4));
+        let sns: Vec<u64> = wal.records().iter().map(|r| r.sn).collect();
+        assert_eq!(sns, (18..26).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn truncate_from_preserves_sealed_and_drops_suffix() {
+        let disk = SharedMem::default();
+        {
+            let mut wal = CommitWal::open(Box::new(disk.clone()), opts(2, 4));
+            for sn in 0..10 {
+                wal.append(rec(sn));
+            }
+            wal.truncate_from(6);
+            assert_eq!(wal.len(), 6);
+            assert_eq!(wal.write_failures(), 0);
+            // A rewritten head of a sealed segment stays sealed: at most
+            // one unsealed segment per group survives.
+            for group in 0..2 {
+                let unsealed = wal
+                    .segments()
+                    .iter()
+                    .filter(|s| s.group == group && !s.sealed)
+                    .count();
+                assert!(unsealed <= 1, "group {group} has {unsealed} unsealed");
+            }
+        }
+        let wal = CommitWal::open(Box::new(disk), opts(2, 4));
+        let sns: Vec<u64> = wal.records().iter().map(|r| r.sn).collect();
+        assert_eq!(sns, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_bytes_roundtrip_for_sync() {
+        let mut wal = CommitWal::in_memory_with(opts(8, 4));
+        for sn in 0..10 {
+            wal.append(rec(sn));
+        }
+        let shipped = wal.to_bytes();
+        let rebuilt = CommitWal::from_flat_bytes(&shipped, opts(2, 100));
+        assert_eq!(rebuilt.records(), wal.records());
     }
 }

@@ -127,6 +127,33 @@ pub struct Block {
 }
 
 impl Block {
+    /// The canonical synthetic block at global position `sn`, carrying
+    /// `count` derived transactions starting at `first_tx` — the one
+    /// constructor execution-layer tests, benches, and examples share so
+    /// their roots stay comparable (same identity derivation, same
+    /// payload accounting: 500 bytes per tx, instance `sn % 4`, round
+    /// `sn / 4 + 1`, rank `sn`).
+    pub fn synthetic(sn: u64, first_tx: u64, count: u32) -> Self {
+        Self {
+            header: BlockHeader {
+                index: InstanceId((sn % 4) as u32),
+                round: Round(sn / 4 + 1),
+                rank: Rank(sn),
+                payload_digest: Digest([sn as u8; 32]),
+            },
+            batch: Batch {
+                first_tx: crate::TxId(first_tx),
+                count,
+                payload_bytes: count as u64 * 500,
+                arrival_sum_ns: 0,
+                earliest_arrival: TimeNs::ZERO,
+                bucket: 0,
+                refs: Vec::new(),
+            },
+            proposed_at: TimeNs::ZERO,
+        }
+    }
+
     /// The ordering key of this block.
     #[inline]
     pub fn key(&self) -> OrderKey {

@@ -156,6 +156,20 @@ pub struct SystemConfig {
     /// entries alone — shipping a full-keyspace snapshot to a replica one
     /// block behind wastes ~50 KiB per probe.
     pub snapshot_min_lag: u64,
+    /// Lane groups the commit WAL partitions the [`MERKLE_LANES`] Merkle
+    /// lanes into (`1..=MERKLE_LANES`). Each group owns an independent
+    /// segment chain, and a confirmed block's record is fanned out to the
+    /// chains its ops' lanes map to — the layout that lets recovery skip
+    /// whole chains a snapshot already covers and replay only dirty
+    /// lanes. More groups = finer recovery selectivity, more per-append
+    /// fan-out (records are ~100-byte identities, so the duplication is
+    /// cheap).
+    pub wal_lane_groups: u32,
+    /// Records a WAL segment holds before it is sealed (immutable) and
+    /// its lane group rolls to a fresh active segment (≥ 1). Smaller
+    /// segments = finer-grained compaction deletes and recovery skips,
+    /// more manifest churn.
+    pub wal_segment_records: u32,
 }
 
 impl SystemConfig {
@@ -176,6 +190,8 @@ impl SystemConfig {
             exec_lanes: 4,
             exec_keyspace: 4096,
             snapshot_min_lag: 16,
+            wal_lane_groups: 8,
+            wal_segment_records: 1024,
         }
     }
 
@@ -258,6 +274,15 @@ impl SystemConfig {
                 self.snapshot_min_lag, self.epoch_length
             )));
         }
+        if self.wal_lane_groups == 0 || self.wal_lane_groups > MERKLE_LANES {
+            return Err(LadonError::Config(format!(
+                "wal_lane_groups = {} must be in 1..={MERKLE_LANES}",
+                self.wal_lane_groups
+            )));
+        }
+        if self.wal_segment_records == 0 {
+            return Err(LadonError::Config("wal_segment_records must be > 0".into()));
+        }
         Ok(())
     }
 }
@@ -336,6 +361,30 @@ mod tests {
         let mut ok = c;
         ok.exec_lanes = MERKLE_LANES;
         ok.snapshot_min_lag = ok.epoch_length;
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn wal_knobs_validated() {
+        let c = SystemConfig::paper_default(16, NetEnv::Wan);
+        assert_eq!(c.wal_lane_groups, 8);
+        assert_eq!(c.wal_segment_records, 1024);
+
+        let mut bad = c.clone();
+        bad.wal_lane_groups = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = c.clone();
+        bad.wal_lane_groups = MERKLE_LANES + 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = c.clone();
+        bad.wal_segment_records = 0;
+        assert!(bad.validate().is_err());
+
+        let mut ok = c;
+        ok.wal_lane_groups = MERKLE_LANES;
+        ok.wal_segment_records = 1;
         ok.validate().unwrap();
     }
 

@@ -87,6 +87,11 @@ pub struct Report {
     /// no `ConfirmRecord`s (agreement checks join on `sn` for exactly
     /// this reason). Nonzero whenever `snapshot_installs` is.
     pub skipped_sns: u64,
+    /// Failed durable WAL writes (segment appends, compaction rotations,
+    /// manifest publishes) summed across replicas. Must be 0 in every
+    /// healthy run: nonzero means some replica acknowledged blocks a
+    /// crash could have lost.
+    pub wal_write_failures: u64,
 }
 
 /// Inputs to aggregation.
@@ -251,6 +256,7 @@ pub fn aggregate(data: &RunData) -> Report {
     let root_conflicts = data.nodes.iter().map(|n| n.root_conflicts).sum();
     let snapshot_installs = data.nodes.iter().map(|n| n.snapshot_installs).sum();
     let skipped_sns = data.nodes.iter().map(|n| n.skipped_sns).sum();
+    let wal_write_failures = data.nodes.iter().map(|n| n.wal_write_failures).sum();
 
     // Timeline: per-sample ktps at the reference replica (Fig. 8).
     let mut timeline = Vec::new();
@@ -303,6 +309,7 @@ pub fn aggregate(data: &RunData) -> Report {
         root_conflicts,
         snapshot_installs,
         skipped_sns,
+        wal_write_failures,
     }
 }
 
@@ -446,6 +453,18 @@ mod tests {
         let rep = aggregate(&run_data(nodes));
         assert_eq!(rep.skipped_sns, 15);
         assert_eq!(rep.snapshot_installs, 3);
+    }
+
+    #[test]
+    fn wal_write_failures_summed_across_replicas() {
+        let mut nodes = empty_nodes(4);
+        nodes[0].wal_write_failures = 2;
+        nodes[2].wal_write_failures = 1;
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.wal_write_failures, 3);
+        // And a healthy fleet reports zero.
+        let rep = aggregate(&run_data(empty_nodes(4)));
+        assert_eq!(rep.wal_write_failures, 0);
     }
 
     #[test]

@@ -7,6 +7,15 @@ use ladon::sim::{Engine, NicNetwork, Topology};
 use ladon::types::{NetEnv, ProtocolKind, ReplicaId, SystemConfig, TimeNs};
 use ladon::workload::ClientFleet;
 
+/// A deterministic execution-layer block: `count` derived txs starting
+/// at `first_tx`, at global position `sn` (direct pipeline tests, no
+/// consensus involved). Delegates to the canonical constructor so test
+/// roots stay comparable with bench/example roots.
+#[allow(dead_code)]
+pub fn exec_block(sn: u64, first_tx: u64, count: u32) -> ladon::types::Block {
+    ladon::types::Block::synthetic(sn, first_tx, count)
+}
+
 /// A running test deployment.
 pub struct TestCluster {
     /// The engine; replicas are actors `0..n`, the client fleet is `n`.

@@ -14,9 +14,13 @@ mod common;
 
 use common::{cluster, ClusterOpts, TestCluster};
 use ladon::core::{Behavior, MultiBftNode, NodeConfig, SyncRequest};
-use ladon::state::ExecutionPipeline;
+use ladon::state::{
+    CommitWal, ExecutionPipeline, FileBackend, WalBackend, WalOptions, WalRecord, DEFAULT_KEYSPACE,
+};
 use ladon::types::{Digest, ProtocolKind, Round};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// The lane counts every fault scenario in the matrix runs at (4 is the
 /// config default; 1 is the degenerate sequential case the sharded roots
@@ -91,6 +95,15 @@ fn honest_replicas_agree_on_state_roots_at_every_checkpoint() {
         checked >= 2,
         "need ≥ 2 comparable checkpoints, got {checked}"
     );
+    // Silent durability failures must be loud: every replica's WAL
+    // (appends, segment rolls, compaction rotations) wrote cleanly.
+    for r in 0..4 {
+        assert_eq!(
+            c.node(r).metrics.wal_write_failures,
+            0,
+            "replica {r} reported failed durable WAL writes"
+        );
+    }
     // Checkpoints carry snapshots: the WAL is compacted behind them, the
     // manifest records the full lane-root vector, and the lane ledger
     // accounts every executed op to a lane.
@@ -430,4 +443,227 @@ fn one_block_behind_gets_log_sync_not_snapshot() {
     assert_eq!(shipped.applied, snap.applied);
     let cp = resp.checkpoint.expect("snapshot must come with its proof");
     assert_eq!(cp.state_root, shipped.root);
+}
+
+// ---------------------------------------------------------------------
+// Crash-during-compaction matrix: the WAL's atomic segment rotation is
+// killed at *every* storage operation boundary, and recovery from the
+// artifacts left behind must lose no committed block. Two levels:
+// record-level over a raw CommitWal (exercising the straddler-rewrite
+// window), and pipeline-level through a real checkpoint (snapshot +
+// compaction), with recovery roots asserted byte-identical at worker
+// counts {1, 4}.
+// ---------------------------------------------------------------------
+
+/// Storage that "loses power" after a budgeted number of mutating
+/// operations: once the budget is exhausted, every subsequent append,
+/// rewrite, delete, and manifest publish silently fails — exactly what a
+/// kill between two protocol steps leaves on disk.
+struct CrashBackend {
+    inner: FileBackend,
+    budget: Arc<AtomicI64>,
+}
+
+impl CrashBackend {
+    fn alive(&self) -> bool {
+        self.budget.fetch_sub(1, Ordering::SeqCst) > 0
+    }
+}
+
+impl WalBackend for CrashBackend {
+    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        self.alive() && self.inner.append_segment(group, seq, bytes)
+    }
+    fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        self.alive() && self.inner.write_segment(group, seq, bytes)
+    }
+    fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+        self.alive() && self.inner.delete_segment(group, seq)
+    }
+    fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+        self.alive() && self.inner.publish_manifest(bytes)
+    }
+    fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+        self.inner.read_segment(group, seq)
+    }
+    fn load_manifest(&mut self) -> Option<Vec<u8>> {
+        self.inner.load_manifest()
+    }
+    fn list_segments(&mut self) -> Vec<(u32, u64)> {
+        self.inner.list_segments()
+    }
+}
+
+fn scratch_dir(tag: &str, k: i64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ladon-{tag}-{}-{k}", std::process::id()))
+}
+
+/// A synthetic record whose lane mask walks the lanes (so both lane
+/// groups see traffic).
+fn raw_record(sn: u64) -> WalRecord {
+    WalRecord {
+        sn,
+        instance: (sn % 4) as u32,
+        round: sn / 4 + 1,
+        rank: sn,
+        first_tx: sn * 10,
+        count: 10,
+        bucket: 0,
+        payload_bytes: 5000,
+        lane_mask: 1 << (sn % 64),
+        payload_digest: Digest([sn as u8; 32]),
+    }
+}
+
+/// Append-window matrix: storage dies `k` ops into a run of appends
+/// (covering the roll-create → manifest-publish → record-append windows,
+/// including the very first append on a fresh WAL). Every record that
+/// was acknowledged with a clean durability alarm must survive reopen.
+#[test]
+fn wal_append_crash_matrix_preserves_acked_records() {
+    let opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    for k in 0..=24i64 {
+        let dir = scratch_dir("append-crash", k);
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(k));
+        let mut acked = 0u64;
+        {
+            let backend = CrashBackend {
+                inner: FileBackend::open_dir(&dir).unwrap(),
+                budget: budget.clone(),
+            };
+            let mut wal = CommitWal::open(Box::new(backend), opts);
+            for sn in 0..12 {
+                wal.append(raw_record(sn));
+                if wal.write_failures() == 0 {
+                    // Fully durable as far as the WAL reported: nothing
+                    // failed through the end of this append.
+                    acked = sn + 1;
+                }
+            }
+        }
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts);
+        assert!(
+            wal.len() as u64 >= acked,
+            "k={k}: {acked} records were acked clean but only {} survived",
+            wal.len()
+        );
+        for sn in 0..wal.len() as u64 {
+            assert_eq!(wal.records()[sn as usize], raw_record(sn), "k={k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Record-level matrix: a mid-log compaction (which exercises the
+/// straddler rewrite as well as deletes and the manifest publish) is
+/// killed after `k` storage ops, for every `k`; reopening with healthy
+/// storage must still hold every record past the covered floor, densely.
+#[test]
+fn wal_compaction_crash_matrix_loses_no_record() {
+    let opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    let records = 30u64;
+    let upto = 18u64; // mid-segment: forces a straddler rewrite
+    for k in 0..=16i64 {
+        let dir = scratch_dir("wal-crash", k);
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(i64::MAX));
+        {
+            let backend = CrashBackend {
+                inner: FileBackend::open_dir(&dir).unwrap(),
+                budget: budget.clone(),
+            };
+            let mut wal = CommitWal::open(Box::new(backend), opts);
+            for sn in 0..records {
+                wal.append(raw_record(sn));
+            }
+            assert_eq!(wal.write_failures(), 0, "k={k}: healthy run must be clean");
+            // The power will die k storage ops into the compaction.
+            budget.store(k, Ordering::SeqCst);
+            wal.compact(upto);
+            // Process dies here; whatever reached disk is what recovery
+            // gets.
+        }
+        let wal =
+            CommitWal::open_with_floor(Box::new(FileBackend::open_dir(&dir).unwrap()), opts, upto);
+        let tail: Vec<u64> = wal.records().iter().map(|r| r.sn).collect();
+        let expect: Vec<u64> = (upto..records).collect();
+        assert_eq!(
+            tail, expect,
+            "k={k}: compaction crash lost committed records"
+        );
+        for sn in upto..records {
+            assert_eq!(
+                wal.records()[(sn - upto) as usize],
+                raw_record(sn),
+                "k={k}: record {sn} content changed across the crash"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Pipeline-level matrix: a real epoch checkpoint (durable snapshot,
+/// then WAL compaction) is killed after `k` storage ops. Recovery from
+/// the surviving artifacts must reproduce the pre-crash frontier and a
+/// byte-identical root — at 1 worker and at 4 workers.
+#[test]
+fn checkpoint_compaction_crash_matrix_recovers_exact_state() {
+    let wal_opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    let blocks = 16u64;
+    for k in 0..=12i64 {
+        let dir = scratch_dir("ckpt-crash", k);
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(i64::MAX));
+        let (pre_root, pre_lane_roots) = {
+            let backend = CrashBackend {
+                inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
+                budget: budget.clone(),
+            };
+            let mut p = ExecutionPipeline::recover_backend(
+                &dir,
+                Box::new(backend),
+                DEFAULT_KEYSPACE,
+                1,
+                wal_opts,
+            )
+            .unwrap();
+            for sn in 0..blocks {
+                p.execute(sn, &common::exec_block(sn, sn * 50, 50));
+            }
+            assert_eq!(p.wal_write_failures(), 0, "k={k}: run must start clean");
+            budget.store(k, Ordering::SeqCst);
+            p.checkpoint(0, Vec::new());
+            (p.state_root(), p.lane_roots())
+        };
+        for lanes in LANE_MATRIX {
+            let r =
+                ExecutionPipeline::recover_opts(&dir, DEFAULT_KEYSPACE, lanes, wal_opts).unwrap();
+            assert_eq!(
+                r.applied(),
+                blocks,
+                "k={k} lanes={lanes}: compaction crash lost committed blocks"
+            );
+            assert_eq!(
+                r.state_root(),
+                pre_root,
+                "k={k} lanes={lanes}: recovered root differs from pre-crash root"
+            );
+            assert_eq!(
+                r.lane_roots(),
+                pre_lane_roots,
+                "k={k} lanes={lanes}: recovered lane-root vector differs"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

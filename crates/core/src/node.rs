@@ -150,6 +150,15 @@ pub struct NodeMetrics {
     /// (the next successful compaction repairs the backend from the
     /// in-memory mirror).
     pub wal_write_failures: u64,
+    /// WAL fsync barriers issued, mirrored from the backend's
+    /// deterministic I/O counters
+    /// ([`ladon_state::ExecutionPipeline::wal_io_stats`]). Under group
+    /// commit this scales with confirmed-queue *drains* (one barrier per
+    /// touched lane group per batch), not with confirmed blocks.
+    pub wal_fsyncs: u64,
+    /// Segment bytes written to WAL storage (appends + compaction
+    /// rewrites), from the same counters.
+    pub wal_bytes_written: u64,
     /// Checkpoint quorums observed on a root different from ours.
     pub root_conflicts: u64,
 }
@@ -577,8 +586,13 @@ impl MultiBftNode {
                     };
                     let root = self.exec.checkpoint(epoch.0, frontier);
                     // The checkpoint compacts the WAL (segment rotation);
-                    // surface any failed rotation step immediately.
+                    // surface any failed rotation step — and the I/O it
+                    // cost — immediately. (Inlined mirror: `pm` holds the
+                    // pacemaker borrow.)
                     self.metrics.wal_write_failures = self.exec.wal_write_failures();
+                    let io = self.exec.wal_io_stats();
+                    self.metrics.wal_fsyncs = io.fsyncs;
+                    self.metrics.wal_bytes_written = io.bytes_written;
                     self.metrics.state_roots.push((now, epoch.0, root));
                     let signer = self.cfg.registry.signer(self.cfg.me);
                     broadcast = Some(pm.make_checkpoint(&signer, root));
@@ -605,28 +619,20 @@ impl MultiBftNode {
     }
 
     fn record_confirms(&mut self, confirmed: Vec<ConfirmedBlock>, now: TimeNs) {
+        if confirmed.is_empty() {
+            return;
+        }
+        // The whole confirmed drain executes as ONE batch through the
+        // pipeline's group-commit path: every block's WAL record is
+        // staged, one flush barrier makes the batch durable (one fsync
+        // per touched lane group, not per block), and only then do the
+        // blocks apply — WAL-before-apply at batch granularity.
+        let mut batch: Vec<(u64, Block)> = Vec::with_capacity(confirmed.len());
         for c in confirmed {
             let b = &c.block;
             if !b.is_nil() {
                 self.metrics.confirmed_txs += b.batch.count as u64;
             }
-            // Execute in confirmed global order. Blocks at or below the
-            // pipeline's applied frontier (snapshot install, restart) are
-            // skipped idempotently; blocks above the next expected sn are
-            // refused (the pipeline never misapplies) and counted — loud
-            // in debug runs, a metric alarm in release.
-            match self.exec.execute(c.sn, b) {
-                ExecOutcome::Applied { txs } => self.metrics.executed_txs += txs,
-                ExecOutcome::Skipped => {}
-                ExecOutcome::Gap { expected } => {
-                    debug_assert!(false, "confirmed sn {} above expected {expected}", c.sn);
-                    self.metrics.exec_gaps += 1;
-                }
-            }
-            // Mirror the durability alarm after every append so a failed
-            // WAL write is visible the moment it happens, not only at
-            // the next checkpoint.
-            self.metrics.wal_write_failures = self.exec.wal_write_failures();
             self.metrics.confirms.push(ConfirmRecord {
                 sn: c.sn,
                 instance: b.index().0,
@@ -638,7 +644,40 @@ impl MultiBftNode {
                 time: now,
                 is_nil: b.is_nil(),
             });
+            batch.push((c.sn, c.block));
         }
+        // Per-block outcomes keep the old discipline: blocks at or below
+        // the applied frontier (snapshot install, restart) are skipped
+        // idempotently; blocks above the next expected sn are refused
+        // (the pipeline never misapplies) and counted — loud in debug
+        // runs, a metric alarm in release.
+        for (i, out) in self.exec.execute_batch(&batch).into_iter().enumerate() {
+            match out {
+                ExecOutcome::Applied { txs } => self.metrics.executed_txs += txs,
+                ExecOutcome::Skipped => {}
+                ExecOutcome::Gap { expected } => {
+                    debug_assert!(
+                        false,
+                        "confirmed sn {} above expected {expected}",
+                        batch[i].0
+                    );
+                    self.metrics.exec_gaps += 1;
+                }
+            }
+        }
+        // Mirror the durability alarm and the I/O counters after every
+        // drain so a failed WAL write is visible the moment it happens,
+        // not only at the next checkpoint.
+        self.mirror_wal_metrics();
+    }
+
+    /// Mirrors the execution pipeline's WAL health and I/O counters into
+    /// the metrics sink.
+    fn mirror_wal_metrics(&mut self) {
+        self.metrics.wal_write_failures = self.exec.wal_write_failures();
+        let io = self.exec.wal_io_stats();
+        self.metrics.wal_fsyncs = io.fsyncs;
+        self.metrics.wal_bytes_written = io.bytes_written;
     }
 
     // ------------------------------------------------------------------

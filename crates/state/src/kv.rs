@@ -13,22 +13,23 @@
 //! key hash ([`lane_of`]). Lanes serve two purposes:
 //!
 //! 1. **Incremental roots.** Each lane maintains a content root that is
-//!    updated in O(1) per write: a MuHash-style multiset accumulator —
-//!    the sum, modulo the 256-bit prime `2^256 − 189`, of the SHA-256
-//!    leaf hashes of its live entries — finalized with the entry count.
-//!    The **state root** is a SHA-256 over the ordered lane-root vector —
-//!    computing it costs O(lanes), independent of the keyspace size,
-//!    where the pre-lane design re-scanned every entry. (Addition mod p
-//!    is order-independent by construction — the property a content
-//!    address needs — and strictly stronger than the XOR accumulator it
-//!    replaced: no small-order elements, so a duplicated leaf does not
-//!    cancel to the empty set and collisions are no longer a trivial
-//!    GF(2) kernel. It is still an *additive* set hash, though, and
-//!    Wagner's generalized-birthday attack finds modular subset-sum
-//!    collisions well below 2^128 work — an adversary with enough
-//!    chosen-entry freedom could exploit that. Full MuHash multiplies in
-//!    a large group for exactly this reason; the upgrade is localized
-//!    behind [`Lane::root`] and recorded in the ROADMAP.)
+//!    updated in O(1) per write: a full **MuHash** multiset accumulator —
+//!    the *product*, modulo the 256-bit prime `p = 2^256 − 189`, of the
+//!    SHA-256 leaf hashes of its live entries — finalized with the entry
+//!    count. The **state root** is a SHA-256 over the ordered lane-root
+//!    vector — computing it costs O(lanes), independent of the keyspace
+//!    size, where the pre-lane design re-scanned every entry.
+//!    (Multiplication mod p is order-independent by construction — the
+//!    property a content address needs — and, unlike the additive
+//!    accumulator it replaced, finding a colliding multiset means
+//!    solving a multiplicative-knapsack/discrete-log-style problem in
+//!    `Z_p^*` rather than a Wagner generalized-birthday subset *sum*,
+//!    which closed the ROADMAP's noted gap. Removal divides: the lane
+//!    keeps separate insert/remove product accumulators and finalizes
+//!    `inserted · removed⁻¹ mod p` — one Fermat inverse per *root
+//!    finalization*, never on the per-write path, so writes stay O(1)
+//!    modular multiplies. The upgrade is localized behind
+//!    [`Lane::root`]; the lane-root domain is bumped to v3.)
 //!
 //! 2. **Parallel execution.** A block's ops are routed to lanes and the
 //!    lanes are processed by `exec_lanes` parallel workers
@@ -131,7 +132,7 @@ fn leaf_hash(key: u32, value: u64) -> [u8; 32] {
 }
 
 // ---------------------------------------------------------------------
-// MuHash-style multiset accumulator: 256-bit addition mod p.
+// MuHash multiset accumulator: 256-bit multiplication mod p.
 // ---------------------------------------------------------------------
 
 /// The accumulator modulus `p = 2^256 − 189`, the largest 256-bit prime,
@@ -141,8 +142,14 @@ const MUHASH_P: [u64; 4] = [u64::MAX - 188, u64::MAX, u64::MAX, u64::MAX];
 /// A 256-bit residue mod [`MUHASH_P`], little-endian limbs.
 type Acc = [u64; 4];
 
-/// Interprets a leaf hash as a residue (reduced mod p; the reduction
-/// fires with probability ~2⁻²⁴⁸, but determinism requires it).
+/// The multiplicative identity — the empty multiset's accumulator.
+const ACC_ONE: Acc = [1, 0, 0, 0];
+
+/// Interprets a leaf hash as a *nonzero* residue mod p: reduced (the
+/// reduction fires with probability ~2⁻²⁴⁸, but determinism requires
+/// it), and a residue of exactly 0 — probability 2⁻²⁵⁵ — is mapped to 1
+/// so it cannot absorb the product (the entry still counts through the
+/// lane root's length field).
 #[inline]
 fn acc_of_leaf(leaf: &[u8; 32]) -> Acc {
     let mut limbs = [0u64; 4];
@@ -151,6 +158,9 @@ fn acc_of_leaf(leaf: &[u8; 32]) -> Acc {
     }
     if acc_geq(&limbs, &MUHASH_P) {
         limbs = raw_sub(&limbs, &MUHASH_P).0;
+    }
+    if limbs == [0u64; 4] {
+        limbs = ACC_ONE;
     }
     limbs
 }
@@ -164,20 +174,6 @@ fn acc_geq(a: &Acc, b: &Acc) -> bool {
         }
     }
     true
-}
-
-/// Wrapping 256-bit add; returns (sum mod 2^256, carry).
-#[inline]
-fn raw_add(a: &Acc, b: &Acc) -> (Acc, bool) {
-    let mut out = [0u64; 4];
-    let mut carry = false;
-    for i in 0..4 {
-        let (s1, c1) = a[i].overflowing_add(b[i]);
-        let (s2, c2) = s1.overflowing_add(carry as u64);
-        out[i] = s2;
-        carry = c1 | c2;
-    }
-    (out, carry)
 }
 
 /// Wrapping 256-bit subtract; returns (diff mod 2^256, borrow).
@@ -194,27 +190,76 @@ fn raw_sub(a: &Acc, b: &Acc) -> (Acc, bool) {
     (out, borrow)
 }
 
-/// `(a + b) mod p` for residues `a, b < p`.
-#[inline]
-fn acc_add(a: &Acc, b: &Acc) -> Acc {
-    let (sum, carry) = raw_add(a, b);
-    if carry || acc_geq(&sum, &MUHASH_P) {
-        // Subtracting p from a 257-bit sum ≡ adding 189 mod 2^256.
-        raw_sub(&sum, &MUHASH_P).0
-    } else {
-        sum
+/// `(a · b) mod p`: schoolbook 256×256 → 512-bit multiply, then fold the
+/// high half down via `2^256 ≡ 189 (mod p)`.
+fn mul_mod(a: &Acc, b: &Acc) -> Acc {
+    // 512-bit product in 8 limbs.
+    let mut w = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let cur = w[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+            w[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        w[i + 4] = carry as u64;
     }
+    // First fold: t = lo + 189·hi (hi < 2^256 → t < 2^256 + 189·2^256,
+    // five limbs with t[4] ≤ 189).
+    let mut t = [0u64; 5];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let cur = w[i] as u128 + w[i + 4] as u128 * 189 + carry;
+        t[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    t[4] = carry as u64;
+    // Second fold: r = t[0..4] + 189·t[4]; a wrap past 2^256 folds once
+    // more (the wrapped value is tiny, so one extra add of 189 settles
+    // it).
+    let mut r = [t[0], t[1], t[2], t[3]];
+    let mut add: u128 = t[4] as u128 * 189;
+    for limb in r.iter_mut() {
+        let cur = *limb as u128 + add;
+        *limb = cur as u64;
+        add = cur >> 64;
+    }
+    if add > 0 {
+        let mut extra: u128 = add * 189;
+        for limb in r.iter_mut() {
+            let cur = *limb as u128 + extra;
+            *limb = cur as u64;
+            extra = cur >> 64;
+            if extra == 0 {
+                break;
+            }
+        }
+    }
+    if acc_geq(&r, &MUHASH_P) {
+        r = raw_sub(&r, &MUHASH_P).0;
+    }
+    r
 }
 
-/// `(a − b) mod p` for residues `a, b < p`.
-#[inline]
-fn acc_sub(a: &Acc, b: &Acc) -> Acc {
-    let (diff, borrow) = raw_sub(a, b);
-    if borrow {
-        raw_add(&diff, &MUHASH_P).0
-    } else {
-        diff
+/// `a⁻¹ mod p` by Fermat (`a^(p−2)`), for `a ≠ 0`. ~510 modular
+/// multiplies — paid once per *root finalization* (and only when the
+/// lane has ever removed an entry), never on the per-write path.
+fn inv_mod(a: &Acc) -> Acc {
+    // p − 2 = 2^256 − 191.
+    const EXP: Acc = [u64::MAX - 190, u64::MAX, u64::MAX, u64::MAX];
+    let mut result = ACC_ONE;
+    let mut base = *a;
+    for limb in EXP {
+        let mut bits = limb;
+        for _ in 0..64 {
+            if bits & 1 == 1 {
+                result = mul_mod(&result, &base);
+            }
+            base = mul_mod(&base, &base);
+            bits >>= 1;
+        }
     }
+    result
 }
 
 /// Serializes a residue to the 32 little-endian bytes the lane root
@@ -241,14 +286,32 @@ struct Credit {
 
 /// One Merkle lane: a shard of the key space with an incrementally
 /// maintained content root.
-#[derive(Clone, Debug, Default)]
+///
+/// The MuHash accumulator is kept as a numerator/denominator pair —
+/// `inserted` multiplies in every leaf ever written, `removed` every
+/// leaf ever overwritten or deleted — so the per-write cost is one
+/// modular multiply. The canonical multiset value `inserted · removed⁻¹`
+/// (mod p) is computed only when a root is finalized; it depends on the
+/// live contents alone, never on the write history, which is what makes
+/// the root a content address.
+#[derive(Clone, Debug)]
 struct Lane {
     /// Canonical contents: no zero-valued entries are ever stored.
     entries: BTreeMap<u32, u64>,
-    /// MuHash-style multiset accumulator over the leaf hashes of
-    /// `entries` (sum mod `2^256 − 189`) — maintained in O(1) per write,
-    /// so finalizing the lane root never rescans the entries.
-    agg: Acc,
+    /// Product (mod `2^256 − 189`) of every inserted leaf's residue.
+    inserted: Acc,
+    /// Product (mod `2^256 − 189`) of every removed leaf's residue.
+    removed: Acc,
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            inserted: ACC_ONE,
+            removed: ACC_ONE,
+        }
+    }
 }
 
 impl Lane {
@@ -258,8 +321,9 @@ impl Lane {
         self.entries.get(&key).copied().unwrap_or(0)
     }
 
-    /// Writes `key`, maintaining the accumulator: subtract the old leaf's
-    /// residue, add the new one. Zero values delete (canonical form).
+    /// Writes `key`, maintaining the accumulator: the old leaf's residue
+    /// multiplies into the removal product, the new one into the insert
+    /// product. Zero values delete (canonical form).
     fn set(&mut self, key: u32, value: u64) {
         let old = if value == 0 {
             self.entries.remove(&key)
@@ -267,20 +331,27 @@ impl Lane {
             self.entries.insert(key, value)
         };
         if let Some(old) = old {
-            self.agg = acc_sub(&self.agg, &acc_of_leaf(&leaf_hash(key, old)));
+            self.removed = mul_mod(&self.removed, &acc_of_leaf(&leaf_hash(key, old)));
         }
         if value != 0 {
-            self.agg = acc_add(&self.agg, &acc_of_leaf(&leaf_hash(key, value)));
+            self.inserted = mul_mod(&self.inserted, &acc_of_leaf(&leaf_hash(key, value)));
         }
     }
 
     /// The lane's content root: a digest over the entry count and the
-    /// multiset accumulator. O(1) thanks to the accumulator.
+    /// finalized MuHash accumulator (`inserted · removed⁻¹ mod p`). The
+    /// Fermat inverse is paid here — per finalization, not per write —
+    /// and skipped entirely for lanes that never removed an entry.
     fn root(&self) -> Digest {
+        let acc = if self.removed == ACC_ONE {
+            self.inserted
+        } else {
+            mul_mod(&self.inserted, &inv_mod(&self.removed))
+        };
         let mut h = Sha256::new();
-        h.update(b"ladon/lane-root/v2");
+        h.update(b"ladon/lane-root/v3");
         h.update(&(self.entries.len() as u64).to_le_bytes());
-        h.update(&acc_bytes(&self.agg));
+        h.update(&acc_bytes(&acc));
         Digest(h.finalize())
     }
 }
@@ -670,23 +741,60 @@ mod tests {
 
     #[test]
     fn muhash_accumulator_algebra() {
-        // add/sub are inverses, addition commutes, and p reduces to zero.
+        // Multiplication commutes, Fermat inversion is exact, and the
+        // modulus wraps correctly at the 2^256 boundary.
         let x = acc_of_leaf(&leaf_hash(1, 10));
         let y = acc_of_leaf(&leaf_hash(2, 20));
-        let zero = [0u64; 4];
-        assert_eq!(acc_sub(&acc_add(&zero, &x), &x), zero);
-        assert_eq!(acc_add(&x, &y), acc_add(&y, &x));
-        assert_eq!(
-            acc_sub(&acc_sub(&acc_add(&acc_add(&zero, &x), &y), &x), &y),
-            zero
-        );
-        // Unlike XOR, a doubled element does not cancel: {x, x} ≠ {}.
-        assert_ne!(acc_add(&x, &x), zero);
-        // Wrap-around: (p − 1) + 1 ≡ 0, and 0 − 1 ≡ p − 1.
-        let one = [1u64, 0, 0, 0];
+        assert_eq!(mul_mod(&x, &y), mul_mod(&y, &x));
+        assert_eq!(mul_mod(&x, &ACC_ONE), x);
+        assert_eq!(mul_mod(&x, &inv_mod(&x)), ACC_ONE);
+        // Insert-then-remove round-trips through the inverse: xy · x⁻¹ = y.
+        assert_eq!(mul_mod(&mul_mod(&x, &y), &inv_mod(&x)), y);
+        // Unlike XOR — and unlike any characteristic-2 accumulator — a
+        // duplicated leaf does not cancel: {x, x} ≠ {}.
+        assert_ne!(mul_mod(&x, &x), ACC_ONE);
+        // Wrap-around: (p − 1)² ≡ 1 (the only element of order 2), and
+        // (p − 1) · 2 ≡ p − 2.
+        let one = ACC_ONE;
+        let two = [2u64, 0, 0, 0];
         let p_minus_1 = raw_sub(&MUHASH_P, &one).0;
-        assert_eq!(acc_add(&p_minus_1, &one), zero);
-        assert_eq!(acc_sub(&zero, &one), p_minus_1);
+        let p_minus_2 = raw_sub(&MUHASH_P, &two).0;
+        assert_eq!(mul_mod(&p_minus_1, &p_minus_1), ACC_ONE);
+        assert_eq!(mul_mod(&p_minus_1, &two), p_minus_2);
+        assert_eq!(mul_mod(&p_minus_2, &inv_mod(&p_minus_2)), ACC_ONE);
+    }
+
+    #[test]
+    fn lane_insert_remove_round_trips_and_duplicates_dont_cancel() {
+        // Round-trip: inserting then removing an entry restores the
+        // empty lane's root exactly (numerator/denominator finalize to
+        // the identity), across interleaved histories.
+        let empty_root = Lane::default().root();
+        let mut lane = Lane::default();
+        lane.set(7, 5);
+        let one_entry = lane.root();
+        assert_ne!(one_entry, empty_root);
+        lane.set(7, 0);
+        assert_eq!(lane.root(), empty_root, "insert/remove must round-trip");
+        lane.set(7, 5);
+        assert_eq!(lane.root(), one_entry, "re-insert must reproduce the root");
+        // Overwrite round-trip: set → overwrite → set back.
+        lane.set(7, 9);
+        lane.set(7, 5);
+        assert_eq!(lane.root(), one_entry);
+        // Two lanes holding {a} and {a, b} must differ even after the
+        // second removes b (histories differ, contents decide).
+        let mut other = Lane::default();
+        other.set(7, 5);
+        other.set(9, 3);
+        other.set(9, 0);
+        assert_eq!(other.root(), one_entry);
+        // Duplicated leaves must not cancel to the empty multiset the
+        // way the old XOR accumulator's did: two entries with identical
+        // leaf residues square the accumulator instead of erasing it.
+        let x = acc_of_leaf(&leaf_hash(7, 5));
+        assert_ne!(mul_mod(&x, &x), ACC_ONE);
+        assert_ne!(mul_mod(&x, &x), x);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use pipeline::{static_lane_mask, ExecOutcome, ExecutionPipeline, ReplayStats
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use wal::{
     decode_records, group_of_lane, CommitWal, FileBackend, MemBackend, SegmentMeta, WalBackend,
-    WalLoadStats, WalOptions, WalRecord,
+    WalIoStats, WalLoadStats, WalOptions, WalRecord, ENCODED_RECORD_LEN,
 };

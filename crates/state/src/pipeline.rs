@@ -389,6 +389,50 @@ impl ExecutionPipeline {
         ExecOutcome::Applied { txs }
     }
 
+    /// Executes a drained run of confirmed blocks through **one WAL
+    /// group-commit barrier**: every applicable block's record is staged
+    /// first, one flush makes the whole batch durable (one fsync per
+    /// touched lane group, not per record), and only after the barrier
+    /// returns are the blocks applied to state — WAL-before-apply,
+    /// preserved at batch granularity. Durability semantics are exactly
+    /// [`Self::execute`]'s: a crash before the flush loses only the
+    /// staged (never-acknowledged) records, and recovery replays a
+    /// batched log byte-identically to a per-record one.
+    ///
+    /// Outcomes are index-aligned with `blocks`, with the same per-block
+    /// skip/gap discipline as [`Self::execute`] (a gap refuses the block
+    /// and everything stays unapplied at its position).
+    pub fn execute_batch(&mut self, blocks: &[(u64, Block)]) -> Vec<ExecOutcome> {
+        let mut out = Vec::with_capacity(blocks.len());
+        let mut staged: Vec<(u64, Vec<TxOp>)> = Vec::with_capacity(blocks.len());
+        let mut expect = self.applied;
+        for (sn, block) in blocks {
+            if *sn < expect {
+                out.push(ExecOutcome::Skipped);
+                continue;
+            }
+            if *sn > expect {
+                out.push(ExecOutcome::Gap { expected: expect });
+                continue;
+            }
+            let ops: Vec<TxOp> = block.batch.txs(self.keyspace).map(|tx| tx.op).collect();
+            self.wal
+                .append_buffered(WalRecord::of_block(*sn, block, static_lane_mask(&ops)));
+            out.push(ExecOutcome::Applied {
+                txs: ops.len() as u64,
+            });
+            staged.push((*sn, ops));
+            expect = *sn + 1;
+        }
+        // The batch's durability barrier; nothing has touched state yet.
+        self.wal.flush();
+        for (sn, ops) in &staged {
+            self.apply_ops(*sn, ops);
+            self.applied = sn + 1;
+        }
+        out
+    }
+
     /// Applies one block's derived ops across the Merkle lanes (parallel
     /// when the batch is large enough) and accounts the routed ops to
     /// each lane against the block's WAL `sn`.
@@ -541,6 +585,14 @@ impl ExecutionPipeline {
         self.wal.write_failures()
     }
 
+    /// The WAL backend's deterministic I/O counters (staged writes,
+    /// fsync barriers, segment opens, bytes written) — the group-commit
+    /// cost surface, mirrored into `NodeMetrics` and the aggregated
+    /// `Report`.
+    pub fn wal_io_stats(&self) -> crate::wal::WalIoStats {
+        self.wal.io_stats()
+    }
+
     /// Read access to the KV state (assertions and examples).
     pub fn kv(&self) -> &KvState {
         &self.kv
@@ -635,6 +687,75 @@ mod tests {
         assert_eq!(recovered.applied(), p.applied());
         assert_eq!(recovered.executed_txs(), p.executed_txs());
         assert_eq!(recovered.state_root(), p.state_root());
+    }
+
+    #[test]
+    fn batched_execution_matches_per_block_execution() {
+        let mut per_block = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut per_block, 0, 20);
+
+        let mut batched = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        let blocks: Vec<(u64, Block)> = (0..20u64).map(|sn| (sn, block(sn, sn * 50, 50))).collect();
+        for chunk in blocks.chunks(7) {
+            for out in batched.execute_batch(chunk) {
+                assert_eq!(out, ExecOutcome::Applied { txs: 50 });
+            }
+        }
+        assert_eq!(batched.applied(), per_block.applied());
+        assert_eq!(batched.executed_txs(), per_block.executed_txs());
+        assert_eq!(batched.state_root(), per_block.state_root());
+        assert_eq!(batched.lane_roots(), per_block.lane_roots());
+        // And the batched WAL recovers to the identical state.
+        let (snap, wal) = batched.export_parts();
+        let recovered = ExecutionPipeline::from_parts(snap.as_deref(), &wal, DEFAULT_KEYSPACE);
+        assert_eq!(recovered.state_root(), per_block.state_root());
+        assert_eq!(recovered.applied(), 20);
+    }
+
+    #[test]
+    fn batched_execution_skips_and_refuses_like_execute() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut p, 0, 3);
+        let root = p.state_root();
+        // A batch mixing stale, applicable, and out-of-order blocks: the
+        // stale one is skipped, the dense run applies, the gap refuses.
+        let batch = vec![
+            (1u64, block(1, 50, 50)),  // below the frontier
+            (3u64, block(3, 150, 50)), // next expected
+            (4u64, block(4, 200, 50)), // dense continuation
+            (9u64, block(9, 450, 50)), // gap: 5 was never delivered
+        ];
+        let out = p.execute_batch(&batch);
+        assert_eq!(out[0], ExecOutcome::Skipped);
+        assert_eq!(out[1], ExecOutcome::Applied { txs: 50 });
+        assert_eq!(out[2], ExecOutcome::Applied { txs: 50 });
+        assert_eq!(out[3], ExecOutcome::Gap { expected: 5 });
+        assert_eq!(p.applied(), 5);
+        assert_ne!(p.state_root(), root, "the dense run must have applied");
+        // An all-stale batch is a no-op: nothing staged, nothing flushed.
+        let before = p.wal_io_stats();
+        let out = p.execute_batch(&[(0, block(0, 0, 50))]);
+        assert_eq!(out, vec![ExecOutcome::Skipped]);
+        assert_eq!(p.wal_io_stats(), before);
+    }
+
+    #[test]
+    fn wal_io_stats_count_group_commit_barriers() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut p, 0, 4);
+        let s0 = p.wal_io_stats();
+        assert!(s0.fsyncs > 0, "per-record appends must have synced");
+        // One 8-block batch: at most one fsync per touched lane group,
+        // independent of the batch size.
+        let batch: Vec<(u64, Block)> = (4..12u64).map(|sn| (sn, block(sn, sn * 50, 50))).collect();
+        p.execute_batch(&batch);
+        let s1 = p.wal_io_stats();
+        let groups = 8; // WalOptions::default().lane_groups
+        assert!(
+            s1.fsyncs - s0.fsyncs <= groups,
+            "a batch must cost at most one fsync per lane group: {s0:?} -> {s1:?}"
+        );
+        assert!(s1.bytes_written > s0.bytes_written);
     }
 
     #[test]

@@ -26,16 +26,17 @@ use ladon_crypto::fnv::Fnv64;
 use ladon_types::{sizes, Digest, WireSize, MERKLE_LANES};
 use std::path::{Path, PathBuf};
 
-/// Snapshot format version. v4: the manifest additionally commits to the
-/// per-lane covered-sn vector (the storage layer's partial-recovery
-/// frontier) and the lane roots switched from the XOR multiset
-/// accumulator to the MuHash-style addition-mod-p set hash
-/// ([`crate::kv`]), so every root differs from v3. v3 and earlier
-/// snapshots hash differently and would silently fail
-/// [`Snapshot::verify`], so they are rejected at decode — a restarting
-/// replica falls back to peer sync rather than trusting a stale-format
-/// artifact.
-const SNAP_VERSION: u8 = 4;
+/// Snapshot format version. v5: the lane roots switched from the
+/// addition-mod-p set hash to full multiplicative MuHash (lane-root
+/// domain v3, [`crate::kv`]), so every root differs from v4 even though
+/// the wire layout is unchanged. v4 and earlier snapshots hash
+/// differently and would *silently* fail [`Snapshot::verify`] — which
+/// `rebuild`'s `.filter(Snapshot::verify)` would treat as "no snapshot",
+/// dropping the floor to 0 over a WAL already compacted past it — so
+/// they are rejected at decode instead, and a restarting replica falls
+/// back to peer sync rather than trusting a stale-format artifact.
+/// (v4 itself added the per-lane covered-sn vector to the manifest.)
+const SNAP_VERSION: u8 = 5;
 
 /// Computes the attested manifest root: a digest over the snapshot's
 /// complete manifest — epoch, execution position, consensus frontier, and

@@ -46,12 +46,32 @@
 //!   (`fig_recovery_scaling` asserts exactly this with deterministic
 //!   record counts).
 //!
+//! # Group commit
+//!
+//! The write path is built around explicit **durability barriers**, not
+//! per-record fsyncs. [`CommitWal::append_buffered`] stages a record's
+//! encoding into a per-lane-group scratch buffer (no backend I/O, no
+//! steady-state allocation); [`CommitWal::flush`] then writes each
+//! touched group's staged bytes with **one** write and **one** fsync per
+//! group — however many records the batch held — via the backend's
+//! [`WalBackend::append_segment_batch`] / [`WalBackend::sync_group`]
+//! split. A record is **acknowledged only after its batch's flush**
+//! returns: a crash between staging and flush loses only unacknowledged
+//! records, never a previously-flushed one (the crash matrix in
+//! `tests/state_execution.rs` sweeps a kill across exactly this
+//! boundary). [`CommitWal::append`] remains as the batch-of-one
+//! composition of the two.
+//!
 //! Storage is pluggable behind [`WalBackend`]: [`MemBackend`] keeps the
 //! segment set in memory (simulation, tests), [`FileBackend`] maps it
-//! onto a directory of `wal-g*-*.seg` files with fsync-on-append
-//! (examples, benches, durable deployments). The WAL itself is sans-IO:
-//! it encodes/decodes records, segments and manifests; the backend moves
-//! bytes.
+//! onto a directory of `wal-g*-*.seg` files, holding one cached open
+//! handle per group's active segment (opened once per segment lifetime,
+//! not per append) and fsyncing at group-sync barriers (examples,
+//! benches, durable deployments). Every backend keeps deterministic
+//! write/fsync/open counters ([`WalIoStats`], same spirit as the crypto
+//! op counters) so benches and CI gate on *counts*, never wall-clock.
+//! The WAL itself is sans-IO: it encodes/decodes records, segments and
+//! manifests; the backend moves bytes.
 
 use ladon_crypto::fnv::Fnv64;
 use ladon_types::{Batch, Block, Digest, MERKLE_LANES};
@@ -66,6 +86,11 @@ const WAL_VERSION: u8 = 2;
 /// Encoded body size: version + sn + instance + round + rank + first_tx +
 /// count + bucket + payload_bytes + lane_mask + digest.
 const BODY_LEN: usize = 1 + 8 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8 + 32;
+
+/// Every record encodes to this exact size (length prefix + body +
+/// checksum) — what lets a staged batch be split across a segment roll
+/// without re-encoding.
+pub const ENCODED_RECORD_LEN: usize = 4 + BODY_LEN + 8;
 
 /// Manifest format version (first byte of the manifest file).
 const MANIFEST_VERSION: u8 = 1;
@@ -433,22 +458,55 @@ impl Manifest {
 // Storage backends
 // ---------------------------------------------------------------------
 
+/// Deterministic I/O accounting kept by every [`WalBackend`] — syscall
+/// counts, not wall-clock, in the same spirit as the crypto op counters
+/// ([`ladon_crypto::counters`]), but per-backend so each replica's WAL is
+/// individually attributable. `fig_wal_group_commit` gates on these:
+/// fsyncs per flushed batch, segment opens per segment lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalIoStats {
+    /// Staged segment writes ([`WalBackend::append_segment_batch`]
+    /// calls — one per touched group per flushed batch, however many
+    /// records the batch held).
+    pub appends: u64,
+    /// Durability barriers actually issued (`fsync`/`fdatasync`-class
+    /// syscalls: group syncs, whole-file rewrites, manifest publishes,
+    /// directory syncs).
+    pub fsyncs: u64,
+    /// Segment file handles opened for appending — O(segments) under the
+    /// active-handle cache, where the old open-per-append design was
+    /// O(appends).
+    pub segment_opens: u64,
+    /// Total segment payload bytes written (appends + rewrites).
+    pub bytes_written: u64,
+}
+
 /// Segment-file storage behind a [`CommitWal`].
 ///
 /// Every mutating operation returns `false` on failure; the WAL treats a
 /// failed write as a durability alarm ([`CommitWal::write_failures`]),
 /// keeps its in-memory mirror authoritative, and repairs the backend at
-/// the next successful compaction. The contract the compaction protocol
-/// leans on: [`Self::publish_manifest`] replaces the manifest
-/// *atomically* (a reader sees the old bytes or the new bytes, never a
-/// mix), and [`Self::append_segment`] / [`Self::write_segment`] are
-/// durable (fsynced) before they return `true`.
+/// the next successful compaction. The contract the group-commit and
+/// compaction protocols lean on: [`Self::publish_manifest`] replaces the
+/// manifest *atomically* (a reader sees the old bytes or the new bytes,
+/// never a mix); [`Self::write_segment`] is durable (fsynced) before it
+/// returns `true`; and a staged [`Self::append_segment_batch`] is
+/// guaranteed durable only once the group's next [`Self::sync_group`]
+/// returns `true` — the fsync barrier group commit amortizes over a
+/// whole batch of appends.
 pub trait WalBackend: Send {
-    /// Appends `bytes` to segment `seq` of `group`, creating the file if
-    /// absent.
-    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool;
-    /// Creates-or-replaces segment `seq` of `group` with exactly `bytes`
-    /// (compaction rewrite target; truncates any orphan at the name).
+    /// Stages `bytes` at the end of segment `seq` of `group`, creating
+    /// the file if absent. **Not durable** until the group's next
+    /// [`Self::sync_group`] — a crash before the barrier may lose the
+    /// staged suffix (it reads back as a torn tail).
+    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool;
+    /// Durability barrier: forces every staged append in `group` to
+    /// stable storage. One fsync per touched group per flushed batch —
+    /// the whole point of group commit.
+    fn sync_group(&mut self, group: u32) -> bool;
+    /// Creates-or-replaces segment `seq` of `group` with exactly `bytes`,
+    /// durably (compaction rewrite target; truncates any orphan at the
+    /// name).
     fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool;
     /// Reads a whole segment back (`None` when missing/unreadable).
     fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>>;
@@ -461,36 +519,79 @@ pub trait WalBackend: Send {
     /// Every segment present in storage, referenced by the manifest or
     /// not (orphan discovery after a mid-compaction crash).
     fn list_segments(&mut self) -> Vec<(u32, u64)>;
+    /// The backend's deterministic I/O counters since construction.
+    fn io_stats(&self) -> WalIoStats;
 }
 
-/// In-memory backend (simulation and tests).
+/// In-memory backend (simulation and tests). Storage never tears, but
+/// the counters model the real-disk boundary — a staged append costs a
+/// write, durability costs one fsync per [`Self::sync_group`] barrier,
+/// and an "open" is charged exactly where [`FileBackend`]'s handle cache
+/// would miss — so simulated replicas report the same deterministic I/O
+/// shape a file-backed deployment would.
 #[derive(Default, Clone, Debug)]
 pub struct MemBackend {
     segments: BTreeMap<(u32, u64), Vec<u8>>,
     manifest: Option<Vec<u8>>,
+    /// Groups with staged appends since their last sync barrier (fsync
+    /// accounting: a barrier over a clean group is free).
+    dirty_groups: std::collections::BTreeSet<u32>,
+    /// The segment each group's appends currently target — the abstract
+    /// mirror of [`FileBackend`]'s handle cache, so `segment_opens`
+    /// counts cache misses identically (one per segment lifetime, plus a
+    /// re-open if a rewrite/delete evicts the tracked segment).
+    append_target: BTreeMap<u32, u64>,
+    stats: WalIoStats,
 }
 
 impl WalBackend for MemBackend {
-    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        if self.append_target.get(&group) != Some(&seq) {
+            // Model the roll's sync-before-evict: a dirty previous
+            // target is synced before its handle is dropped.
+            self.sync_group(group);
+            self.append_target.insert(group, seq);
+            self.stats.segment_opens += 1;
+        }
         self.segments
             .entry((group, seq))
             .or_default()
             .extend_from_slice(bytes);
+        self.stats.appends += 1;
+        self.stats.bytes_written += bytes.len() as u64;
+        self.dirty_groups.insert(group);
+        true
+    }
+    fn sync_group(&mut self, group: u32) -> bool {
+        if self.dirty_groups.remove(&group) {
+            self.stats.fsyncs += 1;
+        }
         true
     }
     fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        if self.append_target.get(&group) == Some(&seq) {
+            self.append_target.remove(&group); // handle-cache eviction
+        }
         self.segments.insert((group, seq), bytes.to_vec());
+        // Models file fsync + directory fsync of the durable rewrite.
+        self.stats.fsyncs += 2;
+        self.stats.bytes_written += bytes.len() as u64;
         true
     }
     fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
         self.segments.get(&(group, seq)).cloned()
     }
     fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+        if self.append_target.get(&group) == Some(&seq) {
+            self.append_target.remove(&group);
+        }
         self.segments.remove(&(group, seq));
+        self.stats.fsyncs += 1; // models the directory fsync
         true
     }
     fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
         self.manifest = Some(bytes.to_vec());
+        self.stats.fsyncs += 2; // models temp-file fsync + dir fsync
         true
     }
     fn load_manifest(&mut self) -> Option<Vec<u8>> {
@@ -499,15 +600,35 @@ impl WalBackend for MemBackend {
     fn list_segments(&mut self) -> Vec<(u32, u64)> {
         self.segments.keys().copied().collect()
     }
+    fn io_stats(&self) -> WalIoStats {
+        self.stats
+    }
+}
+
+/// One cached open active-segment handle of a [`FileBackend`] group.
+struct ActiveHandle {
+    seq: u64,
+    file: std::fs::File,
+    /// Written-to since the last sync barrier.
+    dirty: bool,
 }
 
 /// Directory-backed storage: `wal-g<group>-<seq>.seg` segment files plus
-/// a `wal.manifest`, all under one directory. Appends and rewrites fsync
+/// a `wal.manifest`, all under one directory. Each group's active
+/// segment is appended through a **cached open handle** — opened once
+/// when the segment becomes active, reused for its whole lifetime, and
+/// invalidated on roll, rewrite, or delete — instead of an
+/// open-per-append. Staged appends become durable at the group's
+/// [`WalBackend::sync_group`] barrier (`sync_data`); rewrites fsync
 /// before reporting success; the manifest is replaced via temp-file +
 /// fsync + rename + directory fsync, so a crash leaves either the old or
 /// the new manifest intact.
 pub struct FileBackend {
     dir: PathBuf,
+    /// Cached open handle of each group's current append target (at most
+    /// one active segment per group by WAL invariant).
+    active: std::collections::HashMap<u32, ActiveHandle>,
+    stats: WalIoStats,
 }
 
 impl FileBackend {
@@ -515,7 +636,11 @@ impl FileBackend {
     pub fn open_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            active: std::collections::HashMap::new(),
+            stats: WalIoStats::default(),
+        })
     }
 
     /// The backing directory.
@@ -533,36 +658,97 @@ impl FileBackend {
     }
 
     /// Makes directory metadata (created/renamed/deleted names) durable.
-    fn sync_dir(&self) -> std::io::Result<()> {
-        std::fs::File::open(&self.dir)?.sync_all()
+    fn sync_dir(&mut self) -> std::io::Result<()> {
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Drops the cached handle for `(group, seq)` if one is held — the
+    /// segment is being rewritten or deleted out from under it.
+    fn evict(&mut self, group: u32, seq: u64) {
+        if self.active.get(&group).is_some_and(|h| h.seq == seq) {
+            self.active.remove(&group);
+        }
     }
 }
 
 impl WalBackend for FileBackend {
-    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
-        // fsync, not just flush: `File` has no userspace buffer, so
+    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        // A different seq means the group rolled: the previous active
+        // sealed. Its staged bytes must be durable before the handle is
+        // dropped, or a "clean" flush could still lose them.
+        if self.active.get(&group).is_some_and(|h| h.seq != seq) {
+            if !self.sync_group(group) {
+                return false;
+            }
+            self.active.remove(&group);
+        }
+        if !self.active.contains_key(&group) {
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.segment_path(group, seq))
+            {
+                Ok(file) => {
+                    self.stats.segment_opens += 1;
+                    self.active.insert(
+                        group,
+                        ActiveHandle {
+                            seq,
+                            file,
+                            dirty: false,
+                        },
+                    );
+                }
+                Err(_) => return false,
+            }
+        }
+        let h = self.active.get_mut(&group).expect("just inserted");
+        match h.file.write_all(bytes) {
+            Ok(()) => {
+                h.dirty = true;
+                self.stats.appends += 1;
+                self.stats.bytes_written += bytes.len() as u64;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn sync_group(&mut self, group: u32) -> bool {
+        // `sync_data`, not just flush: `File` has no userspace buffer, so
         // `flush()` is a no-op and an OS crash could lose acknowledged
         // records. `sync_data` forces the bytes (and the size metadata
         // needed to read them back) to stable storage.
-        let run = || -> std::io::Result<()> {
-            let mut f = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.segment_path(group, seq))?;
-            f.write_all(bytes)?;
-            f.sync_data()
+        let Some(h) = self.active.get_mut(&group) else {
+            return true; // nothing staged for the group
         };
-        run().is_ok()
+        if !h.dirty {
+            return true;
+        }
+        match h.file.sync_data() {
+            Ok(()) => {
+                h.dirty = false;
+                self.stats.fsyncs += 1;
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
-        let run = || -> std::io::Result<()> {
-            let mut f = std::fs::File::create(self.segment_path(group, seq))?;
+        self.evict(group, seq);
+        let path = self.segment_path(group, seq);
+        let run = |be: &mut Self| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&path)?;
             f.write_all(bytes)?;
             f.sync_all()?;
-            self.sync_dir()
+            be.stats.fsyncs += 1;
+            be.stats.bytes_written += bytes.len() as u64;
+            be.sync_dir()
         };
-        run().is_ok()
+        run(self).is_ok()
     }
 
     fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
@@ -570,6 +756,7 @@ impl WalBackend for FileBackend {
     }
 
     fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+        self.evict(group, seq);
         match std::fs::remove_file(self.segment_path(group, seq)) {
             Ok(()) => self.sync_dir().is_ok(),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
@@ -578,17 +765,19 @@ impl WalBackend for FileBackend {
     }
 
     fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
-        let run = || -> std::io::Result<()> {
-            let tmp = self.dir.join("wal.manifest.tmp");
+        let tmp = self.dir.join("wal.manifest.tmp");
+        let dst = self.dir.join("wal.manifest");
+        let run = |be: &mut Self| -> std::io::Result<()> {
             {
                 let mut f = std::fs::File::create(&tmp)?;
                 f.write_all(bytes)?;
                 f.sync_all()?;
+                be.stats.fsyncs += 1;
             }
-            std::fs::rename(&tmp, self.dir.join("wal.manifest"))?;
-            self.sync_dir()
+            std::fs::rename(&tmp, &dst)?;
+            be.sync_dir()
         };
-        run().is_ok()
+        run(self).is_ok()
     }
 
     fn load_manifest(&mut self) -> Option<Vec<u8>> {
@@ -626,6 +815,10 @@ impl WalBackend for FileBackend {
         }
         out.sort_unstable();
         out
+    }
+
+    fn io_stats(&self) -> WalIoStats {
+        self.stats
     }
 }
 
@@ -682,6 +875,19 @@ pub struct CommitWal {
     write_failures: u64,
     /// Accounting of the open-time load.
     load_stats: WalLoadStats,
+    /// Per-group staged record encodings awaiting the next flush barrier
+    /// (index = lane group; cleared-but-capacity-retained between
+    /// batches, so steady-state staging allocates nothing).
+    stage_bytes: Vec<Vec<u8>>,
+    /// The staged records behind `stage_bytes`, per group (same
+    /// lifecycle; needed to absorb segment metadata at flush).
+    stage_recs: Vec<Vec<WalRecord>>,
+    /// Staged records in `sn` order, not yet acknowledged: they join the
+    /// mirror only when their batch's flush runs.
+    pending: Vec<WalRecord>,
+    /// Record-encoding scratch (one encode per record, reused across
+    /// appends — no steady-state allocation on the hot path).
+    enc_buf: Vec<u8>,
 }
 
 impl CommitWal {
@@ -812,6 +1018,7 @@ impl CommitWal {
         }
         stats.records_loaded = records.len() as u64;
 
+        let groups = opts.lane_groups as usize;
         let mut wal = Self {
             backend,
             opts,
@@ -820,6 +1027,10 @@ impl CommitWal {
             next_seq: manifest.next_seq,
             write_failures: 0,
             load_stats: stats,
+            stage_bytes: vec![Vec::new(); groups],
+            stage_recs: vec![Vec::new(); groups],
+            pending: Vec::new(),
+            enc_buf: Vec::new(),
         };
         // After a scan-recovery the old chains' lane grouping is
         // unknowable, so rewrite storage from the mirror under the
@@ -866,57 +1077,154 @@ impl CommitWal {
         &self.segments
     }
 
-    /// Appends (and durably stores) one confirmed-block record to every
-    /// lane-group chain its mask touches.
+    /// Appends one confirmed-block record durably: stage + flush as a
+    /// batch of one (one fsync per touched group). Callers with more than
+    /// one record in hand should use [`Self::append_buffered`] +
+    /// [`Self::flush`] so the fsync barrier amortizes over the batch.
     pub fn append(&mut self, rec: WalRecord) {
+        self.append_buffered(rec);
+        self.flush();
+    }
+
+    /// Stages one confirmed-block record for the next [`Self::flush`]:
+    /// encodes it once (into a reused scratch buffer) and copies the
+    /// encoding into the staging buffer of every lane-group chain its
+    /// mask touches. **No backend I/O happens here** — the record is
+    /// unacknowledged (absent from [`Self::records`]) until its batch's
+    /// flush returns, and a crash before that loses it by design.
+    pub fn append_buffered(&mut self, rec: WalRecord) {
         debug_assert!(
-            self.records.last().is_none_or(|l| l.sn + 1 == rec.sn),
+            self.pending
+                .last()
+                .or(self.records.last())
+                .is_none_or(|l| l.sn + 1 == rec.sn),
             "WAL sns must be dense: {:?} then {}",
-            self.records.last().map(|l| l.sn),
+            self.pending.last().or(self.records.last()).map(|l| l.sn),
             rec.sn
         );
-        let mut bytes = Vec::with_capacity(4 + BODY_LEN + 8);
-        rec.encode_into(&mut bytes);
+        self.enc_buf.clear();
+        rec.encode_into(&mut self.enc_buf);
+        debug_assert_eq!(self.enc_buf.len(), ENCODED_RECORD_LEN);
         let mut groups = groups_of_mask(rec.lane_mask, self.opts.lane_groups);
+        while groups != 0 {
+            let group = groups.trailing_zeros() as usize;
+            groups &= groups - 1;
+            self.stage_bytes[group].extend_from_slice(&self.enc_buf);
+            self.stage_recs[group].push(rec);
+        }
+        self.pending.push(rec);
+    }
+
+    /// The group-commit barrier: writes every staged group's bytes with
+    /// **one** backend write + **one** fsync per touched group (plus the
+    /// amortized segment-roll bookkeeping), then acknowledges the staged
+    /// records into the mirror. Returns `true` when every durable step
+    /// succeeded; on failure the records still enter the (authoritative)
+    /// mirror and [`Self::write_failures`] is raised — same alarm
+    /// discipline as every other durable write.
+    ///
+    /// Records staged but not yet flushed are **unacknowledged**: a crash
+    /// in the stage→flush window loses exactly them and nothing else
+    /// (previously flushed records sit behind their own barriers).
+    pub fn flush(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return true;
+        }
         let mut failed = false;
         let mut sealed_any = false;
-        while groups != 0 {
-            let group = groups.trailing_zeros();
-            groups &= groups - 1;
-            let idx = match self.active_segment(group) {
-                Some(idx) => idx,
-                None => {
-                    // Roll a fresh active segment for the group: create
-                    // the (empty) file, then publish the manifest that
-                    // references it — BEFORE any record bytes land in
-                    // it. Appending first would open a crash window in
-                    // which a durably-written record sits in a file the
-                    // manifest never named, and the next open's orphan
-                    // sweep would delete it. A crash between create and
-                    // publish leaves only an ignorable empty orphan.
-                    let seq = self.next_seq;
-                    self.next_seq += 1;
-                    if !self.backend.write_segment(group, seq, &[]) {
-                        failed = true;
+        for group in 0..self.opts.lane_groups {
+            let g = group as usize;
+            if self.stage_recs[g].is_empty() {
+                continue;
+            }
+            // Take the scratch out (returned, emptied, below) so the
+            // borrow does not fight the segment-roll bookkeeping.
+            let recs = std::mem::take(&mut self.stage_recs[g]);
+            let bytes = std::mem::take(&mut self.stage_bytes[g]);
+            debug_assert_eq!(bytes.len(), recs.len() * ENCODED_RECORD_LEN);
+            let mut at = 0usize;
+            while at < recs.len() {
+                let idx = match self.active_segment(group) {
+                    Some(idx) => idx,
+                    None => {
+                        // Mid-batch roll: the just-sealed segment's
+                        // staged bytes must be durable BEFORE a manifest
+                        // naming its record count is published — the load
+                        // path treats manifest counts as a lower bound of
+                        // what was durably appended, and publishing first
+                        // would turn an unacknowledged in-flight batch
+                        // into a false `records_torn` alarm after a
+                        // crash. (A no-op when the group has nothing
+                        // staged, i.e. the roll opens the batch.)
+                        if !self.backend.sync_group(group) {
+                            failed = true;
+                        }
+                        // Roll a fresh active segment for the group:
+                        // create the (empty) file, then publish the
+                        // manifest that references it — BEFORE any record
+                        // bytes land in it. Appending first would open a
+                        // crash window in which a durably-written record
+                        // sits in a file the manifest never named, and
+                        // the next open's orphan sweep would delete it. A
+                        // crash between create and publish leaves only an
+                        // ignorable empty orphan.
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        if !self.backend.write_segment(group, seq, &[]) {
+                            failed = true;
+                        }
+                        self.segments.push(SegmentMeta::fresh(group, seq));
+                        self.segments.sort_unstable_by_key(|s| (s.group, s.seq));
+                        if !self.publish_manifest() {
+                            failed = true;
+                        }
+                        self.segment_index(group, seq).expect("just inserted")
                     }
-                    self.segments.push(SegmentMeta::fresh(group, seq));
-                    self.segments.sort_unstable_by_key(|s| (s.group, s.seq));
-                    if !self.publish_manifest() {
-                        failed = true;
-                    }
-                    self.segment_index(group, seq).expect("just inserted")
+                };
+                // A reopened log may hold an overfull unsealed segment
+                // (smaller `segment_records` knob than the one it was
+                // written under): seal it and roll rather than underflow.
+                let room = self
+                    .opts
+                    .segment_records
+                    .saturating_sub(self.segments[idx].records) as usize;
+                if room == 0 {
+                    self.segments[idx].sealed = true;
+                    sealed_any = true;
+                    continue;
                 }
-            };
-            let meta = &mut self.segments[idx];
-            if !self.backend.append_segment(meta.group, meta.seq, &bytes) {
+                // Fixed-size encodings make the batch splittable at any
+                // record boundary without re-encoding: one contiguous
+                // byte range per (segment, run).
+                let take = room.min(recs.len() - at);
+                let range = at * ENCODED_RECORD_LEN..(at + take) * ENCODED_RECORD_LEN;
+                let (grp, seq) = (self.segments[idx].group, self.segments[idx].seq);
+                if !self.backend.append_segment_batch(grp, seq, &bytes[range]) {
+                    failed = true;
+                }
+                let meta = &mut self.segments[idx];
+                for rec in &recs[at..at + take] {
+                    meta.absorb(rec);
+                }
+                if meta.records >= self.opts.segment_records {
+                    meta.sealed = true;
+                    sealed_any = true;
+                }
+                at += take;
+            }
+            // The durability barrier for everything staged in the group.
+            if !self.backend.sync_group(group) {
                 failed = true;
             }
-            meta.absorb(&rec);
-            if meta.records >= self.opts.segment_records {
-                meta.sealed = true;
-                sealed_any = true;
-            }
+            let (mut recs, mut bytes) = (recs, bytes);
+            recs.clear();
+            bytes.clear();
+            self.stage_recs[g] = recs;
+            self.stage_bytes[g] = bytes;
         }
+        // Acknowledge: the batch is durable (or alarmed); the mirror is
+        // authoritative either way.
+        self.records.append(&mut self.pending);
         // Seal events only refresh metadata of already-referenced files;
         // deferring their publish to the end opens no sweep window.
         if sealed_any && !self.publish_manifest() {
@@ -925,7 +1233,19 @@ impl CommitWal {
         if failed {
             self.write_failures += 1;
         }
-        self.records.push(rec);
+        !failed
+    }
+
+    /// Records staged by [`Self::append_buffered`] but not yet flushed —
+    /// unacknowledged, and lost by a crash right now.
+    pub fn staged_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The backend's deterministic I/O counters (writes, fsyncs, segment
+    /// opens, bytes written).
+    pub fn io_stats(&self) -> WalIoStats {
+        self.backend.io_stats()
     }
 
     /// Rewrites the whole backend from the mirror under the current
@@ -1050,6 +1370,10 @@ impl CommitWal {
     /// sweeps away. No step ever modifies a file the current manifest
     /// references.
     pub fn compact(&mut self, upto: u64) {
+        // Rotation rewrites straddlers from the mirror: staged records
+        // must be acknowledged (or alarmed) first so none can vanish
+        // between a stage and a rotation.
+        self.flush();
         let keep_from = self.records.partition_point(|r| r.sn < upto);
         let affected = self
             .segments
@@ -1082,6 +1406,7 @@ impl CommitWal {
     /// Records the mirror no longer holds (covered, torn, or past the
     /// gap) are dropped with their segments.
     pub fn truncate_from(&mut self, from_sn: u64) {
+        self.flush();
         let cut = self.records.partition_point(|r| r.sn < from_sn);
         let affected = self
             .segments
@@ -1205,8 +1530,14 @@ mod tests {
     struct SharedMem(Arc<Mutex<MemBackend>>);
 
     impl WalBackend for SharedMem {
-        fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
-            self.0.lock().unwrap().append_segment(group, seq, bytes)
+        fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+            self.0
+                .lock()
+                .unwrap()
+                .append_segment_batch(group, seq, bytes)
+        }
+        fn sync_group(&mut self, group: u32) -> bool {
+            self.0.lock().unwrap().sync_group(group)
         }
         fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
             self.0.lock().unwrap().write_segment(group, seq, bytes)
@@ -1225,6 +1556,9 @@ mod tests {
         }
         fn list_segments(&mut self) -> Vec<(u32, u64)> {
             self.0.lock().unwrap().list_segments()
+        }
+        fn io_stats(&self) -> WalIoStats {
+            self.0.lock().unwrap().io_stats()
         }
     }
 
@@ -1570,5 +1904,129 @@ mod tests {
         let shipped = wal.to_bytes();
         let rebuilt = CommitWal::from_flat_bytes(&shipped, opts(2, 100));
         assert_eq!(rebuilt.records(), wal.records());
+    }
+
+    #[test]
+    fn staged_records_are_unacknowledged_until_flush() {
+        let mut wal = CommitWal::in_memory_with(opts(4, 1024));
+        wal.append_buffered(rec(0));
+        wal.append_buffered(rec(1));
+        assert_eq!(wal.len(), 0, "staged records must not be acknowledged");
+        assert_eq!(wal.staged_len(), 2);
+        assert!(wal.flush());
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.staged_len(), 0);
+        assert_eq!(wal.records()[1], rec(1));
+        // An empty flush is free: no records, no fsyncs.
+        let before = wal.io_stats();
+        assert!(wal.flush());
+        assert_eq!(wal.io_stats(), before);
+    }
+
+    #[test]
+    fn flush_is_one_fsync_per_touched_group_per_batch() {
+        let mut wal = CommitWal::in_memory_with(opts(4, 1024));
+        // Warm batch: creates the active segments (rolls publish
+        // manifests, which cost extra one-time fsyncs).
+        for sn in 0..4 {
+            wal.append_buffered(rec_masked(sn, u64::MAX));
+        }
+        assert!(wal.flush());
+        let s0 = wal.io_stats();
+        // Steady state: each batch of 16 full-mask records must cost
+        // exactly one write and one fsync per group, not per record.
+        for batch in 0..3u64 {
+            for i in 0..16 {
+                wal.append_buffered(rec_masked(4 + batch * 16 + i, u64::MAX));
+            }
+            assert!(wal.flush());
+        }
+        let s1 = wal.io_stats();
+        assert_eq!(s1.fsyncs - s0.fsyncs, 3 * 4, "1 fsync per group per batch");
+        assert_eq!(
+            s1.appends - s0.appends,
+            3 * 4,
+            "1 write per group per batch"
+        );
+        assert_eq!(
+            s1.bytes_written - s0.bytes_written,
+            3 * 16 * 4 * ENCODED_RECORD_LEN as u64,
+            "every record's encoding lands once per touched group"
+        );
+        assert_eq!(wal.len(), 52);
+    }
+
+    #[test]
+    fn flush_splits_batches_across_segment_rolls() {
+        // 10-record batches into 4-record segments: flush must split the
+        // staged bytes across rolls without losing order or records.
+        let disk = SharedMem::default();
+        {
+            let mut wal = CommitWal::open(Box::new(disk.clone()), opts(2, 4));
+            for batch in 0..3u64 {
+                for i in 0..10 {
+                    wal.append_buffered(rec(batch * 10 + i));
+                }
+                assert!(wal.flush());
+            }
+            assert_eq!(wal.write_failures(), 0);
+            assert!(
+                wal.segments().iter().filter(|s| s.sealed).count() >= 2,
+                "10-record batches over 4-record segments must seal: {:?}",
+                wal.segments()
+            );
+        }
+        let wal = CommitWal::open(Box::new(disk), opts(2, 4));
+        assert_eq!(wal.len(), 30, "reopen must recover every flushed record");
+        for (i, r) in wal.records().iter().enumerate() {
+            assert_eq!(*r, rec(i as u64));
+        }
+    }
+
+    #[test]
+    fn batched_storage_is_byte_identical_to_per_record_appends() {
+        // The durable artifact must not depend on how appends were
+        // batched: same records → same segment bytes, same recovery.
+        let per_record = SharedMem::default();
+        let batched = SharedMem::default();
+        {
+            let mut a = CommitWal::open(Box::new(per_record.clone()), opts(4, 8));
+            let mut b = CommitWal::open(Box::new(batched.clone()), opts(4, 8));
+            for sn in 0..30 {
+                a.append(rec(sn));
+            }
+            for chunk in (0..30u64).collect::<Vec<_>>().chunks(7) {
+                for &sn in chunk {
+                    b.append_buffered(rec(sn));
+                }
+                assert!(b.flush());
+            }
+        }
+        let a = per_record.0.lock().unwrap().segments.clone();
+        let b = batched.0.lock().unwrap().segments.clone();
+        assert_eq!(a, b, "batched and per-record segment bytes must match");
+    }
+
+    #[test]
+    fn file_backend_opens_are_per_segment_not_per_append() {
+        let dir = std::env::temp_dir().join(format!("ladon-wal-opens-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(2, 8));
+        for sn in 0..64 {
+            wal.append(rec_masked(sn, u64::MAX)); // every record, both groups
+        }
+        assert_eq!(wal.write_failures(), 0);
+        let io = wal.io_stats();
+        let segments = wal.segments().len() as u64;
+        assert_eq!(
+            io.segment_opens, segments,
+            "each segment must be opened exactly once over its lifetime"
+        );
+        assert_eq!(io.appends, 64 * 2, "one staged write per record per group");
+        assert!(
+            io.segment_opens < io.appends,
+            "open count must not scale with appends: {io:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -92,6 +92,14 @@ pub struct Report {
     /// healthy run: nonzero means some replica acknowledged blocks a
     /// crash could have lost.
     pub wal_write_failures: u64,
+    /// WAL fsync barriers issued, summed across replicas (deterministic
+    /// backend counters). Under group commit this tracks confirmed-queue
+    /// drains × touched lane groups, not confirmed blocks — the whole
+    /// point of batching the durability barrier.
+    pub wal_fsyncs: u64,
+    /// WAL segment bytes written (appends + compaction rewrites), summed
+    /// across replicas.
+    pub wal_bytes_written: u64,
 }
 
 /// Inputs to aggregation.
@@ -257,6 +265,8 @@ pub fn aggregate(data: &RunData) -> Report {
     let snapshot_installs = data.nodes.iter().map(|n| n.snapshot_installs).sum();
     let skipped_sns = data.nodes.iter().map(|n| n.skipped_sns).sum();
     let wal_write_failures = data.nodes.iter().map(|n| n.wal_write_failures).sum();
+    let wal_fsyncs = data.nodes.iter().map(|n| n.wal_fsyncs).sum();
+    let wal_bytes_written = data.nodes.iter().map(|n| n.wal_bytes_written).sum();
 
     // Timeline: per-sample ktps at the reference replica (Fig. 8).
     let mut timeline = Vec::new();
@@ -310,6 +320,8 @@ pub fn aggregate(data: &RunData) -> Report {
         snapshot_installs,
         skipped_sns,
         wal_write_failures,
+        wal_fsyncs,
+        wal_bytes_written,
     }
 }
 
@@ -465,6 +477,18 @@ mod tests {
         // And a healthy fleet reports zero.
         let rep = aggregate(&run_data(empty_nodes(4)));
         assert_eq!(rep.wal_write_failures, 0);
+    }
+
+    #[test]
+    fn wal_io_counters_summed_across_replicas() {
+        let mut nodes = empty_nodes(4);
+        nodes[0].wal_fsyncs = 7;
+        nodes[0].wal_bytes_written = 1000;
+        nodes[3].wal_fsyncs = 5;
+        nodes[3].wal_bytes_written = 400;
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.wal_fsyncs, 12);
+        assert_eq!(rep.wal_bytes_written, 1400);
     }
 
     #[test]

@@ -372,4 +372,72 @@ proptest! {
         prop_assert_eq!(r1.executed_txs(), reference.executed_txs());
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Group-commit equivalence: for ANY record sequence and ANY batch
+    /// partition of it, executing through the batched path
+    /// (`execute_batch`: stage → one flush barrier per batch → apply)
+    /// and then recovering from the durable artifacts is byte-identical
+    /// to per-record execution — roots, frontiers, and tx counts — at
+    /// worker counts {1, 4}. The durable log a batched writer leaves
+    /// behind must be indistinguishable from an unbatched one.
+    #[test]
+    fn batched_wal_recovers_identical_to_per_record(
+        counts in proptest::collection::vec(0u32..48, 1..20),
+        splits in proptest::collection::vec(1usize..6, 1..12),
+        mid_checkpoint in any::<bool>(),
+    ) {
+        let wal_opts = WalOptions { lane_groups: 4, segment_records: 3 };
+        // Per-record reference, in memory.
+        let mut reference = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        let mut first_txs = Vec::with_capacity(counts.len());
+        let mut first_tx = 0u64;
+        for (sn, &count) in counts.iter().enumerate() {
+            first_txs.push(first_tx);
+            reference.execute(sn as u64, &exec_block(sn as u64, first_tx, count));
+            first_tx += count as u64;
+        }
+        // Batched run over a real segmented on-disk WAL, the partition
+        // drawn from `splits` (cyclic chunk sizes).
+        let dir = scratch_dir("group-commit-eq");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut p =
+                ExecutionPipeline::recover_opts(&dir, DEFAULT_KEYSPACE, 1, wal_opts).unwrap();
+            let mut at = 0usize;
+            let mut si = 0usize;
+            while at < counts.len() {
+                let take = splits[si % splits.len()].min(counts.len() - at);
+                si += 1;
+                let batch: Vec<(u64, ladon::types::Block)> = (at..at + take)
+                    .map(|sn| {
+                        (
+                            sn as u64,
+                            exec_block(sn as u64, first_txs[sn], counts[sn]),
+                        )
+                    })
+                    .collect();
+                for out in p.execute_batch(&batch) {
+                    prop_assert!(matches!(out, ExecOutcome::Applied { .. }));
+                }
+                // Optionally checkpoint mid-stream: compaction must
+                // compose with batched appends exactly as with singles.
+                if mid_checkpoint && at == 0 {
+                    p.checkpoint(0, vec![0; 4]);
+                }
+                at += take;
+            }
+            prop_assert_eq!(p.wal_write_failures(), 0);
+            prop_assert_eq!(p.state_root(), reference.state_root());
+        }
+        // Recovery from the batched artifacts, at both worker counts.
+        for lanes in [1u32, 4] {
+            let r =
+                ExecutionPipeline::recover_opts(&dir, DEFAULT_KEYSPACE, lanes, wal_opts).unwrap();
+            prop_assert_eq!(r.applied(), reference.applied(), "lanes={}", lanes);
+            prop_assert_eq!(r.executed_txs(), reference.executed_txs());
+            prop_assert_eq!(r.state_root(), reference.state_root(), "lanes={}", lanes);
+            prop_assert_eq!(r.lane_roots(), reference.lane_roots());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -96,12 +96,21 @@ fn honest_replicas_agree_on_state_roots_at_every_checkpoint() {
         "need ≥ 2 comparable checkpoints, got {checked}"
     );
     // Silent durability failures must be loud: every replica's WAL
-    // (appends, segment rolls, compaction rotations) wrote cleanly.
+    // (appends, segment rolls, compaction rotations) wrote cleanly — and
+    // the group-commit I/O counters surface real work: fsync barriers
+    // were issued (durability is not a no-op) and bytes landed.
+    // (`fig_wal_group_commit` gates the amortization itself with exact
+    // counts.)
     for r in 0..4 {
+        let m = &c.node(r).metrics;
         assert_eq!(
-            c.node(r).metrics.wal_write_failures,
-            0,
+            m.wal_write_failures, 0,
             "replica {r} reported failed durable WAL writes"
+        );
+        assert!(m.wal_fsyncs > 0, "replica {r} reported no fsync barriers");
+        assert!(
+            m.wal_bytes_written > 0,
+            "replica {r} reported no WAL bytes written"
         );
     }
     // Checkpoints carry snapshots: the WAL is compacted behind them, the
@@ -471,8 +480,15 @@ impl CrashBackend {
 }
 
 impl WalBackend for CrashBackend {
-    fn append_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
-        self.alive() && self.inner.append_segment(group, seq, bytes)
+    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        self.alive() && self.inner.append_segment_batch(group, seq, bytes)
+    }
+    fn sync_group(&mut self, group: u32) -> bool {
+        // The fsync barrier is a storage op like any other: dying here
+        // models a kill after the write() but before the fdatasync() —
+        // the staged batch may or may not be on the platter, and the WAL
+        // must not have acknowledged it.
+        self.alive() && self.inner.sync_group(group)
     }
     fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
         self.alive() && self.inner.write_segment(group, seq, bytes)
@@ -491,6 +507,9 @@ impl WalBackend for CrashBackend {
     }
     fn list_segments(&mut self) -> Vec<(u32, u64)> {
         self.inner.list_segments()
+    }
+    fn io_stats(&self) -> ladon::state::WalIoStats {
+        self.inner.io_stats()
     }
 }
 
@@ -664,6 +683,157 @@ fn checkpoint_compaction_crash_matrix_recovers_exact_state() {
                 "k={k} lanes={lanes}: recovered lane-root vector differs"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group-commit crash matrix: the batched write path introduces a new
+// boundary — records staged by `append_buffered` are unacknowledged
+// until their batch's `flush` barrier returns. The matrices below kill
+// storage at every op across that boundary (including between staging
+// and flush, and between a flush's write and its fsync) and assert the
+// acknowledgement contract: a flushed batch is never lost; a
+// staged-but-unflushed batch may be lost but corrupts nothing.
+// ---------------------------------------------------------------------
+
+/// WAL-level matrix: batches of 3 records are staged + flushed while the
+/// storage dies `k` ops in; a final batch is staged and *never* flushed
+/// (the process dies in the stage→flush window). Every record whose
+/// flush was acknowledged clean must survive reopen, in order, with
+/// nothing corrupted after it.
+#[test]
+fn wal_group_commit_crash_matrix_preserves_flushed_batches() {
+    let opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    for k in 0..=28i64 {
+        let dir = scratch_dir("group-commit-crash", k);
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(k));
+        let mut acked = 0u64;
+        {
+            let backend = CrashBackend {
+                inner: FileBackend::open_dir(&dir).unwrap(),
+                budget: budget.clone(),
+            };
+            let mut wal = CommitWal::open(Box::new(backend), opts);
+            let mut sn = 0u64;
+            for _batch in 0..5 {
+                for _ in 0..3 {
+                    wal.append_buffered(raw_record(sn));
+                    sn += 1;
+                }
+                let clean_before = wal.write_failures() == 0;
+                wal.flush();
+                if clean_before && wal.write_failures() == 0 {
+                    // Every barrier up to and including this one reported
+                    // success: the whole prefix is durably acknowledged.
+                    acked = sn;
+                }
+            }
+            // Stage one more batch and die before its flush: these
+            // records were never acknowledged and may vanish.
+            wal.append_buffered(raw_record(sn));
+            wal.append_buffered(raw_record(sn + 1));
+            assert_eq!(wal.staged_len(), 2);
+        }
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts);
+        assert!(
+            wal.len() as u64 >= acked,
+            "k={k}: {acked} records were acknowledged by clean flushes \
+             but only {} survived",
+            wal.len()
+        );
+        for sn in 0..wal.len() as u64 {
+            assert_eq!(
+                wal.records()[sn as usize],
+                raw_record(sn),
+                "k={k}: record {sn} corrupted across the crash"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Pipeline-level matrix over the batched execution path: confirmed
+/// blocks drain through `execute_batch` (stage → one flush barrier →
+/// apply) while storage dies `k` ops in. Recovery from the surviving
+/// artifacts must hold every block of every cleanly-flushed batch and
+/// reproduce, at worker counts {1, 4}, a root byte-identical to a clean
+/// re-execution of exactly the recovered prefix.
+#[test]
+fn batched_execution_crash_matrix_recovers_acked_prefix() {
+    let wal_opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    let batch_of = |from: u64, n: u64| -> Vec<(u64, ladon::types::Block)> {
+        (from..from + n)
+            .map(|sn| (sn, common::exec_block(sn, sn * 50, 50)))
+            .collect()
+    };
+    for k in 0..=14i64 {
+        let dir = scratch_dir("batched-exec-crash", k);
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(i64::MAX));
+        let acked = {
+            let backend = CrashBackend {
+                inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
+                budget: budget.clone(),
+            };
+            let mut p = ExecutionPipeline::recover_backend(
+                &dir,
+                Box::new(backend),
+                DEFAULT_KEYSPACE,
+                1,
+                wal_opts,
+            )
+            .unwrap();
+            // Two clean batches, then the power dies k storage ops into
+            // the third batch's stage/flush window.
+            p.execute_batch(&batch_of(0, 4));
+            p.execute_batch(&batch_of(4, 4));
+            assert_eq!(p.wal_write_failures(), 0, "k={k}: run must start clean");
+            budget.store(k, Ordering::SeqCst);
+            p.execute_batch(&batch_of(8, 4));
+            if p.wal_write_failures() == 0 {
+                12
+            } else {
+                8
+            }
+        };
+        let mut roots = Vec::new();
+        for lanes in LANE_MATRIX {
+            let r =
+                ExecutionPipeline::recover_opts(&dir, DEFAULT_KEYSPACE, lanes, wal_opts).unwrap();
+            assert!(
+                r.applied() >= acked,
+                "k={k} lanes={lanes}: an acknowledged batch was lost \
+                 (recovered {} < acked {acked})",
+                r.applied()
+            );
+            // The recovered prefix — whatever survived past the ack
+            // floor — must re-execute to the identical root.
+            let mut reference = ExecutionPipeline::in_memory_with(DEFAULT_KEYSPACE, lanes);
+            for sn in 0..r.applied() {
+                reference.execute(sn, &common::exec_block(sn, sn * 50, 50));
+            }
+            assert_eq!(
+                r.state_root(),
+                reference.state_root(),
+                "k={k} lanes={lanes}: recovered root diverges from a clean \
+                 re-execution of the recovered prefix"
+            );
+            roots.push((lanes, r.applied(), r.state_root()));
+        }
+        assert!(
+            roots
+                .windows(2)
+                .all(|w| (w[0].1, w[0].2) == (w[1].1, w[1].2)),
+            "k={k}: recovery differs across worker counts: {roots:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

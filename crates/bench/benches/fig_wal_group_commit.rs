@@ -12,7 +12,7 @@
 use ladon_bench::microbench;
 use ladon_state::{
     static_lane_mask, CommitWal, ExecutionPipeline, FileBackend, WalOptions, WalRecord,
-    ENCODED_RECORD_LEN,
+    ENCODED_RECORD_LEN, TRAILER_LEN,
 };
 use ladon_types::{Block, Digest, TxOp};
 
@@ -108,11 +108,14 @@ fn main() {
             flushes * GROUPS as u64,
             "batch={batch}: writes must be 1 per group per batch"
         );
-        // Every record's encoding lands exactly once per touched group.
+        // Every record's encoding lands exactly once per touched group,
+        // plus one batch trailer per (group, flush) closing the run at
+        // an acknowledgement boundary.
         assert_eq!(
             bytes,
-            steady_records * GROUPS as u64 * ENCODED_RECORD_LEN as u64,
-            "batch={batch}: staged bytes must match records × groups"
+            steady_records * GROUPS as u64 * ENCODED_RECORD_LEN as u64
+                + flushes * GROUPS as u64 * TRAILER_LEN as u64,
+            "batch={batch}: staged bytes must match records × groups + trailers"
         );
         // Handle-cache gate: opens are O(segments) — one per active
         // segment ever created — not O(appends).

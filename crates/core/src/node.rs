@@ -159,6 +159,18 @@ pub struct NodeMetrics {
     /// Segment bytes written to WAL storage (appends + compaction
     /// rewrites), from the same counters.
     pub wal_bytes_written: u64,
+    /// Topological waves executed by the dependency-DAG wave scheduler,
+    /// summed over batches — mirrored from
+    /// [`ladon_state::ExecutionPipeline::sched_stats`].
+    /// `executed_txs / exec_waves` is the mean exploitable parallelism
+    /// per wave; deterministic and worker-count invariant.
+    pub exec_waves: u64,
+    /// Cross-lane dependency edges the scheduler ordered (the
+    /// read-your-writes dependencies the old two-phase credit pass could
+    /// not express), from the same counters.
+    pub exec_cross_lane_edges: u64,
+    /// Ops in the fullest single wave seen, from the same counters.
+    pub exec_max_wave_ops: u32,
     /// Checkpoint quorums observed on a root different from ours.
     pub root_conflicts: u64,
 }
@@ -585,14 +597,12 @@ impl MultiBftNode {
                             .collect()
                     };
                     let root = self.exec.checkpoint(epoch.0, frontier);
-                    // The checkpoint compacts the WAL (segment rotation);
-                    // surface any failed rotation step — and the I/O it
-                    // cost — immediately. (Inlined mirror: `pm` holds the
-                    // pacemaker borrow.)
-                    self.metrics.wal_write_failures = self.exec.wal_write_failures();
-                    let io = self.exec.wal_io_stats();
-                    self.metrics.wal_fsyncs = io.fsyncs;
-                    self.metrics.wal_bytes_written = io.bytes_written;
+                    // The checkpoint drains any staged accumulation and
+                    // compacts the WAL (segment rotation); surface any
+                    // failed rotation step — and the I/O + scheduling it
+                    // cost — immediately (`pm` holds the pacemaker
+                    // borrow, so the mirror is an associated call).
+                    Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
                     self.metrics.state_roots.push((now, epoch.0, root));
                     let signer = self.cfg.registry.signer(self.cfg.me);
                     broadcast = Some(pm.make_checkpoint(&signer, root));
@@ -622,11 +632,17 @@ impl MultiBftNode {
         if confirmed.is_empty() {
             return;
         }
-        // The whole confirmed drain executes as ONE batch through the
-        // pipeline's group-commit path: every block's WAL record is
-        // staged, one flush barrier makes the batch durable (one fsync
-        // per touched lane group, not per block), and only then do the
-        // blocks apply — WAL-before-apply at batch granularity.
+        // The whole confirmed drain stages through the pipeline's
+        // group-commit path; the flush + apply barrier runs once the
+        // cross-drain accumulation reaches `wal_flush_max_records`
+        // staged records (the default of 1 flushes every drain). A
+        // flushed accumulation is ONE durability barrier (one fsync per
+        // touched lane group, however many drains it spans) and ONE
+        // batch-wide dependency DAG, so ops from independent blocks
+        // overlap in the same waves — WAL-before-apply, preserved at
+        // accumulated-batch granularity. Staged records stay
+        // unacknowledged until their flush: a crash loses exactly them,
+        // never a flushed block.
         let mut batch: Vec<(u64, Block)> = Vec::with_capacity(confirmed.len());
         for c in confirmed {
             let b = &c.block;
@@ -647,14 +663,13 @@ impl MultiBftNode {
             batch.push((c.sn, c.block));
         }
         // Per-block outcomes keep the old discipline: blocks at or below
-        // the applied frontier (snapshot install, restart) are skipped
-        // idempotently; blocks above the next expected sn are refused
-        // (the pipeline never misapplies) and counted — loud in debug
-        // runs, a metric alarm in release.
-        for (i, out) in self.exec.execute_batch(&batch).into_iter().enumerate() {
+        // the staged/applied frontier (snapshot install, restart) are
+        // skipped idempotently; blocks above the next expected sn are
+        // refused (the pipeline never misapplies) and counted — loud in
+        // debug runs, a metric alarm in release.
+        for (i, out) in self.exec.stage_blocks(&batch).into_iter().enumerate() {
             match out {
-                ExecOutcome::Applied { txs } => self.metrics.executed_txs += txs,
-                ExecOutcome::Skipped => {}
+                ExecOutcome::Applied { .. } | ExecOutcome::Skipped => {}
                 ExecOutcome::Gap { expected } => {
                     debug_assert!(
                         false,
@@ -665,19 +680,34 @@ impl MultiBftNode {
                 }
             }
         }
+        if self.exec.staged_records() as u64 >= self.cfg.sys.wal_flush_max_records.max(1) as u64 {
+            self.exec.flush_staged();
+        }
         // Mirror the durability alarm and the I/O counters after every
         // drain so a failed WAL write is visible the moment it happens,
         // not only at the next checkpoint.
-        self.mirror_wal_metrics();
+        Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
     }
 
-    /// Mirrors the execution pipeline's WAL health and I/O counters into
-    /// the metrics sink.
-    fn mirror_wal_metrics(&mut self) {
-        self.metrics.wal_write_failures = self.exec.wal_write_failures();
-        let io = self.exec.wal_io_stats();
-        self.metrics.wal_fsyncs = io.fsyncs;
-        self.metrics.wal_bytes_written = io.bytes_written;
+    /// Mirrors the execution pipeline's WAL health, I/O, scheduler, and
+    /// execution counters into a metrics sink. An associated function so
+    /// it stays callable while `self.pacemaker` is borrowed.
+    fn mirror_exec_metrics(metrics: &mut NodeMetrics, exec: &ExecutionPipeline) {
+        metrics.wal_write_failures = exec.wal_write_failures();
+        let io = exec.wal_io_stats();
+        metrics.wal_fsyncs = io.fsyncs;
+        metrics.wal_bytes_written = io.bytes_written;
+        let sched = exec.sched_stats();
+        metrics.exec_waves = sched.waves;
+        metrics.exec_cross_lane_edges = sched.cross_lane_edges;
+        metrics.exec_max_wave_ops = sched.max_wave_ops;
+        // Executed txs advance at flush time (staged blocks are not
+        // executed yet), so the metric mirrors the pipeline's cumulative
+        // count instead of summing per-drain outcomes — the *local* one:
+        // totals inherited from an installed peer snapshot (or a
+        // restored pre-crash snapshot) are work this process never
+        // performed and must not inflate throughput readouts.
+        metrics.executed_txs = exec.locally_executed_txs();
     }
 
     // ------------------------------------------------------------------
@@ -995,8 +1025,9 @@ impl MultiBftNode {
                 && self.exec.install_snapshot(snap)
             {
                 self.metrics.snapshot_installs += 1;
-                // Installing compacts the WAL behind the snapshot.
-                self.metrics.wal_write_failures = self.exec.wal_write_failures();
+                // Installing drains staged blocks and compacts the WAL
+                // behind the snapshot.
+                Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
                 // The fast-forwarded prefix never gets ConfirmRecords
                 // here: surface the gap instead of leaving it implicit in
                 // a shorter log.

@@ -34,6 +34,17 @@ thread_local! {
     static VERIFIES: Cell<u64> = const { Cell::new(0) };
     static AGG_SIGNS: Cell<u64> = const { Cell::new(0) };
     static AGG_VERIFIES: Cell<u64> = const { Cell::new(0) };
+    static QC_VERIFY_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one verified-certificate cache hit: a `QuorumCert`/`RankCert`
+/// whose full verification was skipped because the identical certificate
+/// (matched by content digest) already verified on this instance. Not an
+/// [`OpKind`] — a hit is work *avoided*, so it contributes nothing to
+/// the CPU proxy; the counter exists to make the dedupe observable.
+#[inline]
+pub fn record_qc_verify_hit() {
+    QC_VERIFY_HITS.with(|c| c.set(c.get() + 1));
 }
 
 /// Records one operation of the given kind.
@@ -62,6 +73,10 @@ pub struct CryptoCounters {
     pub agg_signs: u64,
     /// Aggregate verifications.
     pub agg_verifies: u64,
+    /// Certificate verifications skipped via the per-instance
+    /// verified-cert cache (the same cert carried by multiple messages —
+    /// new-view bundles, rank proofs, sync entries — verifies once).
+    pub qc_verify_hits: u64,
 }
 
 impl CryptoCounters {
@@ -73,6 +88,7 @@ impl CryptoCounters {
             verifies: VERIFIES.with(Cell::get),
             agg_signs: AGG_SIGNS.with(Cell::get),
             agg_verifies: AGG_VERIFIES.with(Cell::get),
+            qc_verify_hits: QC_VERIFY_HITS.with(Cell::get),
         }
     }
 
@@ -83,6 +99,7 @@ impl CryptoCounters {
         VERIFIES.with(|c| c.set(0));
         AGG_SIGNS.with(|c| c.set(0));
         AGG_VERIFIES.with(|c| c.set(0));
+        QC_VERIFY_HITS.with(|c| c.set(0));
     }
 
     /// Difference `self - earlier`, for measuring a window.
@@ -94,6 +111,7 @@ impl CryptoCounters {
             verifies: self.verifies - earlier.verifies,
             agg_signs: self.agg_signs - earlier.agg_signs,
             agg_verifies: self.agg_verifies - earlier.agg_verifies,
+            qc_verify_hits: self.qc_verify_hits - earlier.qc_verify_hits,
         }
     }
 
@@ -128,12 +146,16 @@ mod tests {
         record(OpKind::AggSign);
         record(OpKind::AggVerify);
         record(OpKind::Hash);
+        record_qc_verify_hit();
         let c = CryptoCounters::snapshot();
         assert_eq!(c.signs, 2);
         assert_eq!(c.verifies, 1);
         assert_eq!(c.agg_signs, 1);
         assert_eq!(c.agg_verifies, 1);
         assert_eq!(c.hashes, 1);
+        assert_eq!(c.qc_verify_hits, 1);
+        // A cache hit is avoided work: it contributes to neither the
+        // authenticator-op count nor the CPU proxy.
         assert_eq!(c.authenticator_ops(), 5);
         assert!(c.cpu_seconds_proxy() > 0.0);
     }

@@ -144,6 +144,36 @@ impl QuorumCert {
         })
     }
 
+    /// A collision-resistant content digest of the *complete*
+    /// certificate — every certified field plus the aggregate signature's
+    /// signer set and combined tag — for per-instance verified-cert
+    /// caches: two certs with equal keys are byte-identical, so a cached
+    /// successful [`Self::verify`] transfers. A forged cert differing in
+    /// any byte (including the signature material) keys differently and
+    /// never hits the cache.
+    pub fn cache_key(&self) -> [u8; 32] {
+        use crate::sha256::Sha256;
+        let mut h = Sha256::new();
+        h.update(b"ladon/qc-cache/v1");
+        h.update(&self.view.0.to_le_bytes());
+        h.update(&self.round.0.to_le_bytes());
+        h.update(&self.instance.0.to_le_bytes());
+        h.update(&self.digest.0);
+        h.update(&self.rank.0.to_le_bytes());
+        h.update(&[match self.domain {
+            CertDomain::Prepare => 0u8,
+            CertDomain::HsVote => 1u8,
+        }]);
+        h.update(&self.agg.n.to_le_bytes());
+        h.update(&self.agg.combined);
+        h.update(&(self.agg.signers.len() as u32).to_le_bytes());
+        for (replica, key_idx) in &self.agg.signers {
+            h.update(&replica.0.to_le_bytes());
+            h.update(&key_idx.to_le_bytes());
+        }
+        h.finalize()
+    }
+
     /// Verifies the certificate: quorum of distinct signers over the
     /// canonical bytes.
     pub fn verify(&self, registry: &KeyRegistry, quorum: usize) -> bool {
@@ -201,9 +231,22 @@ impl RankCert {
     /// Validates the claim: either it is the epoch minimum, or the attached
     /// QC verifies and certifies exactly this rank.
     pub fn validate(&self, registry: &KeyRegistry, quorum: usize, min_rank: Rank) -> bool {
+        self.validate_with(min_rank, |qc| qc.verify(registry, quorum))
+    }
+
+    /// [`Self::validate`] with certificate verification delegated to
+    /// `verify_qc` — the single definition of the claim's structural
+    /// rules (certificate-free only at the epoch minimum; a certificate
+    /// must certify exactly the claimed rank), shared by the plain path
+    /// and callers that verify through a verified-cert cache.
+    pub fn validate_with(
+        &self,
+        min_rank: Rank,
+        verify_qc: impl FnOnce(&QuorumCert) -> bool,
+    ) -> bool {
         match &self.cert {
             None => self.rank == min_rank,
-            Some(qc) => qc.rank == self.rank && qc.verify(registry, quorum),
+            Some(qc) => qc.rank == self.rank && verify_qc(qc),
         }
     }
 }

@@ -266,11 +266,27 @@ pub struct PbftInstance {
     view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
     /// First round of the current epoch (GC horizon for view changes).
     epoch_start_round: Round,
+    /// Content digests of certificates this instance has already
+    /// verified successfully. The same `QuorumCert`/`RankCert` is
+    /// carried by many messages — every pre-prepare's rank proof in
+    /// Plain mode, view-change bundles re-embedded in new-views, sync
+    /// entries re-served across probes — and each copy used to pay a
+    /// full aggregate verification. Keyed by the collision-resistant
+    /// [`QuorumCert::cache_key`] (which covers the signature material,
+    /// so a forged twin never hits); bounded by [`QC_CACHE_MAX`] and
+    /// cleared on epoch advance. Hits are counted in
+    /// [`ladon_crypto::CryptoCounters::qc_verify_hits`].
+    verified_certs: BTreeSet<[u8; 32]>,
     /// Count of messages rejected by validation (observability).
     pub rejected: u64,
     /// Count of view changes completed on this replica.
     pub view_changes_completed: u64,
 }
+
+/// Verified-cert cache bound: certificates are per-(round, view) and the
+/// cache clears on epoch advance, so this is a backstop against
+/// pathological message floods, not a working-set size.
+const QC_CACHE_MAX: usize = 1024;
 
 impl PbftInstance {
     /// Creates the instance at view 0, round 1, with the given epoch-0
@@ -293,9 +309,38 @@ impl PbftInstance {
             pending_view: View(0),
             view_changes: BTreeMap::new(),
             epoch_start_round: Round(0),
+            verified_certs: BTreeSet::new(),
             rejected: 0,
             view_changes_completed: 0,
         }
+    }
+
+    /// Verifies a quorum certificate through the per-instance
+    /// verified-cert cache: an identical cert (by content digest,
+    /// signature material included) that already verified here skips the
+    /// aggregate verification and counts a `qc_verify_hits`. Only
+    /// successes are cached.
+    fn qc_verified(&mut self, qc: &QuorumCert) -> bool {
+        let key = qc.cache_key();
+        if self.verified_certs.contains(&key) {
+            ladon_crypto::counters::record_qc_verify_hit();
+            return true;
+        }
+        if !qc.verify(&self.cfg.registry, self.cfg.quorum()) {
+            return false;
+        }
+        if self.verified_certs.len() >= QC_CACHE_MAX {
+            self.verified_certs.clear();
+        }
+        self.verified_certs.insert(key);
+        true
+    }
+
+    /// [`RankCert::validate`] through the verified-cert cache — the
+    /// structural rules live in [`RankCert::validate_with`], so the
+    /// cached and uncached paths can never diverge.
+    fn rank_cert_verified(&mut self, rc: &RankCert) -> bool {
+        rc.validate_with(self.epoch_min, |qc| self.qc_verified(qc))
     }
 
     /// The leader of `view` for this instance: instances start led by the
@@ -372,6 +417,9 @@ impl PbftInstance {
         self.epoch_max = max;
         self.stopped_for_epoch = false;
         self.epoch_start_round = self.committed_upto;
+        // Old-epoch certificates will not legitimately re-arrive; keep
+        // the verified-cert cache bounded by the live epoch.
+        self.verified_certs.clear();
         // Garbage-collect state from two epochs ago; the previous epoch is
         // kept for late votes and view changes.
         let keep_from = Round(self.epoch_start_round.0.saturating_sub(64));
@@ -657,8 +705,10 @@ impl PbftInstance {
     }
 
     /// Validates the pre-prepare's rank and proof (prepare-phase checks of
-    /// §5.2.2 / §5.3).
-    fn validate_rank_proof(&self, pp: &PrePrepare) -> RankCheck {
+    /// §5.2.2 / §5.3). Certificate verifications go through the
+    /// per-instance verified-cert cache, so the same `max_cert` carried
+    /// by a re-sent or re-proposed pre-prepare verifies once.
+    fn validate_rank_proof(&mut self, pp: &PrePrepare) -> RankCheck {
         let q = self.cfg.quorum();
         match (&self.cfg.mode, &pp.rank_proof) {
             (RankMode::None, RankProof::None) => {
@@ -672,7 +722,7 @@ impl PbftInstance {
                 if pp.round != self.view_start_round {
                     return RankCheck::Invalid;
                 }
-                if !rc.validate(&self.cfg.registry, q, self.epoch_min) {
+                if !self.rank_cert_verified(rc) {
                     return RankCheck::Invalid;
                 }
                 self.check_expected_rank(pp.rank, rc.rank)
@@ -707,9 +757,7 @@ impl PbftInstance {
                     .map(|sr| sr.body.rank)
                     .max()
                     .expect("non-empty set");
-                if max_cert.rank != rank_m
-                    || !max_cert.validate(&self.cfg.registry, q, self.epoch_min)
-                {
+                if max_cert.rank != rank_m || !self.rank_cert_verified(max_cert) {
                     return RankCheck::Invalid;
                 }
                 self.check_expected_rank(pp.rank, rank_m)
@@ -1004,7 +1052,7 @@ impl PbftInstance {
                 let claimed = r.signed.body.rank.offset(k);
                 let valid = match &r.qc {
                     // Clamped sub-keys under-report, so `>=` suffices.
-                    Some(qc) => qc.rank >= claimed && qc.verify(&self.cfg.registry, q),
+                    Some(qc) => qc.rank >= claimed && self.qc_verified(qc),
                     None => claimed == self.epoch_min,
                 };
                 if !valid {
@@ -1134,12 +1182,11 @@ impl PbftInstance {
                 self.rejected += 1;
                 return;
             }
-            let q = self.cfg.quorum();
             for entry in &vc.prepared {
                 if entry.qc.digest != entry.digest
                     || entry.qc.rank != entry.rank
                     || entry.qc.round != entry.round
-                    || !entry.qc.verify(&self.cfg.registry, q)
+                    || !self.qc_verified(&entry.qc)
                 {
                     self.rejected += 1;
                     return;
@@ -1218,7 +1265,7 @@ impl PbftInstance {
                     if e.qc.digest != e.digest
                         || e.qc.rank != e.rank
                         || e.qc.round != e.round
-                        || !e.qc.verify(&self.cfg.registry, q)
+                        || !self.qc_verified(&e.qc)
                     {
                         self.rejected += 1;
                         return;
@@ -1433,7 +1480,7 @@ impl PbftInstance {
             || qc.digest != h.payload_digest
             || qc.rank != h.rank
             || digest_batch(&block.batch) != h.payload_digest
-            || !qc.verify(&self.cfg.registry, self.cfg.quorum())
+            || !self.qc_verified(&qc)
         {
             self.rejected += 1;
             return out;

@@ -601,6 +601,43 @@ fn install_committed_is_idempotent() {
 }
 
 #[test]
+fn repeated_certificates_verify_once_via_cache() {
+    // The same QuorumCert arriving twice (e.g. a sync entry re-served
+    // across probes) must pay the aggregate verification once: the
+    // second arrival is a verified-cert cache hit, with zero signature
+    // work and a `qc_verify_hits` count to show for it.
+    let mut c = Cluster::new(4, RankMode::Plain, 1000);
+    c.propose_and_run(0, test_batch(0, 5));
+    let (block, qc) = c.nodes[0].committed_entries_from(Round(0), 1)[0].clone();
+    let mut fresh = c.fresh_instance(3);
+    let mut cur = ladon_crypto::RankCert::genesis(Rank(0));
+    let before = ladon_crypto::CryptoCounters::snapshot();
+    fresh.install_committed(
+        block.clone(),
+        qc.clone(),
+        ladon_types::TimeNs::ZERO,
+        &mut cur,
+    );
+    let mid = ladon_crypto::CryptoCounters::snapshot();
+    assert_eq!(
+        mid.qc_verify_hits, before.qc_verify_hits,
+        "the first arrival verifies in full"
+    );
+    fresh.install_committed(block, qc, ladon_types::TimeNs::ZERO, &mut cur);
+    let after = ladon_crypto::CryptoCounters::snapshot();
+    assert_eq!(
+        after.qc_verify_hits,
+        mid.qc_verify_hits + 1,
+        "an identical cert must hit the cache"
+    );
+    assert_eq!(
+        after.verifies, mid.verifies,
+        "no signature verification on the cached path"
+    );
+    assert_eq!(after.agg_verifies, mid.agg_verifies);
+}
+
+#[test]
 fn install_committed_abandons_lone_view_change() {
     // Replica 1 times out on round 2 alone (no one else joins), wedging
     // itself in an incompletable view change; installing the committed

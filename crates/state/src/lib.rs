@@ -38,9 +38,10 @@ pub mod wal;
 pub use kv::{
     lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, DEFAULT_KEYSPACE, MERKLE_LANES,
 };
-pub use pipeline::{static_lane_mask, ExecOutcome, ExecutionPipeline, ReplayStats};
+pub use pipeline::{static_lane_mask, ExecOutcome, ExecSchedStats, ExecutionPipeline, ReplayStats};
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use wal::{
-    decode_records, group_of_lane, CommitWal, FileBackend, MemBackend, SegmentMeta, WalBackend,
-    WalIoStats, WalLoadStats, WalOptions, WalRecord, ENCODED_RECORD_LEN,
+    decode_records, decode_segment, group_of_lane, CommitWal, FileBackend, MemBackend,
+    SegmentDecode, SegmentMeta, WalBackend, WalIoStats, WalLoadStats, WalOptions, WalRecord,
+    ENCODED_RECORD_LEN, TRAILER_LEN,
 };

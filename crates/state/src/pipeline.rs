@@ -4,11 +4,13 @@
 //! For every confirmed block it (1) appends a [`WalRecord`] to the commit
 //! log, then (2) applies the block's derived transaction ops to the
 //! sharded KV state — WAL-before-apply, so a crash between the two
-//! replays the block on recovery instead of losing it. Application fans
-//! out across the fixed Merkle lanes with `exec_lanes` parallel workers
-//! (see [`crate::kv`]); the pipeline also keeps a per-lane ledger of how
-//! many ops each WAL record routed where and which `sn` last dirtied
-//! each lane. At every epoch checkpoint it captures a [`Snapshot`],
+//! replays the block on recovery instead of losing it. Application runs
+//! through the deterministic wave-scheduled dependency DAG over the
+//! fixed Merkle lanes with `exec_lanes` parallel workers (see
+//! [`crate::kv`]); a whole staged drain executes as one batch-wide DAG,
+//! so ops from independent blocks overlap in the same waves. The
+//! pipeline also keeps a per-lane ledger of how many ops each WAL
+//! record routed where and which `sn` last dirtied each lane. At every epoch checkpoint it captures a [`Snapshot`],
 //! compacts the WAL behind it, and returns the snapshot's manifest root —
 //! covering the execution position, frontier, and the ordered lane-root
 //! vector — which the checkpoint quorum signs. Checkpoint root cost is
@@ -30,7 +32,7 @@
 //! crash-recovery example and the WAL-replay property test assert
 //! exactly this.
 
-use crate::kv::{lane_of, ExecEffects, KvState, DEFAULT_EXEC_LANES, MERKLE_LANES};
+use crate::kv::{lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, MERKLE_LANES};
 use crate::snapshot::{Snapshot, SnapshotStore};
 use crate::wal::{CommitWal, FileBackend, WalBackend, WalLoadStats, WalOptions, WalRecord};
 use ladon_types::{Block, Digest, TxOp};
@@ -74,8 +76,18 @@ pub struct ReplayStats {
     /// Records dropped at load because the snapshot already covered them
     /// (straddling segments keep covered records until compaction).
     pub records_below_floor: u64,
-    /// Records dropped from torn/corrupt segment tails.
+    /// Records dropped from torn/corrupt segment tails (streams that did
+    /// not end at a batch-trailer acknowledgement boundary — genuinely
+    /// acknowledged loss).
     pub records_torn: u64,
+    /// Manifest-counted records missing from segments whose streams end
+    /// cleanly at a batch trailer: a never-acknowledged suffix (e.g. a
+    /// failed write that already alarmed), distinguished from torn loss
+    /// by the trailer.
+    pub records_unacked_lost: u64,
+    /// Scanned segments whose stream ended exactly at a batch trailer (a
+    /// clean end of log).
+    pub segments_clean_end: u64,
     /// True when the WAL manifest existed but was undecodable and the
     /// live set was rebuilt by scanning storage (no data lost, but the
     /// segment-skip optimization was unavailable for this open).
@@ -99,6 +111,8 @@ impl ReplayStats {
             segments_skipped: load.segments_skipped,
             records_below_floor: load.records_below_floor,
             records_torn: load.records_torn,
+            records_unacked_lost: load.records_unacked_lost,
+            segments_clean_end: load.segments_clean_end,
             manifest_recovered: load.manifest_recovered,
             records_per_lane: vec![0; MERKLE_LANES as usize],
             ..Self::default()
@@ -109,6 +123,29 @@ impl ReplayStats {
     pub fn dirty_lanes(&self) -> u32 {
         self.replayed_lane_mask.count_ones()
     }
+}
+
+/// Cumulative wave-scheduler accounting across every batch the pipeline
+/// executed (live drains and recovery replay alike) — the cost surface
+/// of the dependency-DAG executor, mirrored into `NodeMetrics` and the
+/// aggregated `Report`. All counts are deterministic: the schedule is a
+/// pure function of the ops' static lane access sets, never of worker
+/// count or timing (`fig_exec_dag` gates exactly this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecSchedStats {
+    /// Batches scheduled (one per flush of the staged drain, one per
+    /// replayed record during recovery).
+    pub batches: u64,
+    /// Topological waves executed, summed over batches.
+    pub waves: u64,
+    /// Ops scheduled, summed over batches (`scheduled_ops / waves` is
+    /// the mean exploitable parallelism per wave).
+    pub scheduled_ops: u64,
+    /// Cross-lane dependency edges observed (see
+    /// [`crate::kv::BatchOutcome::cross_lane_edges`]).
+    pub cross_lane_edges: u64,
+    /// Ops in the fullest single wave seen.
+    pub max_wave_ops: u32,
 }
 
 /// The static lane-routing mask of a block's derived ops: bit `l` set
@@ -138,8 +175,14 @@ pub struct ExecutionPipeline {
     store: SnapshotStore,
     /// Confirmed blocks applied so far; the next expected `sn`.
     applied: u64,
-    /// Cumulative transactions executed.
+    /// Cumulative transactions executed (consensus position: restored
+    /// from snapshots, advanced by every applied block).
     executed_txs: u64,
+    /// Transactions executed by THIS pipeline's apply path — live
+    /// drains plus recovery replay — excluding totals inherited from a
+    /// restored or installed snapshot. The per-process work counter the
+    /// node's metrics mirror.
+    local_txs: u64,
     /// Cumulative operation effects.
     effects: ExecEffects,
     /// Accounts in the derived-op key space.
@@ -157,6 +200,12 @@ pub struct ExecutionPipeline {
     /// segment routing, is recorded in every snapshot's
     /// `lane_covered_sn`, and is restored from it on recovery.
     lane_last_sn: Vec<Option<u64>>,
+    /// Blocks staged (WAL record buffered, ops derived) but not yet
+    /// flushed + applied — the cross-drain group-commit accumulator.
+    /// Staged blocks are unacknowledged: a crash loses exactly them.
+    staged: Vec<(u64, Vec<TxOp>)>,
+    /// Cumulative wave-scheduler accounting.
+    sched: ExecSchedStats,
     /// What the last rebuild replayed (all zeros for fresh pipelines).
     recovery: ReplayStats,
 }
@@ -186,11 +235,14 @@ impl ExecutionPipeline {
             store: SnapshotStore::in_memory(),
             applied: 0,
             executed_txs: 0,
+            local_txs: 0,
             effects: ExecEffects::default(),
             keyspace,
             exec_lanes,
             lane_ops: vec![0; MERKLE_LANES as usize],
             lane_last_sn: vec![None; MERKLE_LANES as usize],
+            staged: Vec::new(),
+            sched: ExecSchedStats::default(),
             recovery: ReplayStats::default(),
         }
     }
@@ -362,99 +414,163 @@ impl ExecutionPipeline {
         )
     }
 
-    /// Executes confirmed block `sn`. Blocks must arrive in dense global
-    /// order; anything at or below the applied frontier is skipped (the
-    /// snapshot already covers it), and anything above the next expected
-    /// `sn` is refused as a [`ExecOutcome::Gap`] — in release builds too,
-    /// since applying it at the wrong position would corrupt the root
-    /// with no error signal.
+    /// Executes confirmed block `sn` immediately (stage + flush as a
+    /// batch of one). Blocks must arrive in dense global order; anything
+    /// at or below the staged/applied frontier is skipped (the snapshot
+    /// already covers it), and anything above the next expected `sn` is
+    /// refused as a [`ExecOutcome::Gap`] — in release builds too, since
+    /// applying it at the wrong position would corrupt the root with no
+    /// error signal.
     pub fn execute(&mut self, sn: u64, block: &Block) -> ExecOutcome {
-        if sn < self.applied {
-            return ExecOutcome::Skipped;
-        }
-        if sn > self.applied {
-            return ExecOutcome::Gap {
-                expected: self.applied,
-            };
-        }
-        // Derive the ops once: their static lane mask routes the WAL
-        // record to per-lane-group segments, and the same vector then
-        // feeds the apply.
-        let ops: Vec<TxOp> = block.batch.txs(self.keyspace).map(|tx| tx.op).collect();
-        // WAL first: a crash after this point replays the block.
-        self.wal
-            .append(WalRecord::of_block(sn, block, static_lane_mask(&ops)));
-        let txs = self.apply_ops(sn, &ops);
-        self.applied = sn + 1;
-        ExecOutcome::Applied { txs }
-    }
-
-    /// Executes a drained run of confirmed blocks through **one WAL
-    /// group-commit barrier**: every applicable block's record is staged
-    /// first, one flush makes the whole batch durable (one fsync per
-    /// touched lane group, not per record), and only after the barrier
-    /// returns are the blocks applied to state — WAL-before-apply,
-    /// preserved at batch granularity. Durability semantics are exactly
-    /// [`Self::execute`]'s: a crash before the flush loses only the
-    /// staged (never-acknowledged) records, and recovery replays a
-    /// batched log byte-identically to a per-record one.
-    ///
-    /// Outcomes are index-aligned with `blocks`, with the same per-block
-    /// skip/gap discipline as [`Self::execute`] (a gap refuses the block
-    /// and everything stays unapplied at its position).
-    pub fn execute_batch(&mut self, blocks: &[(u64, Block)]) -> Vec<ExecOutcome> {
-        let mut out = Vec::with_capacity(blocks.len());
-        let mut staged: Vec<(u64, Vec<TxOp>)> = Vec::with_capacity(blocks.len());
-        let mut expect = self.applied;
-        for (sn, block) in blocks {
-            if *sn < expect {
-                out.push(ExecOutcome::Skipped);
-                continue;
-            }
-            if *sn > expect {
-                out.push(ExecOutcome::Gap { expected: expect });
-                continue;
-            }
-            let ops: Vec<TxOp> = block.batch.txs(self.keyspace).map(|tx| tx.op).collect();
-            self.wal
-                .append_buffered(WalRecord::of_block(*sn, block, static_lane_mask(&ops)));
-            out.push(ExecOutcome::Applied {
-                txs: ops.len() as u64,
-            });
-            staged.push((*sn, ops));
-            expect = *sn + 1;
-        }
-        // The batch's durability barrier; nothing has touched state yet.
-        self.wal.flush();
-        for (sn, ops) in &staged {
-            self.apply_ops(*sn, ops);
-            self.applied = sn + 1;
-        }
+        let out = self.stage_block(sn, block);
+        self.flush_staged();
         out
     }
 
-    /// Applies one block's derived ops across the Merkle lanes (parallel
-    /// when the batch is large enough) and accounts the routed ops to
-    /// each lane against the block's WAL `sn`.
+    /// Executes a drained run of confirmed blocks through **one WAL
+    /// group-commit barrier**: [`Self::stage_blocks`] followed by
+    /// [`Self::flush_staged`]. Callers that want to amortize further —
+    /// accumulate staged records across several confirmed-queue drains
+    /// and flush on a size threshold (`SystemConfig::wal_flush_max_records`)
+    /// — call the two halves themselves.
+    ///
+    /// Outcomes are index-aligned with `blocks`, with the same per-block
+    /// skip/gap discipline as [`Self::execute`] (a gap refuses the block
+    /// and everything stays unstaged at its position).
+    pub fn execute_batch(&mut self, blocks: &[(u64, Block)]) -> Vec<ExecOutcome> {
+        let out = self.stage_blocks(blocks);
+        self.flush_staged();
+        out
+    }
+
+    /// Stages a drained run of confirmed blocks: each applicable block's
+    /// WAL record is buffered (no backend I/O) and its derived ops are
+    /// queued for the next [`Self::flush_staged`]. Staged blocks are
+    /// **unacknowledged and unapplied** — a crash before the flush loses
+    /// exactly them, and neither [`Self::applied`] nor the state root
+    /// moves until the flush.
+    pub fn stage_blocks(&mut self, blocks: &[(u64, Block)]) -> Vec<ExecOutcome> {
+        blocks
+            .iter()
+            .map(|(sn, block)| self.stage_block(*sn, block))
+            .collect()
+    }
+
+    /// Stages one block (see [`Self::stage_blocks`]).
+    fn stage_block(&mut self, sn: u64, block: &Block) -> ExecOutcome {
+        let next = self.next_sn();
+        if sn < next {
+            return ExecOutcome::Skipped;
+        }
+        if sn > next {
+            return ExecOutcome::Gap { expected: next };
+        }
+        // Derive the ops once: their static lane mask routes the WAL
+        // record to per-lane-group segments, and the same vector then
+        // feeds the apply at flush time.
+        let ops: Vec<TxOp> = block.batch.txs(self.keyspace).map(|tx| tx.op).collect();
+        self.wal
+            .append_buffered(WalRecord::of_block(sn, block, static_lane_mask(&ops)));
+        let txs = ops.len() as u64;
+        self.staged.push((sn, ops));
+        ExecOutcome::Applied { txs }
+    }
+
+    /// The durability + apply barrier for everything staged: one WAL
+    /// flush makes every staged record durable (one fsync per touched
+    /// lane group, however many drains accumulated), then the staged
+    /// blocks' ops execute as **one batch-wide dependency DAG** — ops
+    /// from independent blocks overlap in the same waves; conflicting
+    /// ops keep block order — and the per-block ledger advances.
+    /// WAL-before-apply, preserved at accumulated-batch granularity: a
+    /// crash before the flush loses only staged (never-acknowledged)
+    /// blocks, and recovery replays a batched log byte-identically to a
+    /// per-record one (the DAG is sequentially equivalent, so replaying
+    /// record by record reproduces the same state).
+    pub fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        self.wal.flush();
+        let staged = std::mem::take(&mut self.staged);
+        let total: usize = staged.iter().map(|(_, ops)| ops.len()).sum();
+        let mut flat: Vec<TxOp> = Vec::with_capacity(total);
+        for (_, ops) in &staged {
+            flat.extend_from_slice(ops);
+        }
+        let out = self.kv.apply_batch(&flat);
+        self.absorb_outcome(&out);
+        for (sn, ops) in &staged {
+            self.account_block(*sn, ops);
+            self.applied = sn + 1;
+        }
+    }
+
+    /// Blocks staged but not yet flushed — the size the cross-drain
+    /// flush policy thresholds on. Unacknowledged: a crash right now
+    /// loses exactly these.
+    pub fn staged_records(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// The next `sn` the pipeline will accept (dense-order frontier over
+    /// applied + staged blocks).
+    pub fn next_sn(&self) -> u64 {
+        self.staged.last().map_or(self.applied, |(sn, _)| sn + 1)
+    }
+
+    /// Applies one block's derived ops through the wave executor
+    /// immediately (the recovery-replay path) and accounts it to the
+    /// per-lane ledger.
     fn apply_ops(&mut self, sn: u64, ops: &[TxOp]) -> u64 {
         let out = self.kv.apply_batch(ops);
+        self.absorb_outcome(&out);
+        self.account_block(sn, ops);
+        ops.len() as u64
+    }
+
+    /// Folds a batch outcome into the cumulative effect and scheduler
+    /// accounting.
+    fn absorb_outcome(&mut self, out: &BatchOutcome) {
         self.effects.absorb(out.effects);
-        // A lane is dirtied by phase-1 ops *or* phase-2 cross-lane
-        // credits — a block whose only effect on a lane is a credit still
-        // changes that lane's root.
-        for (lane, (&count, &credits)) in out
-            .ops_per_lane
-            .iter()
-            .zip(&out.credits_per_lane)
-            .enumerate()
-        {
-            self.lane_ops[lane] += count as u64;
-            if count > 0 || credits > 0 {
-                self.lane_last_sn[lane] = Some(sn);
+        self.sched.batches += 1;
+        self.sched.waves += out.waves as u64;
+        self.sched.scheduled_ops += out.effects.total();
+        self.sched.cross_lane_edges += out.cross_lane_edges;
+        self.sched.max_wave_ops = self.sched.max_wave_ops.max(out.max_wave_ops);
+    }
+
+    /// Accounts one block to the per-lane ledger from its ops' *static*
+    /// access sets: every op counts at its primary lane, and every lane
+    /// in the block's static mask is marked dirtied by `sn`. The mask is
+    /// a conservative superset of the lanes the block actually wrote
+    /// (e.g. an empty transfer still marks its credit lane) — exactly
+    /// the superset the WAL already routed the record by, so ledger and
+    /// storage agree.
+    fn account_block(&mut self, sn: u64, ops: &[TxOp]) {
+        let mut mask = 0u64;
+        for op in ops {
+            match *op {
+                TxOp::Put { key, .. } | TxOp::Get { key } => {
+                    let lane = lane_of(key);
+                    self.lane_ops[lane] += 1;
+                    mask |= 1 << lane;
+                }
+                TxOp::Transfer { from, to, .. } => {
+                    let lane = lane_of(from);
+                    self.lane_ops[lane] += 1;
+                    mask |= 1 << lane;
+                    mask |= 1 << lane_of(to);
+                }
             }
         }
+        while mask != 0 {
+            let lane = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.lane_last_sn[lane] = Some(sn);
+        }
         self.executed_txs += ops.len() as u64;
-        ops.len() as u64
+        self.local_txs += ops.len() as u64;
     }
 
     /// Epoch checkpoint: captures a snapshot of the current state, compacts
@@ -465,6 +581,10 @@ impl ExecutionPipeline {
     /// vector when it is not (state-only snapshot, see
     /// [`crate::snapshot::Snapshot::frontier`]).
     pub fn checkpoint(&mut self, epoch: u64, frontier: Vec<u64>) -> Digest {
+        // Drain any cross-drain accumulation first: the snapshot must
+        // cover every confirmed block, and compaction may not outrun
+        // staged records.
+        self.flush_staged();
         let lane_covered_sn: Vec<u64> = self
             .lane_last_sn
             .iter()
@@ -493,6 +613,10 @@ impl ExecutionPipeline {
     /// must have authenticated the root against a quorum-signed stable
     /// checkpoint; this method re-checks only content consistency.
     pub fn install_snapshot(&mut self, snap: &Snapshot) -> bool {
+        // Staged blocks must settle before the frontier jumps: flushing
+        // first keeps the WAL's dense-sn invariant (their records are
+        // already buffered) and is a no-op when nothing is staged.
+        self.flush_staged();
         if snap.applied <= self.applied || !snap.verify() {
             return false;
         }
@@ -545,9 +669,18 @@ impl ExecutionPipeline {
         self.applied
     }
 
-    /// Cumulative executed transactions.
+    /// Cumulative executed transactions at the consensus position
+    /// (includes totals inherited from restored/installed snapshots).
     pub fn executed_txs(&self) -> u64 {
         self.executed_txs
+    }
+
+    /// Transactions executed by this pipeline instance's own apply path
+    /// (live drains + recovery replay) — excludes snapshot-inherited
+    /// totals, so it counts work this process actually performed and
+    /// always equals the per-lane ledger's op sum.
+    pub fn locally_executed_txs(&self) -> u64 {
+        self.local_txs
     }
 
     /// Cumulative operation effects.
@@ -575,6 +708,13 @@ impl ExecutionPipeline {
     /// replayed. All zeros for a pipeline that started fresh.
     pub fn recovery_stats(&self) -> &ReplayStats {
         &self.recovery
+    }
+
+    /// Cumulative wave-scheduler accounting across every executed batch
+    /// (waves, ops, cross-lane dependency edges) — deterministic and
+    /// worker-count invariant.
+    pub fn sched_stats(&self) -> ExecSchedStats {
+        self.sched
     }
 
     /// Failed durable writes (WAL appends/compactions that did not reach
@@ -737,6 +877,63 @@ mod tests {
         let out = p.execute_batch(&[(0, block(0, 0, 50))]);
         assert_eq!(out, vec![ExecOutcome::Skipped]);
         assert_eq!(p.wal_io_stats(), before);
+    }
+
+    #[test]
+    fn staged_blocks_defer_apply_until_flush() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut p, 0, 2);
+        let root_before = p.state_root();
+        // Two confirmed-queue drains accumulate without a flush: staged,
+        // unacknowledged, unapplied.
+        let out = p.stage_blocks(&[(2, block(2, 100, 50)), (3, block(3, 150, 50))]);
+        assert_eq!(out, vec![ExecOutcome::Applied { txs: 50 }; 2]);
+        p.stage_blocks(&[(4, block(4, 200, 50))]);
+        assert_eq!(p.staged_records(), 3);
+        assert_eq!(p.next_sn(), 5);
+        assert_eq!(p.applied(), 2, "staged blocks must not apply");
+        assert_eq!(p.state_root(), root_before);
+        assert_eq!(p.wal_len(), 2, "staged records must not be acknowledged");
+        // The flush applies everything as one batch-wide DAG.
+        p.flush_staged();
+        assert_eq!(p.applied(), 5);
+        assert_eq!(p.staged_records(), 0);
+        assert_eq!(p.wal_len(), 5);
+        // Identical to per-block execution.
+        let mut reference = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut reference, 0, 5);
+        assert_eq!(p.state_root(), reference.state_root());
+        assert_eq!(p.executed_txs(), reference.executed_txs());
+    }
+
+    #[test]
+    fn checkpoint_drains_staged_blocks_first() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut p, 0, 3);
+        p.stage_blocks(&[(3, block(3, 150, 50)), (4, block(4, 200, 50))]);
+        let root = p.checkpoint(0, Vec::new());
+        assert_eq!(p.applied(), 5, "checkpoint must cover staged blocks");
+        assert_eq!(p.staged_records(), 0);
+        let snap = p.latest_snapshot().unwrap();
+        assert_eq!(snap.applied, 5);
+        assert_eq!(snap.root, root);
+        assert_eq!(p.wal_len(), 0, "compaction follows the drained flush");
+    }
+
+    #[test]
+    fn sched_stats_accumulate_per_flush() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        let s0 = p.sched_stats();
+        assert_eq!(s0, ExecSchedStats::default());
+        // One accumulated two-drain flush = ONE batch-wide DAG.
+        p.stage_blocks(&[(0, block(0, 0, 50))]);
+        p.stage_blocks(&[(1, block(1, 50, 50))]);
+        p.flush_staged();
+        let s1 = p.sched_stats();
+        assert_eq!(s1.batches, 1, "one flush = one scheduled batch");
+        assert_eq!(s1.scheduled_ops, 100);
+        assert!(s1.waves >= 1);
+        assert!(s1.max_wave_ops >= 1);
     }
 
     #[test]

@@ -36,7 +36,17 @@ use std::path::{Path, PathBuf};
 /// they are rejected at decode instead, and a restarting replica falls
 /// back to peer sync rather than trusting a stale-format artifact.
 /// (v4 itself added the per-lane covered-sn vector to the manifest.)
-const SNAP_VERSION: u8 = 5;
+///
+/// v6 marks the wave-scheduled executor's **semantics change** (PR 5):
+/// execution is now read-your-writes — a same-block op observes earlier
+/// cross-lane credits the old two-phase scheme deferred — so replaying
+/// a WAL tail on top of a v5 (old-executor) snapshot would produce a
+/// root that matches *neither* the pre-crash state nor an upgraded
+/// cluster's re-execution, silently diverging from the quorum-signed
+/// checkpoints. The wire layout is unchanged; v5 is rejected at decode
+/// (same precedent as v4→v5) so a restarting replica falls back to
+/// peer sync instead of mixing executor generations in one history.
+const SNAP_VERSION: u8 = 6;
 
 /// Computes the attested manifest root: a digest over the snapshot's
 /// complete manifest — epoch, execution position, consensus frontier, and

@@ -62,6 +62,18 @@
 //! boundary). [`CommitWal::append`] remains as the batch-of-one
 //! composition of the two.
 //!
+//! Every contiguous run a flush appends (and every compaction rewrite)
+//! is closed by a checksummed **batch trailer** ([`TRAILER_LEN`] bytes:
+//! marker + segment record count + FNV), so a segment's byte stream
+//! ends at an *acknowledgement boundary* after every clean flush.
+//! Recovery uses it to classify damage ([`SegmentDecode`]): a stream
+//! that ends exactly at a trailer is a **clean end of log** — a
+//! manifest-count shortfall there can only be a suffix that was never
+//! durably appended as part of an acknowledged batch
+//! (`records_unacked_lost`, e.g. a failed write that already raised the
+//! durability alarm) — while a stream that tears mid-record or
+//! mid-batch reports genuinely acknowledged loss (`records_torn`).
+//!
 //! Storage is pluggable behind [`WalBackend`]: [`MemBackend`] keeps the
 //! segment set in memory (simulation, tests), [`FileBackend`] maps it
 //! onto a directory of `wal-g*-*.seg` files, holding one cached open
@@ -91,6 +103,34 @@ const BODY_LEN: usize = 1 + 8 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8 + 32;
 /// checksum) — what lets a staged batch be split across a segment roll
 /// without re-encoding.
 pub const ENCODED_RECORD_LEN: usize = 4 + BODY_LEN + 8;
+
+/// Length-prefix sentinel opening a **batch trailer** (can never collide
+/// with a record's `BODY_LEN` prefix).
+const TRAILER_MARK: u32 = u32::MAX;
+
+/// Encoded batch-trailer size: marker + segment record count + checksum.
+/// A trailer closes every contiguous run a flush appends to a segment,
+/// so a segment stream that ends exactly at a trailer ends at an
+/// **acknowledgement boundary** — recovery reads that as "clean end of
+/// log", while a stream ending mid-record or mid-batch reads as a torn
+/// in-flight write (see [`SegmentDecode`]).
+pub const TRAILER_LEN: usize = 4 + 4 + 8;
+
+/// The encoded batch trailer claiming `count` records now in the
+/// segment.
+fn trailer_bytes(count: u32) -> [u8; TRAILER_LEN] {
+    let mut out = [0u8; TRAILER_LEN];
+    out[0..4].copy_from_slice(&TRAILER_MARK.to_le_bytes());
+    out[4..8].copy_from_slice(&count.to_le_bytes());
+    let sum = Fnv64::new().write(&out[0..8]).finish();
+    out[8..16].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Appends a batch trailer claiming `count` records now in the segment.
+fn encode_trailer(count: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&trailer_bytes(count));
+}
 
 /// Manifest format version (first byte of the manifest file).
 const MANIFEST_VERSION: u8 = 1;
@@ -278,30 +318,82 @@ impl WalRecord {
     }
 }
 
-/// Decodes every intact record in `bytes`, stopping at the first torn or
-/// corrupt entry (everything after a bad checksum is untrusted).
-pub fn decode_records(bytes: &[u8]) -> Vec<WalRecord> {
-    let mut out = Vec::new();
+/// What decoding one segment stream yielded: the intact records plus the
+/// acknowledgement-boundary classification the batch trailers provide.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentDecode {
+    /// Every intact record, in stream order (trailers skipped).
+    pub records: Vec<WalRecord>,
+    /// The record count claimed by the last intact trailer (0 when the
+    /// stream holds none).
+    pub last_trailer_count: u32,
+    /// True when the stream was consumed completely and ended exactly at
+    /// a trailer (or was empty): a **clean end of log** — every byte
+    /// after the last acknowledged batch is accounted for. False means
+    /// the stream tore mid-record or mid-batch (a crashed in-flight
+    /// write, or corruption).
+    pub clean_end: bool,
+}
+
+/// Decodes a segment stream: every intact record, stopping at the first
+/// torn or corrupt entry (everything after a bad checksum is untrusted),
+/// while tracking the batch-trailer acknowledgement boundaries.
+pub fn decode_segment(bytes: &[u8]) -> SegmentDecode {
+    let mut out = SegmentDecode {
+        clean_end: true, // an empty stream is clean
+        ..SegmentDecode::default()
+    };
     let mut at = 0usize;
+    let mut at_boundary = true;
     while at + 4 <= bytes.len() {
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        if len == TRAILER_MARK {
+            if at + TRAILER_LEN > bytes.len() {
+                at_boundary = false;
+                break; // torn trailer
+            }
+            let expect = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+            if Fnv64::new().write(&bytes[at..at + 8]).finish() != expect {
+                at_boundary = false;
+                break; // corrupt trailer: stop trusting the tail
+            }
+            out.last_trailer_count = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            at += TRAILER_LEN;
+            at_boundary = true;
+            continue;
+        }
+        let len = len as usize;
         let body_start = at + 4;
         let sum_start = body_start + len;
         if len != BODY_LEN || sum_start + 8 > bytes.len() {
+            at_boundary = false;
             break; // torn tail
         }
         let body = &bytes[body_start..sum_start];
         let expect = u64::from_le_bytes(bytes[sum_start..sum_start + 8].try_into().unwrap());
         if Fnv64::new().write(body).finish() != expect {
+            at_boundary = false;
             break; // corrupt record: stop trusting the tail
         }
         match WalRecord::decode(body) {
-            Some(r) => out.push(r),
-            None => break,
+            Some(r) => out.records.push(r),
+            None => {
+                at_boundary = false;
+                break;
+            }
         }
         at = sum_start + 8;
+        at_boundary = false; // a record not yet closed by its trailer
     }
+    out.clean_end = at == bytes.len() && at_boundary;
     out
+}
+
+/// Decodes every intact record in `bytes` (trailer bookkeeping
+/// discarded; also accepts trailer-free flat streams like
+/// [`CommitWal::to_bytes`]).
+pub fn decode_records(bytes: &[u8]) -> Vec<WalRecord> {
+    decode_segment(bytes).records
 }
 
 // ---------------------------------------------------------------------
@@ -495,11 +587,21 @@ pub struct WalIoStats {
 /// returns `true` — the fsync barrier group commit amortizes over a
 /// whole batch of appends.
 pub trait WalBackend: Send {
-    /// Stages `bytes` at the end of segment `seq` of `group`, creating
-    /// the file if absent. **Not durable** until the group's next
-    /// [`Self::sync_group`] — a crash before the barrier may lose the
-    /// staged suffix (it reads back as a torn tail).
-    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool;
+    /// Stages one run — `records` followed by its closing batch
+    /// `trailer` — at the end of segment `seq` of `group`, creating the
+    /// file if absent. Two slices so the (large) record bytes stream
+    /// straight from the flush's staging buffer with no concatenation
+    /// copy; backends write them back-to-back as one logical append.
+    /// **Not durable** until the group's next [`Self::sync_group`] — a
+    /// crash before the barrier may lose the staged suffix (it reads
+    /// back as a torn tail).
+    fn append_segment_batch(
+        &mut self,
+        group: u32,
+        seq: u64,
+        records: &[u8],
+        trailer: &[u8],
+    ) -> bool;
     /// Durability barrier: forces every staged append in `group` to
     /// stable storage. One fsync per touched group per flushed batch —
     /// the whole point of group commit.
@@ -545,7 +647,13 @@ pub struct MemBackend {
 }
 
 impl WalBackend for MemBackend {
-    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+    fn append_segment_batch(
+        &mut self,
+        group: u32,
+        seq: u64,
+        records: &[u8],
+        trailer: &[u8],
+    ) -> bool {
         if self.append_target.get(&group) != Some(&seq) {
             // Model the roll's sync-before-evict: a dirty previous
             // target is synced before its handle is dropped.
@@ -553,12 +661,11 @@ impl WalBackend for MemBackend {
             self.append_target.insert(group, seq);
             self.stats.segment_opens += 1;
         }
-        self.segments
-            .entry((group, seq))
-            .or_default()
-            .extend_from_slice(bytes);
+        let seg = self.segments.entry((group, seq)).or_default();
+        seg.extend_from_slice(records);
+        seg.extend_from_slice(trailer);
         self.stats.appends += 1;
-        self.stats.bytes_written += bytes.len() as u64;
+        self.stats.bytes_written += (records.len() + trailer.len()) as u64;
         self.dirty_groups.insert(group);
         true
     }
@@ -674,7 +781,13 @@ impl FileBackend {
 }
 
 impl WalBackend for FileBackend {
-    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+    fn append_segment_batch(
+        &mut self,
+        group: u32,
+        seq: u64,
+        records: &[u8],
+        trailer: &[u8],
+    ) -> bool {
         // A different seq means the group rolled: the previous active
         // sealed. Its staged bytes must be durable before the handle is
         // dropped, or a "clean" flush could still lose them.
@@ -705,11 +818,19 @@ impl WalBackend for FileBackend {
             }
         }
         let h = self.active.get_mut(&group).expect("just inserted");
-        match h.file.write_all(bytes) {
+        // Two writes on the cached handle, zero concatenation copies:
+        // the record bytes stream straight from the staging buffer. A
+        // torn boundary between the two is indistinguishable from any
+        // other mid-run tear and is handled identically on load.
+        match h
+            .file
+            .write_all(records)
+            .and_then(|()| h.file.write_all(trailer))
+        {
             Ok(()) => {
                 h.dirty = true;
                 self.stats.appends += 1;
-                self.stats.bytes_written += bytes.len() as u64;
+                self.stats.bytes_written += (records.len() + trailer.len()) as u64;
                 true
             }
             Err(_) => false,
@@ -842,11 +963,23 @@ pub struct WalLoadStats {
     /// Records discarded because they sat below the floor (straddling
     /// segments keep covered records on disk until compaction).
     pub records_below_floor: u64,
-    /// Records dropped from a torn or corrupt segment tail, summed over
-    /// the scanned segments against the manifest's last-published count
-    /// (a lower bound of what was durably appended; duplicates in other
-    /// groups may still have recovered the records).
+    /// Records lost from a segment whose stream **tore mid-batch** (did
+    /// not end at a batch trailer), measured against the manifest's
+    /// last-published count (a lower bound of what was durably appended;
+    /// duplicates in other groups may still have recovered the records).
     pub records_torn: u64,
+    /// Manifest-counted records missing from a segment whose stream ends
+    /// **cleanly at a batch trailer**: every acknowledged batch is fully
+    /// present, so the shortfall is a suffix that was absorbed into the
+    /// metadata but never durably appended as part of an acknowledged
+    /// batch (e.g. a failed write that already raised the durability
+    /// alarm) — never-acknowledged records, no longer miscounted as
+    /// torn.
+    pub records_unacked_lost: u64,
+    /// Scanned segments whose stream ended exactly at a batch trailer —
+    /// a clean end of log (normal shutdown, or a crash strictly between
+    /// batch flushes).
+    pub segments_clean_end: u64,
     /// True when a manifest file existed but failed to decode, and the
     /// live set was rebuilt by scanning every segment on disk. Data is
     /// preserved (nothing is swept as an orphan in this mode), but the
@@ -983,15 +1116,28 @@ impl CommitWal {
             let bytes = backend
                 .read_segment(meta.group, meta.seq)
                 .unwrap_or_default();
-            let decoded = decode_records(&bytes);
+            let dec = decode_segment(&bytes);
+            if dec.clean_end {
+                stats.segments_clean_end += 1;
+            }
             // The manifest's last-published count is a lower bound of
             // what was durably appended — for active segments too (their
             // count is published at creation and at compaction rewrite).
-            // Decoding fewer means a definite torn/corrupt loss in this
-            // chain. Not meaningful in manifest-recovery mode, where the
-            // counts above are fabricated.
+            // Decoding fewer means records are missing from this chain;
+            // the batch trailer says which kind: a stream that ends
+            // cleanly at a trailer lost only a suffix that was never
+            // part of an acknowledged batch (a failed write that already
+            // alarmed), while a mid-batch tear is a genuine torn loss.
+            // Not meaningful in manifest-recovery mode, where the counts
+            // above are fabricated.
+            let decoded = dec.records;
             if !stats.manifest_recovered && (decoded.len() as u32) < meta.records {
-                stats.records_torn += (meta.records - decoded.len() as u32) as u64;
+                let shortfall = (meta.records - decoded.len() as u32) as u64;
+                if dec.clean_end {
+                    stats.records_unacked_lost += shortfall;
+                } else {
+                    stats.records_torn += shortfall;
+                }
             }
             let mut fresh = SegmentMeta::fresh(meta.group, meta.seq);
             fresh.sealed = meta.sealed;
@@ -1195,11 +1341,18 @@ impl CommitWal {
                 }
                 // Fixed-size encodings make the batch splittable at any
                 // record boundary without re-encoding: one contiguous
-                // byte range per (segment, run).
+                // byte range per (segment, run) straight from the
+                // staging buffer (no concatenation copy), closed by the
+                // run's batch trailer so the on-disk stream ends at an
+                // acknowledgement boundary after every flush.
                 let take = room.min(recs.len() - at);
                 let range = at * ENCODED_RECORD_LEN..(at + take) * ENCODED_RECORD_LEN;
                 let (grp, seq) = (self.segments[idx].group, self.segments[idx].seq);
-                if !self.backend.append_segment_batch(grp, seq, &bytes[range]) {
+                let trailer = trailer_bytes(self.segments[idx].records + take as u32);
+                if !self
+                    .backend
+                    .append_segment_batch(grp, seq, &bytes[range], &trailer)
+                {
                     failed = true;
                 }
                 let meta = &mut self.segments[idx];
@@ -1278,6 +1431,7 @@ impl CommitWal {
                     meta.sealed = true;
                     meta.seq = self.next_seq;
                     self.next_seq += 1;
+                    encode_trailer(meta.records, &mut bytes);
                     ok &= self.backend.write_segment(group, meta.seq, &bytes);
                     new_segments.push(meta);
                     bytes = Vec::new();
@@ -1287,6 +1441,7 @@ impl CommitWal {
             if meta.records > 0 {
                 meta.seq = self.next_seq;
                 self.next_seq += 1;
+                encode_trailer(meta.records, &mut bytes);
                 ok &= self.backend.write_segment(group, meta.seq, &bytes);
                 new_segments.push(meta);
             }
@@ -1474,6 +1629,9 @@ impl CommitWal {
                         // range to corruption): just drop the segment.
                         continue;
                     }
+                    // A rewrite is one acknowledged batch: close it with
+                    // a trailer so the fresh stream ends cleanly.
+                    encode_trailer(fresh.records, &mut bytes);
                     if !self.backend.write_segment(fresh.group, fresh.seq, &bytes) {
                         ok = false;
                     }
@@ -1530,11 +1688,17 @@ mod tests {
     struct SharedMem(Arc<Mutex<MemBackend>>);
 
     impl WalBackend for SharedMem {
-        fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+        fn append_segment_batch(
+            &mut self,
+            group: u32,
+            seq: u64,
+            records: &[u8],
+            trailer: &[u8],
+        ) -> bool {
             self.0
                 .lock()
                 .unwrap()
-                .append_segment_batch(group, seq, bytes)
+                .append_segment_batch(group, seq, records, trailer)
         }
         fn sync_group(&mut self, group: u32) -> bool {
             self.0.lock().unwrap().sync_group(group)
@@ -1950,8 +2114,9 @@ mod tests {
         );
         assert_eq!(
             s1.bytes_written - s0.bytes_written,
-            3 * 16 * 4 * ENCODED_RECORD_LEN as u64,
-            "every record's encoding lands once per touched group"
+            3 * 4 * (16 * ENCODED_RECORD_LEN as u64 + TRAILER_LEN as u64),
+            "every record's encoding lands once per touched group, plus \
+             one batch trailer per run"
         );
         assert_eq!(wal.len(), 52);
     }
@@ -1984,9 +2149,12 @@ mod tests {
     }
 
     #[test]
-    fn batched_storage_is_byte_identical_to_per_record_appends() {
-        // The durable artifact must not depend on how appends were
-        // batched: same records → same segment bytes, same recovery.
+    fn batched_storage_decodes_identical_to_per_record_appends() {
+        // The durable *records* must not depend on how appends were
+        // batched (trailer density differs — per-record appends close
+        // every record with its own trailer — so raw bytes legitimately
+        // differ, but every segment decodes to the same record stream
+        // and recovery is identical).
         let per_record = SharedMem::default();
         let batched = SharedMem::default();
         {
@@ -2004,7 +2172,154 @@ mod tests {
         }
         let a = per_record.0.lock().unwrap().segments.clone();
         let b = batched.0.lock().unwrap().segments.clone();
-        assert_eq!(a, b, "batched and per-record segment bytes must match");
+        let keys: Vec<(u32, u64)> = a.keys().copied().collect();
+        assert_eq!(keys, b.keys().copied().collect::<Vec<_>>());
+        for key in keys {
+            let da = decode_segment(&a[&key]);
+            let db = decode_segment(&b[&key]);
+            assert_eq!(da.records, db.records, "segment {key:?} records differ");
+            assert!(da.clean_end && db.clean_end, "both streams end cleanly");
+        }
+        let wa = CommitWal::open(Box::new(per_record), opts(4, 8));
+        let wb = CommitWal::open(Box::new(batched), opts(4, 8));
+        assert_eq!(wa.records(), wb.records());
+    }
+
+    #[test]
+    fn trailer_classifies_torn_mid_batch_vs_clean_end() {
+        let dir = std::env::temp_dir().join(format!("ladon-wal-trailer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut wal =
+                CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(1, 4));
+            for batch in 0..3u64 {
+                for i in 0..4 {
+                    wal.append_buffered(rec(batch * 4 + i));
+                }
+                assert!(wal.flush());
+            }
+        }
+        // Healthy reopen: every scanned stream ends at a trailer.
+        {
+            let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(1, 4));
+            let stats = wal.load_stats();
+            assert_eq!(stats.records_torn, 0);
+            assert_eq!(stats.records_unacked_lost, 0);
+            assert_eq!(
+                stats.segments_clean_end, stats.segments_scanned,
+                "clean flushes must leave clean ends: {stats:?}"
+            );
+            assert_eq!(wal.len(), 12);
+        }
+        // Tear a sealed segment mid-batch (drop its trailing trailer plus
+        // a few record bytes): the shortfall is acknowledged loss.
+        let mut segs: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+            .collect();
+        segs.sort();
+        let victim = &segs[0];
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..bytes.len() - TRAILER_LEN - 7]).unwrap();
+        let wal = CommitWal::open(Box::new(FileBackend::open_dir(&dir).unwrap()), opts(1, 4));
+        let stats = wal.load_stats();
+        assert!(
+            stats.records_torn > 0,
+            "a mid-batch tear of a counted segment is acknowledged loss: {stats:?}"
+        );
+        assert_eq!(stats.records_unacked_lost, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Storage that drops one staged append on the floor (reporting the
+    /// failure) while every other operation — including the manifest
+    /// publish that absorbs the staged records' metadata — succeeds.
+    /// Models a transient write error the WAL alarms on.
+    struct DropOneAppend {
+        inner: SharedMem,
+        drop_at: u64,
+        appends: u64,
+    }
+
+    impl WalBackend for DropOneAppend {
+        fn append_segment_batch(
+            &mut self,
+            group: u32,
+            seq: u64,
+            records: &[u8],
+            trailer: &[u8],
+        ) -> bool {
+            self.appends += 1;
+            if self.appends == self.drop_at {
+                return false;
+            }
+            self.inner
+                .append_segment_batch(group, seq, records, trailer)
+        }
+        fn sync_group(&mut self, group: u32) -> bool {
+            self.inner.sync_group(group)
+        }
+        fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+            self.inner.write_segment(group, seq, bytes)
+        }
+        fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+            self.inner.read_segment(group, seq)
+        }
+        fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+            self.inner.delete_segment(group, seq)
+        }
+        fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+            self.inner.publish_manifest(bytes)
+        }
+        fn load_manifest(&mut self) -> Option<Vec<u8>> {
+            self.inner.load_manifest()
+        }
+        fn list_segments(&mut self) -> Vec<(u32, u64)> {
+            self.inner.list_segments()
+        }
+        fn io_stats(&self) -> WalIoStats {
+            self.inner.io_stats()
+        }
+    }
+
+    #[test]
+    fn never_acknowledged_suffix_is_not_counted_as_torn() {
+        // A failed append whose batch still seals into the manifest used
+        // to read back as `records_torn` — but those records were never
+        // acknowledged (the flush alarmed). The trailer proves the
+        // stream ends at the previous acknowledgement boundary, so the
+        // shortfall now lands in `records_unacked_lost`.
+        let disk = SharedMem::default();
+        {
+            let backend = DropOneAppend {
+                inner: disk.clone(),
+                drop_at: 2, // the second batch's single-group append
+                appends: 0,
+            };
+            let mut wal = CommitWal::open(Box::new(backend), opts(1, 4));
+            for i in 0..2 {
+                wal.append_buffered(rec(i));
+            }
+            assert!(wal.flush(), "first batch lands clean");
+            for i in 2..4 {
+                wal.append_buffered(rec(i));
+            }
+            assert!(!wal.flush(), "the dropped append must alarm");
+            assert_eq!(wal.write_failures(), 1);
+        }
+        let wal = CommitWal::open(Box::new(disk), opts(1, 4));
+        let stats = wal.load_stats();
+        assert_eq!(
+            stats.records_torn, 0,
+            "never-acknowledged records must not read as torn: {stats:?}"
+        );
+        assert!(
+            stats.records_unacked_lost > 0,
+            "the alarmed suffix is classified unacknowledged: {stats:?}"
+        );
+        assert_eq!(wal.len(), 2, "the acknowledged prefix survives");
     }
 
     #[test]

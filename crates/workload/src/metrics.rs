@@ -100,6 +100,16 @@ pub struct Report {
     /// WAL segment bytes written (appends + compaction rewrites), summed
     /// across replicas.
     pub wal_bytes_written: u64,
+    /// Topological waves the reference replica's dependency-DAG
+    /// executor ran (deterministic; worker-count invariant).
+    pub exec_waves: u64,
+    /// Cross-lane dependency edges the reference replica's scheduler
+    /// ordered — the read-your-writes dependencies the old two-phase
+    /// credit pass deferred.
+    pub exec_cross_lane_edges: u64,
+    /// Mean ops per wave at the reference replica (`executed_txs /
+    /// exec_waves`) — the executor's mean exploitable parallelism.
+    pub mean_ops_per_wave: f64,
 }
 
 /// Inputs to aggregation.
@@ -314,6 +324,13 @@ pub fn aggregate(data: &RunData) -> Report {
         executed_ktps: reference.executed_txs as f64
             / data.window_end.as_secs_f64().max(1e-9)
             / 1e3,
+        exec_waves: reference.exec_waves,
+        exec_cross_lane_edges: reference.exec_cross_lane_edges,
+        mean_ops_per_wave: if reference.exec_waves > 0 {
+            reference.executed_txs as f64 / reference.exec_waves as f64
+        } else {
+            0.0
+        },
         state_checkpoints,
         state_root_agreement,
         root_conflicts,
@@ -477,6 +494,22 @@ mod tests {
         // And a healthy fleet reports zero.
         let rep = aggregate(&run_data(empty_nodes(4)));
         assert_eq!(rep.wal_write_failures, 0);
+    }
+
+    #[test]
+    fn exec_scheduler_counters_surface_from_reference() {
+        let mut nodes = empty_nodes(4);
+        nodes[0].executed_txs = 900;
+        nodes[0].exec_waves = 30;
+        nodes[0].exec_cross_lane_edges = 17;
+        nodes[2].exec_waves = 99; // non-reference replicas do not leak in
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.exec_waves, 30);
+        assert_eq!(rep.exec_cross_lane_edges, 17);
+        assert!((rep.mean_ops_per_wave - 30.0).abs() < 1e-9);
+        // No waves executed → no division blow-up.
+        let rep = aggregate(&run_data(empty_nodes(4)));
+        assert_eq!(rep.mean_ops_per_wave, 0.0);
     }
 
     #[test]

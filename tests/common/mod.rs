@@ -60,6 +60,10 @@ pub struct ClusterOpts {
     pub exec_lanes: Option<u32>,
     /// Override the execution keyspace size.
     pub exec_keyspace: Option<u32>,
+    /// Override the cross-drain group-commit threshold (staged WAL
+    /// records accumulated across confirmed-queue drains before the
+    /// flush + apply barrier runs).
+    pub wal_flush_max_records: Option<u32>,
 }
 
 impl Default for ClusterOpts {
@@ -81,6 +85,7 @@ impl Default for ClusterOpts {
             loss_probability: 0.0,
             exec_lanes: None,
             exec_keyspace: None,
+            wal_flush_max_records: None,
         }
     }
 }
@@ -102,6 +107,9 @@ pub fn cluster(opts: ClusterOpts) -> TestCluster {
     }
     if let Some(k) = opts.exec_keyspace {
         sys.exec_keyspace = k;
+    }
+    if let Some(t) = opts.wal_flush_max_records {
+        sys.wal_flush_max_records = t;
     }
     sys.validate()
         .expect("cluster options produced a bad config");

@@ -480,8 +480,17 @@ impl CrashBackend {
 }
 
 impl WalBackend for CrashBackend {
-    fn append_segment_batch(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
-        self.alive() && self.inner.append_segment_batch(group, seq, bytes)
+    fn append_segment_batch(
+        &mut self,
+        group: u32,
+        seq: u64,
+        records: &[u8],
+        trailer: &[u8],
+    ) -> bool {
+        self.alive()
+            && self
+                .inner
+                .append_segment_batch(group, seq, records, trailer)
     }
     fn sync_group(&mut self, group: u32) -> bool {
         // The fsync barrier is a storage op like any other: dying here
@@ -755,6 +764,152 @@ fn wal_group_commit_crash_matrix_preserves_flushed_batches() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Cross-drain group-commit matrix (`wal_flush_max_records` semantics):
+/// several confirmed-queue drains accumulate as *staged* blocks — WAL
+/// records buffered, nothing applied, nothing acknowledged — before one
+/// deferred flush makes them durable. The matrix kills storage `k` ops
+/// into the run and, for each `k`, also dies once with the accumulation
+/// never flushed at all. Staged-but-unflushed records must NEVER be
+/// acknowledged: recovery may hold only the flushed prefix, and a clean
+/// deferred flush must land every accumulated drain.
+#[test]
+fn cross_drain_accumulation_crash_matrix_never_acks_unflushed_records() {
+    let wal_opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    let batch_of = |from: u64, n: u64| -> Vec<(u64, ladon::types::Block)> {
+        (from..from + n)
+            .map(|sn| (sn, common::exec_block(sn, sn * 50, 50)))
+            .collect()
+    };
+    for flush_staged in [false, true] {
+        for k in 0..=14i64 {
+            let dir = scratch_dir(
+                if flush_staged {
+                    "cross-drain-flush"
+                } else {
+                    "cross-drain-die"
+                },
+                k,
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            let budget = Arc::new(AtomicI64::new(i64::MAX));
+            let acked = {
+                let backend = CrashBackend {
+                    inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
+                    budget: budget.clone(),
+                };
+                let mut p = ExecutionPipeline::recover_backend(
+                    &dir,
+                    Box::new(backend),
+                    DEFAULT_KEYSPACE,
+                    1,
+                    wal_opts,
+                )
+                .unwrap();
+                // A flushed baseline drain, then the storage runs on a
+                // budget while three further drains accumulate staged.
+                p.execute_batch(&batch_of(0, 4));
+                assert_eq!(p.wal_write_failures(), 0, "k={k}: run must start clean");
+                budget.store(k, Ordering::SeqCst);
+                p.stage_blocks(&batch_of(4, 2));
+                p.stage_blocks(&batch_of(6, 2));
+                p.stage_blocks(&batch_of(8, 2));
+                // Staging does no backend I/O and applies nothing.
+                assert_eq!(p.staged_records(), 6, "k={k}");
+                assert_eq!(p.applied(), 4, "k={k}: staged blocks must not apply");
+                assert_eq!(p.next_sn(), 10, "k={k}");
+                if !flush_staged {
+                    // Die in the accumulate window: the three drains
+                    // were never flushed and must never be acknowledged.
+                    4
+                } else {
+                    p.flush_staged();
+                    if p.wal_write_failures() == 0 {
+                        assert_eq!(p.applied(), 10, "k={k}: clean flush applies all");
+                        10
+                    } else {
+                        4
+                    }
+                }
+            };
+            for lanes in LANE_MATRIX {
+                let r = ExecutionPipeline::recover_opts(&dir, DEFAULT_KEYSPACE, lanes, wal_opts)
+                    .unwrap();
+                assert!(
+                    r.applied() >= acked,
+                    "k={k} lanes={lanes} flush={flush_staged}: an acknowledged \
+                     prefix was lost (recovered {} < acked {acked})",
+                    r.applied()
+                );
+                if !flush_staged {
+                    assert_eq!(
+                        r.applied(),
+                        4,
+                        "k={k} lanes={lanes}: unflushed accumulated records \
+                         must never be acknowledged"
+                    );
+                }
+                // Whatever survived re-executes to the identical root.
+                let mut reference = ExecutionPipeline::in_memory_with(DEFAULT_KEYSPACE, lanes);
+                for sn in 0..r.applied() {
+                    reference.execute(sn, &common::exec_block(sn, sn * 50, 50));
+                }
+                assert_eq!(
+                    r.state_root(),
+                    reference.state_root(),
+                    "k={k} lanes={lanes} flush={flush_staged}"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Cross-drain group commit end-to-end: a cluster running with an
+/// accumulation threshold must agree on every checkpoint root exactly
+/// like the per-drain default (epoch checkpoints force the drain), while
+/// spending no more fsync barriers.
+#[test]
+fn cross_drain_threshold_cluster_agrees_and_amortizes_fsyncs() {
+    let run = |threshold: u32| {
+        let mut c = cluster(ClusterOpts {
+            protocol: ProtocolKind::LadonPbft,
+            n: 4,
+            epoch_length: Some(16),
+            submit_until_s: 10.0,
+            wal_flush_max_records: Some(threshold),
+            ..Default::default()
+        });
+        c.run_secs(15.0);
+        let checked = assert_root_agreement(&c, &[0, 1, 2, 3]);
+        assert!(
+            checked >= 2,
+            "threshold={threshold}: epochs must checkpoint"
+        );
+        for r in 0..4 {
+            let m = &c.node(r).metrics;
+            assert_eq!(m.wal_write_failures, 0, "threshold={threshold} replica {r}");
+            assert_eq!(m.exec_gaps, 0, "threshold={threshold} replica {r}");
+        }
+        c.assert_agreement(&[0, 1, 2, 3]);
+        let m = &c.node(0).metrics;
+        (m.wal_fsyncs, c.node(0).exec.state_root())
+    };
+    let (fsyncs_default, root_default) = run(1);
+    let (fsyncs_batched, root_batched) = run(8);
+    assert_eq!(
+        root_default, root_batched,
+        "the flush threshold must never change state"
+    );
+    assert!(
+        fsyncs_batched <= fsyncs_default,
+        "accumulating drains must not cost more barriers: \
+         {fsyncs_batched} > {fsyncs_default}"
+    );
 }
 
 /// Pipeline-level matrix over the batched execution path: confirmed

@@ -8,6 +8,7 @@
 //!     stragglers.
 
 use ladon_bench::banner;
+use ladon_obs::{emit_figure, Json};
 use ladon_types::{NetEnv, ProtocolKind};
 use ladon_workload::{analytical, f2, f3, run_experiment, scale, ExperimentConfig, Table};
 
@@ -56,6 +57,7 @@ fn main() {
         ],
     );
     let mut base_tput = 0.0;
+    let mut emitted: Vec<(String, Json)> = Vec::new();
     for &s in &[0usize, 1, 3] {
         let cfg = ExperimentConfig::new(ProtocolKind::IssPbft, 16, NetEnv::Wan)
             .with_stragglers(s, 10.0)
@@ -69,6 +71,14 @@ fn main() {
         } else {
             "-".into()
         };
+        emitted.push((format!("iss_tput_ktps_{s}s"), Json::F64(r.throughput_ktps)));
+        emitted.push((format!("iss_latency_s_{s}s"), Json::F64(r.mean_latency_s)));
+        if s > 0 && base_tput > 0.0 {
+            emitted.push((
+                format!("iss_tput_retention_{s}s"),
+                Json::F64(r.throughput_ktps / base_tput),
+            ));
+        }
         t.row(vec![
             s.to_string(),
             f2(r.throughput_ktps),
@@ -78,4 +88,5 @@ fn main() {
         ]);
     }
     t.print();
+    emit_figure("fig2_straggler_impact_full", emitted);
 }

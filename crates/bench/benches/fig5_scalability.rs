@@ -7,13 +7,15 @@
 //! ~9 % and DQBFT ~17 %.
 
 use ladon_bench::{banner, PBFT_PROTOCOLS};
-use ladon_types::NetEnv;
+use ladon_obs::{emit_figure, Json};
+use ladon_types::{NetEnv, ProtocolKind};
 use ladon_workload::{f2, f3, run_experiment, scale, ExperimentConfig, Table};
 
 fn main() {
     let sc = scale();
     banner("Fig 5", "scalability in WAN and LAN, 0/1 straggler", sc);
 
+    let mut emitted: Vec<(String, Json)> = Vec::new();
     for env in [NetEnv::Wan, NetEnv::Lan] {
         for stragglers in [0usize, 1] {
             let label = format!(
@@ -30,6 +32,14 @@ fn main() {
                         .with_stragglers(stragglers, 10.0)
                         .scaled_windows(sc);
                     let r = run_experiment(&cfg);
+                    if proto == ProtocolKind::LadonPbft && Some(&n) == sc.replica_counts().last() {
+                        let tag = format!(
+                            "ladon_{}_{stragglers}s_n{n}",
+                            format!("{env:?}").to_lowercase()
+                        );
+                        emitted.push((format!("{tag}_ktps"), Json::F64(r.throughput_ktps)));
+                        emitted.push((format!("{tag}_latency_s"), Json::F64(r.mean_latency_s)));
+                    }
                     t.row(vec![
                         proto.label().into(),
                         n.to_string(),
@@ -42,4 +52,5 @@ fn main() {
             t.print();
         }
     }
+    emit_figure("fig5_scalability_full", emitted);
 }

@@ -18,6 +18,7 @@
 //!    waves than the per-block sum (independent blocks overlap).
 
 use ladon_bench::microbench;
+use ladon_obs::{emit_figure, fields, Json};
 use ladon_state::{lane_of, ExecutionPipeline, KvState, DEFAULT_KEYSPACE};
 use ladon_types::{Block, TxId, TxOp};
 
@@ -120,6 +121,19 @@ fn main() {
         reference.apply(op);
     }
     assert_eq!(roots[0], reference.root(), "DAG must equal sequential");
+    emit_figure(
+        "fig_exec_dag_mixed",
+        fields(vec![
+            ("ops", Json::U64(mixed.len() as u64)),
+            ("waves", Json::U64(shapes[0].0 as u64)),
+            ("max_wave_ops", Json::U64(shapes[0].1 as u64)),
+            ("cross_lane_edges", Json::U64(shapes[0].2)),
+            (
+                "mean_ops_per_wave",
+                Json::F64(mixed.len() as f64 / shapes[0].0 as f64),
+            ),
+        ]),
+    );
     println!("  -> counters + roots invariant across workers; equal to sequential (verified)\n");
 
     // ------------------------------------------------------------------

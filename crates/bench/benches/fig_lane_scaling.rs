@@ -12,6 +12,7 @@
 
 use ladon_bench::microbench;
 use ladon_crypto::{CryptoCounters, Sha256};
+use ladon_obs::{emit_figure, fields, Json};
 use ladon_state::{ExecutionPipeline, KvState, DEFAULT_KEYSPACE, MERKLE_LANES};
 use ladon_types::{Batch, Block, BlockHeader, Digest, InstanceId, Rank, Round, TimeNs, TxId, TxOp};
 
@@ -121,6 +122,19 @@ fn main() {
         "incremental root must cost MERKLE_LANES + 1 = {} hashes at any \
          keyspace, got {incr_hashes:?}",
         MERKLE_LANES + 1
+    );
+    emit_figure(
+        "fig_lane_scaling",
+        fields(vec![
+            ("merkle_lanes", Json::U64(MERKLE_LANES as u64)),
+            ("hashes_per_incremental_root", Json::U64(incr_hashes[0])),
+            (
+                "keyspace_sweep_factor",
+                Json::U64((keyspaces.last().unwrap() / keyspaces.first().unwrap()) as u64),
+            ),
+            ("wall_incremental_root_growth", Json::F64(incr_growth)),
+            ("wall_full_scan_root_growth", Json::F64(scan_growth)),
+        ]),
     );
 
     // ------------------------------------------------------------------

@@ -15,6 +15,7 @@
 //! the `T`-record tail.
 
 use ladon_bench::microbench;
+use ladon_obs::{emit_figure, fields, Json};
 use ladon_state::{
     static_lane_mask, CommitWal, ExecutionPipeline, FileBackend, Snapshot, SnapshotStore,
     WalOptions, WalRecord, MERKLE_LANES,
@@ -139,6 +140,18 @@ fn main() {
         scanned_counts.iter().all(|&s| s <= scan_cap),
         "segments scanned must be bounded by the tail ({scan_cap}), \
          not grow with history: {scanned_counts:?}"
+    );
+    emit_figure(
+        "fig_recovery_scaling_sweep",
+        fields(vec![
+            ("tail_records", Json::U64(TAIL)),
+            ("records_replayed", Json::U64(TAIL)),
+            ("max_history", Json::U64(*histories.last().unwrap())),
+            (
+                "max_segments_scanned",
+                Json::U64(*scanned_counts.iter().max().unwrap()),
+            ),
+        ]),
     );
     println!(
         "\n  -> records replayed constant at {TAIL} across a {}x log-length sweep (verified)",

@@ -10,6 +10,7 @@
 //! context only.
 
 use ladon_bench::microbench;
+use ladon_obs::{emit_figure, fields, Json};
 use ladon_state::{
     static_lane_mask, CommitWal, ExecutionPipeline, FileBackend, WalOptions, WalRecord,
     ENCODED_RECORD_LEN, TRAILER_LEN,
@@ -60,6 +61,10 @@ fn main() {
     println!("{RECORDS} full-mask records, {GROUPS} lane groups; steady-state window:");
     println!("  batch | flushes | fsyncs | fsyncs/batch | fsyncs/record | opens");
     println!("  ------+---------+--------+--------------+---------------+------");
+    let mut emitted = fields(vec![
+        ("records", Json::U64(RECORDS)),
+        ("lane_groups", Json::U64(GROUPS as u64)),
+    ]);
     for &batch in &BATCHES {
         let dir = scratch(&format!("sweep-{batch}"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -124,6 +129,15 @@ fn main() {
             "batch={batch}: each active segment must be opened exactly once"
         );
 
+        emitted.push((
+            format!("batch_{batch}_fsyncs_per_flush"),
+            Json::U64(fsyncs / flushes),
+        ));
+        emitted.push((
+            format!("batch_{batch}_fsyncs_per_record"),
+            Json::F64(fsyncs as f64 / steady_records as f64),
+        ));
+
         // Informational wall clock (not a gate).
         let r = microbench(&format!("append_flush_batch_{batch:>2}"), 10, || {
             let mut b = 0u64;
@@ -138,6 +152,7 @@ fn main() {
         let _ = r;
         let _ = std::fs::remove_dir_all(&dir);
     }
+    emit_figure("fig_wal_group_commit_sweep", emitted);
     println!(
         "\n  -> fsyncs per batch constant at {GROUPS} (= touched groups) across a \
          {}x batch-size sweep; fsyncs per record fall as 1/batch (verified)",

@@ -1,0 +1,75 @@
+//! `bench_schema_check`: validates a `BENCH_*.json` report against the
+//! checked-in schema, and (optionally) compares the deterministic
+//! subsets of two reports byte-for-byte.
+//!
+//! ```sh
+//! bench_schema_check <report.json> <schema.json> [--expect <committed.json>]
+//! ```
+//!
+//! Exit status 0 means: every figure the schema requires is present with
+//! every required field, no field anywhere is `null` (the float writer
+//! renders NaN/Inf as `null`, so a null is always a broken measurement),
+//! and — when `--expect` names a committed report — the freshly-emitted
+//! report's `wall_`-free subset matches the committed one exactly.
+
+use std::path::Path;
+
+use ladon_obs::{BenchReport, BenchSchema};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_schema_check <report.json> <schema.json> [--expect <committed.json>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (report_path, schema_path) = match (args.first(), args.get(1)) {
+        (Some(r), Some(s)) => (r.clone(), s.clone()),
+        _ => usage(),
+    };
+    let expect = args
+        .iter()
+        .position(|a| a == "--expect")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+
+    let report = BenchReport::load(Path::new(&report_path)).unwrap_or_else(|e| {
+        eprintln!("cannot load report: {e}");
+        std::process::exit(1);
+    });
+    let schema = BenchSchema::load(Path::new(&schema_path)).unwrap_or_else(|e| {
+        eprintln!("cannot load schema: {e}");
+        std::process::exit(1);
+    });
+
+    let errors = report.validate(&schema);
+    if !errors.is_empty() {
+        eprintln!("{report_path} fails schema {schema_path}:");
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "{report_path}: schema ok ({} figures, {} required)",
+        report.figures.len(),
+        schema.required_figures.len()
+    );
+
+    if let Some(expect_path) = expect {
+        let committed = BenchReport::load(Path::new(&expect_path)).unwrap_or_else(|e| {
+            eprintln!("cannot load committed report: {e}");
+            std::process::exit(1);
+        });
+        let (fresh, checked_in) = (report.deterministic_json(), committed.deterministic_json());
+        if fresh != checked_in {
+            eprintln!(
+                "deterministic subset of {report_path} differs from committed {expect_path}:"
+            );
+            eprintln!("  fresh:     {fresh}");
+            eprintln!("  committed: {checked_in}");
+            eprintln!("(regenerate with `cargo run --release -p ladon-bench --bin repro -- --smoke` and commit)");
+            std::process::exit(1);
+        }
+        println!("deterministic subset matches committed {expect_path}");
+    }
+}

@@ -5,9 +5,28 @@
 //! ```sh
 //! cargo run --release -p ladon-bench --bin repro            # quick scale
 //! LADON_SCALE=full cargo run --release -p ladon-bench --bin repro
+//!
+//! # CI mode: in-process seeded experiments, machine-readable output,
+//! # determinism self-gate (the suite runs twice and the deterministic
+//! # subsets must match byte-for-byte):
+//! cargo run --release -p ladon-bench --bin repro -- --smoke --out BENCH_repro.json
 //! ```
+//!
+//! In the full (no-arg) mode, `LADON_BENCH_JSON` is forwarded to every
+//! spawned bench target, so their [`ladon_obs::emit_figure`] calls
+//! accumulate into the same document.
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::time::Instant;
+
+use ladon_obs::{fields, BenchReport, Json, BENCH_JSON_ENV};
+use ladon_state::{
+    static_lane_mask, CommitWal, ExecutionPipeline, FileBackend, Snapshot, SnapshotStore,
+    WalOptions, WalRecord,
+};
+use ladon_types::{Block, NetEnv, ProtocolKind, TxOp};
+use ladon_workload::{run_experiment, ExperimentConfig, Report};
 
 const TARGETS: [&str; 9] = [
     "fig2_straggler_impact",
@@ -21,18 +40,43 @@ const TARGETS: [&str; 9] = [
     "appendix_complexity",
 ];
 
+/// Seed of every smoke-mode experiment. The determinism self-gate runs
+/// the whole suite twice with this seed and requires the `wall_`-free
+/// subsets to match byte-for-byte.
+const SMOKE_SEED: u64 = 7;
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| std::env::var(BENCH_JSON_ENV).ok())
+            .unwrap_or_else(|| "BENCH_repro.json".to_string());
+        smoke(Path::new(&out));
+        return;
+    }
+    full_suite();
+}
+
+/// The legacy full run: spawn every figure/table bench target.
+fn full_suite() {
     println!(
         "Ladon reproduction driver — running {} figure/table targets",
         TARGETS.len()
     );
+    let bench_json = std::env::var(BENCH_JSON_ENV).ok();
     let mut failures = Vec::new();
     for t in TARGETS {
         println!("\n>>> cargo bench --bench {t}");
-        let status = Command::new("cargo")
-            .args(["bench", "-p", "ladon-bench", "--bench", t])
-            .status();
-        match status {
+        let mut cmd = Command::new("cargo");
+        cmd.args(["bench", "-p", "ladon-bench", "--bench", t]);
+        if let Some(path) = &bench_json {
+            cmd.env(BENCH_JSON_ENV, path);
+        }
+        match cmd.status() {
             Ok(s) if s.success() => {}
             Ok(s) => {
                 eprintln!("{t} exited with {s}");
@@ -50,4 +94,219 @@ fn main() {
         eprintln!("\nfailed targets: {failures:?}");
         std::process::exit(1);
     }
+}
+
+/// CI smoke mode: small seeded in-process experiments covering every
+/// figure the schema requires, written as one `BENCH_*.json` document.
+///
+/// The determinism self-gate runs the suite twice; anything outside the
+/// `wall_*` namespace must come out byte-identical, or the run fails.
+fn smoke(out: &Path) {
+    println!(
+        "repro --smoke: seeded in-process suite -> {}",
+        out.display()
+    );
+    let started = Instant::now();
+
+    let first = run_smoke_suite("a");
+    let second = run_smoke_suite("b");
+    let (da, db) = (first.deterministic_json(), second.deterministic_json());
+    if da != db {
+        eprintln!("determinism self-gate FAILED: two seed-{SMOKE_SEED} runs diverged");
+        eprintln!("run 1: {da}");
+        eprintln!("run 2: {db}");
+        std::process::exit(1);
+    }
+    println!(
+        "determinism self-gate: deterministic subset byte-identical across two runs \
+         ({} bytes)",
+        da.len()
+    );
+
+    let mut report = first;
+    report.set_meta(
+        "wall_total_ms",
+        Json::F64(started.elapsed().as_secs_f64() * 1e3),
+    );
+    if let Err(e) = report.save(out) {
+        eprintln!("cannot save {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} figures)", out.display(), report.figures.len());
+}
+
+fn run_smoke_suite(pass: &str) -> BenchReport {
+    let mut report = BenchReport::new();
+    report.set_meta("mode", Json::Str("smoke".into()));
+    report.set_meta("seed", Json::U64(SMOKE_SEED));
+    report.set_meta("protocol", Json::Str("ladon-pbft".into()));
+    report.set_meta("generated_by", Json::Str("repro --smoke".into()));
+
+    // One short LAN deployment is the backbone of most figures: the
+    // straggler run reuses its config with one straggler added.
+    // The short epoch makes the window cross checkpoint boundaries, so
+    // the full lifecycle (through `applied -> checkpointed`) is traced.
+    let base_cfg = ExperimentConfig::new(ProtocolKind::LadonPbft, 4, NetEnv::Lan)
+        .duration_secs(3.0)
+        .warmup_secs(2.0)
+        .with_epoch_length(16)
+        .with_seed(SMOKE_SEED);
+    let base = run_experiment(&base_cfg);
+    let straggler = run_experiment(&base_cfg.clone().with_stragglers(1, 10.0));
+
+    report.add_figure(
+        "fig5_scalability",
+        fields(vec![
+            ("n", Json::U64(4)),
+            ("env", Json::Str("lan".into())),
+            ("throughput_ktps", Json::F64(base.throughput_ktps)),
+            ("mean_latency_s", Json::F64(base.mean_latency_s)),
+            ("committed_txs", Json::U64(base.committed_txs)),
+            ("confirmed_blocks", Json::U64(base.confirmed_blocks)),
+            ("causal_strength", Json::F64(base.causal_strength)),
+        ]),
+    );
+    report.add_figure(
+        "fig2_straggler_impact",
+        fields(vec![
+            ("throughput_ktps_0s", Json::F64(base.throughput_ktps)),
+            ("throughput_ktps_1s", Json::F64(straggler.throughput_ktps)),
+            (
+                "throughput_ratio",
+                Json::F64(if base.throughput_ktps > 0.0 {
+                    straggler.throughput_ktps / base.throughput_ktps
+                } else {
+                    0.0
+                }),
+            ),
+            ("latency_s_0s", Json::F64(base.mean_latency_s)),
+            ("latency_s_1s", Json::F64(straggler.mean_latency_s)),
+        ]),
+    );
+    report.add_figure(
+        "fig_wal_group_commit",
+        fields(vec![
+            ("wal_fsyncs", Json::U64(base.wal_fsyncs)),
+            ("wal_bytes_written", Json::U64(base.wal_bytes_written)),
+            ("flush_barriers", Json::U64(base.flush_barriers)),
+            (
+                "fsyncs_per_block",
+                Json::F64(if base.confirmed_blocks > 0 {
+                    base.wal_fsyncs as f64 / base.confirmed_blocks as f64
+                } else {
+                    0.0
+                }),
+            ),
+            ("wall_wal_flush_ns", Json::U64(base.wall_wal_flush_ns)),
+        ]),
+    );
+    report.add_figure(
+        "fig_exec_dag",
+        fields(vec![
+            ("exec_waves", Json::U64(base.exec_waves)),
+            (
+                "exec_cross_lane_edges",
+                Json::U64(base.exec_cross_lane_edges),
+            ),
+            ("mean_ops_per_wave", Json::F64(base.mean_ops_per_wave)),
+            ("executed_txs", Json::U64(base.executed_txs)),
+            ("wall_exec_ns", Json::U64(base.wall_exec_ns)),
+        ]),
+    );
+    report.add_figure("trace_lifecycle", lifecycle_fields(&base));
+    report.add_figure("fig_recovery_scaling", recovery_fields(pass));
+    report
+}
+
+/// Per-transition stage-latency fields, one triple per lifecycle edge.
+/// Every edge is emitted (zeros when the short window produced no
+/// samples for it) so the schema can require the full set.
+fn lifecycle_fields(report: &Report) -> Vec<(String, Json)> {
+    const TRANSITIONS: [&str; 6] = [
+        "submitted_to_proposed",
+        "proposed_to_confirmed",
+        "confirmed_to_staged",
+        "staged_to_flushed",
+        "flushed_to_applied",
+        "applied_to_checkpointed",
+    ];
+    let mut out = Vec::new();
+    for t in TRANSITIONS {
+        let sl = report.stage_latencies.iter().find(|s| s.transition == t);
+        out.push((format!("{t}_count"), Json::U64(sl.map_or(0, |s| s.count))));
+        out.push((
+            format!("{t}_mean_ms"),
+            Json::F64(sl.map_or(0.0, |s| s.mean_ms)),
+        ));
+        out.push((
+            format!("{t}_p99_ms"),
+            Json::F64(sl.map_or(0.0, |s| s.p99_ms)),
+        ));
+    }
+    out
+}
+
+/// Crash-recovery smoke: a real segmented WAL plus a snapshot covering
+/// the history prefix (the mid-compaction-kill disk layout), recovered
+/// through the pipeline. All gates are deterministic counts.
+fn recovery_fields(pass: &str) -> Vec<(String, Json)> {
+    const HISTORY: u64 = 64;
+    const TAIL: u64 = 16;
+    const BLOCK_TXS: u32 = 64;
+    let keyspace = 4096u32;
+    let wal_opts = WalOptions {
+        lane_groups: 8,
+        segment_records: 8,
+    };
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("ladon-repro-smoke-{pass}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create smoke scratch dir");
+
+    let mut wal = CommitWal::open(
+        Box::new(FileBackend::open_dir(dir.join("wal")).expect("open wal dir")),
+        wal_opts,
+    );
+    let mut reference = ExecutionPipeline::in_memory(keyspace);
+    let mut snapshot: Option<Snapshot> = None;
+    for sn in 0..HISTORY + TAIL {
+        let b = Block::synthetic(sn, sn * BLOCK_TXS as u64, BLOCK_TXS);
+        let ops: Vec<TxOp> = b.batch.txs(keyspace).map(|tx| tx.op).collect();
+        wal.append(WalRecord::of_block(sn, &b, static_lane_mask(&ops)));
+        reference.execute(sn, &b);
+        if sn + 1 == HISTORY {
+            reference.checkpoint(1, Vec::new());
+            snapshot = reference.latest_snapshot().cloned();
+        }
+    }
+    assert_eq!(wal.write_failures(), 0);
+    let mut store = SnapshotStore::at_dir(&dir).expect("open snapshot store");
+    assert!(store.put(snapshot.expect("history must checkpoint")));
+    let expect_root = reference.state_root();
+    drop(wal);
+
+    let recover_started = Instant::now();
+    let recovered =
+        ExecutionPipeline::recover_opts(&dir, keyspace, 1, wal_opts).expect("recover pipeline");
+    let wall_recover_ns = recover_started.elapsed().as_nanos() as u64;
+    let stats = recovered.recovery_stats().clone();
+    assert_eq!(
+        recovered.state_root(),
+        expect_root,
+        "recovered root differs"
+    );
+    assert_eq!(
+        stats.records_replayed, TAIL,
+        "replay must touch the tail only"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    fields(vec![
+        ("log_records", Json::U64(HISTORY + TAIL)),
+        ("records_replayed", Json::U64(stats.records_replayed)),
+        ("segments_skipped", Json::U64(stats.segments_skipped)),
+        ("segments_scanned", Json::U64(stats.segments_scanned)),
+        ("dirty_lanes", Json::U64(stats.dirty_lanes() as u64)),
+        ("wall_recover_ns", Json::U64(wall_recover_ns)),
+    ])
 }

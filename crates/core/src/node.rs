@@ -24,6 +24,7 @@ use crate::predetermined::{BaselineKind, PredeterminedOrderer};
 use crate::sync::{SyncEntry, SyncRequest, SyncResponse};
 use ladon_crypto::{KeyRegistry, RankCert};
 use ladon_hotstuff::{HsConfig, HsInstance, HsRankMode};
+use ladon_obs::{Stage, TraceJournal};
 use ladon_pbft::{InstanceConfig, PbftInstance, RankMode, RankStrategy};
 use ladon_sim::{Actor, ActorId, Context};
 use ladon_state::{ExecOutcome, ExecutionPipeline};
@@ -173,6 +174,67 @@ pub struct NodeMetrics {
     pub exec_max_wave_ops: u32,
     /// Checkpoint quorums observed on a root different from ours.
     pub root_conflicts: u64,
+    /// Records dropped from torn/corrupt WAL segment tails at the last
+    /// recovery — mirrored from
+    /// [`ladon_state::ReplayStats::records_torn`] so fault-matrix
+    /// assertions can run at the `Report` level. Zero for nodes that
+    /// never recovered.
+    pub records_torn: u64,
+    /// Manifest-counted records missing from cleanly-ended segments at
+    /// the last recovery (a never-acknowledged suffix), from
+    /// [`ladon_state::ReplayStats::records_unacked_lost`].
+    pub records_unacked_lost: u64,
+    /// Scanned segments whose stream ended exactly at a batch trailer,
+    /// from [`ladon_state::ReplayStats::segments_clean_end`].
+    pub segments_clean_end: u64,
+    /// WAL-tail records re-executed at the last recovery, from
+    /// [`ladon_state::ReplayStats::records_replayed`].
+    pub records_replayed: u64,
+    /// Wall-clock nanoseconds inside WAL flush barriers (`wall_` = real
+    /// elapsed time, excluded from determinism gates), mirrored from
+    /// [`ladon_state::PipelinePerf`].
+    pub wall_wal_flush_ns: u64,
+    /// Wall-clock nanoseconds executing staged ops (DAG apply), from
+    /// the same counters.
+    pub wall_exec_ns: u64,
+    /// Flush barriers taken (denominator for per-barrier wall means).
+    pub flush_barriers: u64,
+    /// Per-block lifecycle journal: timestamped stage transitions
+    /// (submitted → proposed → confirmed → staged → flushed → applied →
+    /// checkpointed) with incrementally maintained stage-latency
+    /// histograms. Timestamps come from `ctx.now()` — sim time in
+    /// simulation, the monotonic wall clock under `LiveRuntime`.
+    pub trace: TraceJournal,
+}
+
+impl ladon_obs::SnapshotInto for NodeMetrics {
+    fn snapshot_into(&self, registry: &mut ladon_obs::MetricsRegistry) {
+        registry.counter("node.confirmed_blocks", self.confirms.len() as u64);
+        registry.counter("node.confirmed_txs", self.confirmed_txs);
+        registry.counter("node.executed_txs", self.executed_txs);
+        registry.counter("node.deposited_txs", self.deposited_txs);
+        registry.counter("node.sync_requests", self.sync_requests);
+        registry.counter("node.sync_installed", self.sync_installed);
+        registry.counter("node.snapshot_installs", self.snapshot_installs);
+        registry.counter("node.skipped_sns", self.skipped_sns);
+        registry.counter("node.exec_gaps", self.exec_gaps);
+        registry.counter("node.root_conflicts", self.root_conflicts);
+        registry.counter("node.view_changes", self.view_changes.len() as u64);
+        registry.counter("wal.write_failures", self.wal_write_failures);
+        registry.counter("wal.fsyncs", self.wal_fsyncs);
+        registry.counter("wal.bytes_written", self.wal_bytes_written);
+        registry.counter("exec.waves", self.exec_waves);
+        registry.counter("exec.cross_lane_edges", self.exec_cross_lane_edges);
+        registry.gauge("exec.max_wave_ops", self.exec_max_wave_ops as f64);
+        registry.counter("replay.records_torn", self.records_torn);
+        registry.counter("replay.records_unacked_lost", self.records_unacked_lost);
+        registry.counter("replay.segments_clean_end", self.segments_clean_end);
+        registry.counter("replay.records_replayed", self.records_replayed);
+        registry.counter("pipeline.wall_wal_flush_ns", self.wall_wal_flush_ns);
+        registry.counter("pipeline.wall_exec_ns", self.wall_exec_ns);
+        registry.counter("pipeline.flush_barriers", self.flush_barriers);
+        self.trace.snapshot_into(registry);
+    }
 }
 
 enum Slot {
@@ -234,6 +296,11 @@ pub struct MultiBftNode {
     /// The epoch the buckets are rotated to (tracks pacemaker advances,
     /// including multi-epoch fast-forwards after a snapshot install).
     bucket_epoch: u64,
+    /// `sn` frontier below which `Checkpointed` trace events have been
+    /// recorded (checkpoints sweep `ckpt_traced_upto..applied`; snapshot
+    /// installs jump it without recording — the fast-forwarded prefix
+    /// was never traced here).
+    ckpt_traced_upto: u64,
     /// Metrics sink.
     pub metrics: NodeMetrics,
     crashed: bool,
@@ -352,6 +419,7 @@ impl MultiBftNode {
             _ => None,
         };
 
+        let applied_at_start = exec.applied();
         Self {
             buckets: RotatingBuckets::new(m),
             mempool: Mempool::new(m, sys.tx_bytes),
@@ -365,6 +433,7 @@ impl MultiBftNode {
             pacemaker,
             exec,
             bucket_epoch: 0,
+            ckpt_traced_upto: applied_at_start,
             metrics: NodeMetrics::default(),
             crashed: false,
             cfg,
@@ -596,7 +665,22 @@ impl MultiBftNode {
                             })
                             .collect()
                     };
+                    // Drain the cross-drain accumulation here (the
+                    // checkpoint would anyway) so the flushed `sn` range
+                    // is visible for lifecycle tracing.
+                    let flushed = self.exec.flush_staged();
+                    Self::trace_flushed(&mut self.metrics, flushed, now);
                     let root = self.exec.checkpoint(epoch.0, frontier);
+                    // Every block below the new snapshot frontier is now
+                    // covered by a checkpoint: stamp the terminal
+                    // lifecycle stage for the swept range.
+                    for sn in self.ckpt_traced_upto..self.exec.applied() {
+                        let lane = Self::confirm_lane(&self.metrics, sn);
+                        self.metrics
+                            .trace
+                            .record(sn, lane, Stage::Checkpointed, now);
+                    }
+                    self.ckpt_traced_upto = self.exec.applied();
                     // The checkpoint drains any staged accumulation and
                     // compacts the WAL (segment rotation); surface any
                     // failed rotation step — and the I/O + scheduling it
@@ -649,6 +733,25 @@ impl MultiBftNode {
             if !b.is_nil() {
                 self.metrics.confirmed_txs += b.batch.count as u64;
             }
+            // Lifecycle trace: confirmation is the first moment the block
+            // has a global `sn`, so the pre-confirmation stages are
+            // stamped retroactively from the block's own timestamps —
+            // mean member-tx arrival for `Submitted` (falling back to the
+            // proposal time for empty/nil batches), the leader-side
+            // generation time for `Proposed`.
+            let lane = b.index().0;
+            let submitted = if b.batch.count > 0 {
+                TimeNs((b.batch.arrival_sum_ns / b.batch.count as u128) as u64)
+            } else {
+                b.proposed_at
+            };
+            self.metrics
+                .trace
+                .record(c.sn, lane, Stage::Submitted, submitted);
+            self.metrics
+                .trace
+                .record(c.sn, lane, Stage::Proposed, b.proposed_at);
+            self.metrics.trace.record(c.sn, lane, Stage::Confirmed, now);
             self.metrics.confirms.push(ConfirmRecord {
                 sn: c.sn,
                 instance: b.index().0,
@@ -669,7 +772,15 @@ impl MultiBftNode {
         // debug runs, a metric alarm in release.
         for (i, out) in self.exec.stage_blocks(&batch).into_iter().enumerate() {
             match out {
-                ExecOutcome::Applied { .. } | ExecOutcome::Skipped => {}
+                ExecOutcome::Applied { .. } => {
+                    // Staged into the WAL buffer — durability pending the
+                    // next flush barrier.
+                    let (sn, block) = &batch[i];
+                    self.metrics
+                        .trace
+                        .record(*sn, block.index().0, Stage::WalStaged, now);
+                }
+                ExecOutcome::Skipped => {}
                 ExecOutcome::Gap { expected } => {
                     debug_assert!(
                         false,
@@ -681,7 +792,8 @@ impl MultiBftNode {
             }
         }
         if self.exec.staged_records() as u64 >= self.cfg.sys.wal_flush_max_records.max(1) as u64 {
-            self.exec.flush_staged();
+            let flushed = self.exec.flush_staged();
+            Self::trace_flushed(&mut self.metrics, flushed, now);
         }
         // Mirror the durability alarm and the I/O counters after every
         // drain so a failed WAL write is visible the moment it happens,
@@ -689,10 +801,37 @@ impl MultiBftNode {
         Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
     }
 
+    /// Stamps `Flushed` + `Applied` lifecycle events for every block a
+    /// flush barrier just made durable and executed. Both carry the same
+    /// timestamp — the flush and the DAG apply complete in the same call;
+    /// the *wall-clock* split between them lives in
+    /// [`ladon_state::PipelinePerf`] — while the interesting sim-time
+    /// latency (`staged → flushed`: how long a block waited on the
+    /// cross-drain fsync barrier) is real and per-block.
+    fn trace_flushed(metrics: &mut NodeMetrics, flushed: std::ops::Range<u64>, now: TimeNs) {
+        for sn in flushed {
+            let lane = Self::confirm_lane(metrics, sn);
+            metrics.trace.record(sn, lane, Stage::Flushed, now);
+            metrics.trace.record(sn, lane, Stage::Applied, now);
+        }
+    }
+
+    /// Lane (producing instance) of a confirmed `sn`, looked up from the
+    /// confirm log (which is in `sn` order).
+    fn confirm_lane(metrics: &NodeMetrics, sn: u64) -> u32 {
+        metrics
+            .confirms
+            .binary_search_by_key(&sn, |c| c.sn)
+            .map(|i| metrics.confirms[i].instance)
+            .unwrap_or(0)
+    }
+
     /// Mirrors the execution pipeline's WAL health, I/O, scheduler, and
     /// execution counters into a metrics sink. An associated function so
-    /// it stays callable while `self.pacemaker` is borrowed.
-    fn mirror_exec_metrics(metrics: &mut NodeMetrics, exec: &ExecutionPipeline) {
+    /// it stays callable while `self.pacemaker` is borrowed; `pub` so
+    /// tests driving a pipeline directly (fault matrix) can build
+    /// Report-level assertions from the same mirror.
+    pub fn mirror_exec_metrics(metrics: &mut NodeMetrics, exec: &ExecutionPipeline) {
         metrics.wal_write_failures = exec.wal_write_failures();
         let io = exec.wal_io_stats();
         metrics.wal_fsyncs = io.fsyncs;
@@ -701,6 +840,15 @@ impl MultiBftNode {
         metrics.exec_waves = sched.waves;
         metrics.exec_cross_lane_edges = sched.cross_lane_edges;
         metrics.exec_max_wave_ops = sched.max_wave_ops;
+        let replay = exec.recovery_stats();
+        metrics.records_torn = replay.records_torn;
+        metrics.records_unacked_lost = replay.records_unacked_lost;
+        metrics.segments_clean_end = replay.segments_clean_end;
+        metrics.records_replayed = replay.records_replayed;
+        let perf = exec.perf();
+        metrics.wall_wal_flush_ns = perf.wall_wal_flush_ns;
+        metrics.wall_exec_ns = perf.wall_exec_ns;
+        metrics.flush_barriers = perf.flush_barriers;
         // Executed txs advance at flush time (staged blocks are not
         // executed yet), so the metric mirrors the pipeline's cumulative
         // count instead of summing per-drain outcomes — the *local* one:
@@ -1032,6 +1180,10 @@ impl MultiBftNode {
                 // here: surface the gap instead of leaving it implicit in
                 // a shorter log.
                 self.metrics.skipped_sns += snap.applied - applied_before;
+                // The prefix was never traced here either — jump the
+                // checkpoint-trace frontier so the next epoch sweep does
+                // not stamp blocks this replica never processed.
+                self.ckpt_traced_upto = self.ckpt_traced_upto.max(self.exec.applied());
                 snapshot_installed = true;
                 // Fast-forward the consensus layers past the snapshotted
                 // prefix: each instance's commit frontier jumps to the

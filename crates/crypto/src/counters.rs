@@ -131,6 +131,23 @@ impl CryptoCounters {
             + self.hashes as f64 * 1.0)
             / 1e6
     }
+
+    /// Total signature verifications (plain + aggregate), the headline
+    /// verify cost the cert cache avoids.
+    pub fn sig_verifies(&self) -> u64 {
+        self.verifies + self.agg_verifies
+    }
+}
+
+impl ladon_obs::SnapshotInto for CryptoCounters {
+    fn snapshot_into(&self, registry: &mut ladon_obs::MetricsRegistry) {
+        registry.counter("crypto.hashes", self.hashes);
+        registry.counter("crypto.signs", self.signs);
+        registry.counter("crypto.verifies", self.verifies);
+        registry.counter("crypto.agg_signs", self.agg_signs);
+        registry.counter("crypto.agg_verifies", self.agg_verifies);
+        registry.counter("crypto.qc_verify_hits", self.qc_verify_hits);
+    }
 }
 
 #[cfg(test)]

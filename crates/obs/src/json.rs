@@ -1,0 +1,475 @@
+//! A minimal, deterministic JSON value type with a writer and parser.
+//!
+//! The observability layer needs machine-readable exposition without a
+//! crates.io dependency (the build image is offline, and the vendored
+//! `serde` shim has no JSON backend). This module provides exactly what
+//! the registry and bench emitters need:
+//!
+//! - **Deterministic rendering**: object members render in insertion
+//!   order (the registry inserts from `BTreeMap`s, so keys are sorted),
+//!   floats render via Rust's shortest-roundtrip `Display` (stable
+//!   across platforms), and there is no whitespace ambiguity — the same
+//!   value always renders to the same bytes. This is what makes
+//!   "byte-identical snapshot JSON across seeded runs" a testable gate.
+//! - **No NaN leakage**: JSON has no NaN/Infinity literal. A non-finite
+//!   float renders as `null`, and the schema validator treats `null` in
+//!   a numeric field as a hard failure — a NaN can never silently pass
+//!   CI inside a committed `BENCH_*.json`.
+//! - **A parser** sufficient for reading back our own output and the
+//!   checked-in schema file (objects, arrays, strings with standard
+//!   escapes, numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also the rendering of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (renders without a decimal point).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (shortest-roundtrip rendering; non-finite renders null).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members render in vector order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a member of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, when it is any finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            Json::F64(v) if v.is_finite() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, when it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object members, when it is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, when it is an array.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Renders to a compact JSON string (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders with two-space indentation (the committed-file format:
+    /// stable, diffable line per leaf).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parses a JSON document (the whole input must be one value).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Floats render via shortest-roundtrip `Display` (deterministic and
+/// platform-independent); a value without a fractional part keeps a
+/// trailing `.0` so integers and floats stay distinguishable; non-finite
+/// values become `null` (caught later by the schema validator).
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at offset {}", *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'n' => expect(b, pos, "null").map(|()| Json::Null),
+        b't' => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {}", *pos)),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {}", *pos)),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        other => Err(format!(
+            "unexpected byte `{}` at offset {}",
+            other as char, *pos
+        )),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape `\\{}`", other as char)),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 from the source slice.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let slice = b
+                    .get(start..start + len)
+                    .ok_or_else(|| "truncated UTF-8".to_string())?;
+                let s = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *pos = start + len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::I64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_compact() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::U64(3)),
+            ("b".into(), Json::F64(1.5)),
+            ("c".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(v.render(), r#"{"a":3,"b":1.5,"c":[true,null]}"#);
+        assert_eq!(v.render(), v.render());
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point_and_nan_becomes_null() {
+        assert_eq!(Json::F64(3.0).render(), "3.0");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+        assert_eq!(Json::U64(3).render(), "3");
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("fig \"5\"\nscal\\ing".into())),
+            ("neg".into(), Json::I64(-7)),
+            ("big".into(), Json::U64(u64::MAX)),
+            ("pi".into(), Json::F64(std::f64::consts::PI)),
+            (
+                "nest".into(),
+                Json::Obj(vec![("x".into(), Json::Arr(vec![Json::U64(1)]))]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            ("unicode".into(), Json::Str("λadon — ≥".into())),
+        ]);
+        let compact = Json::parse(&v.render()).unwrap();
+        assert_eq!(compact, v);
+        let pretty = Json::parse(&v.render_pretty()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("{}extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"a": 3, "b": [1.5, "x"]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(Json::items).map(|i| i.len()), Some(2));
+        assert_eq!(v.get("b").unwrap().items().unwrap()[0].as_f64(), Some(1.5));
+        assert_eq!(v.get("b").unwrap().items().unwrap()[1].as_str(), Some("x"));
+        assert!(v.get("missing").is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the metrics registry: histogram merge must be
+//! order- and partition-invariant (the property that makes per-node
+//! registries safely mergeable into one run-level snapshot), and the
+//! registry's rendered snapshot must be independent of merge order.
+
+use ladon_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Observations plus a cut-point list partitioning them into chunks.
+fn observations() -> impl Strategy<Value = (Vec<u64>, Vec<usize>)> {
+    proptest::collection::vec(any::<u64>(), 0..200).prop_flat_map(|values| {
+        let n = values.len();
+        (Just(values), proptest::collection::vec(0..n + 1, 0..6))
+    })
+}
+
+/// Splits `values` at the (sorted, clamped) cut points.
+fn chunks(values: &[u64], cuts: &[usize]) -> Vec<Vec<u64>> {
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c.min(values.len())).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut out = Vec::new();
+    let mut start = 0;
+    for c in cuts {
+        out.push(values[start..c].to_vec());
+        start = c;
+    }
+    out.push(values[start..].to_vec());
+    out
+}
+
+proptest! {
+    /// One histogram fed everything equals any partition of the stream
+    /// into per-chunk histograms merged back — in any merge order.
+    #[test]
+    fn histogram_merge_is_partition_and_order_invariant(
+        (values, cuts) in observations()
+    ) {
+        let mut whole = Histogram::default();
+        for &v in &values {
+            whole.observe(v);
+        }
+
+        let parts: Vec<Histogram> = chunks(&values, &cuts)
+            .iter()
+            .map(|chunk| {
+                let mut h = Histogram::default();
+                for &v in chunk {
+                    h.observe(v);
+                }
+                h
+            })
+            .collect();
+
+        let mut forward = Histogram::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Histogram::default();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+        prop_assert_eq!(forward.to_json().render(), whole.to_json().render());
+    }
+
+    /// Registry merge is commutative on the rendered snapshot: counters
+    /// add, gauges max, histograms bucket-add — none are order-sensitive.
+    #[test]
+    fn registry_merge_order_does_not_change_snapshot_json(
+        counters in proptest::collection::vec((0u8..4, 0u64..1_000_000), 0..12),
+        gauges in proptest::collection::vec((0u8..4, 0u64..1_000_000), 0..12),
+        samples in proptest::collection::vec((0u8..4, any::<u64>()), 0..40),
+    ) {
+        let names = ["a.count", "b.count", "c.gauge", "d.hist"];
+        let mut left = MetricsRegistry::default();
+        let mut right = MetricsRegistry::default();
+        for (pick, (i, v)) in counters.iter().enumerate() {
+            let target = if pick % 2 == 0 { &mut left } else { &mut right };
+            target.counter(names[*i as usize], *v);
+        }
+        for (pick, (i, v)) in gauges.iter().enumerate() {
+            let target = if pick % 2 == 0 { &mut left } else { &mut right };
+            target.gauge(names[*i as usize], *v as f64);
+        }
+        for (pick, (i, v)) in samples.iter().enumerate() {
+            let target = if pick % 2 == 0 { &mut left } else { &mut right };
+            target.observe(names[*i as usize], *v);
+        }
+
+        let mut ab = MetricsRegistry::default();
+        ab.merge(&left);
+        ab.merge(&right);
+        let mut ba = MetricsRegistry::default();
+        ba.merge(&right);
+        ba.merge(&left);
+
+        prop_assert_eq!(
+            ab.snapshot().to_json().render(),
+            ba.snapshot().to_json().render()
+        );
+    }
+}

@@ -190,7 +190,7 @@ impl<M: WireSize + Clone> Context<M> for SimCtx<'_, M> {
                     },
                 });
             }
-            None => core.stats.dropped += 1,
+            None => core.stats.on_drop(self.self_id),
         }
     }
 

@@ -81,7 +81,7 @@ impl<M: WireSize + Clone> Context<M> for LiveCtx<M> {
                     },
                 });
             }
-            None => self.shared.stats.lock().unwrap().dropped += 1,
+            None => self.shared.stats.lock().unwrap().on_drop(self.self_id),
         }
     }
 

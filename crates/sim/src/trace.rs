@@ -4,6 +4,7 @@
 //! complexity). The engine updates them on every send/delivery; experiment
 //! code snapshots them over measurement windows.
 
+use ladon_obs::{MetricsRegistry, SnapshotInto};
 use ladon_types::TimeNs;
 
 /// Per-run network statistics.
@@ -17,8 +18,8 @@ pub struct NetStats {
     pub msgs_recv: Vec<u64>,
     /// Bytes delivered per actor.
     pub bytes_recv: Vec<u64>,
-    /// Messages dropped by the network model.
-    pub dropped: u64,
+    /// Messages dropped by the network model, per sending actor.
+    pub dropped: Vec<u64>,
 }
 
 impl NetStats {
@@ -29,7 +30,7 @@ impl NetStats {
             bytes_sent: vec![0; n],
             msgs_recv: vec![0; n],
             bytes_recv: vec![0; n],
-            dropped: 0,
+            dropped: vec![0; n],
         }
     }
 
@@ -40,6 +41,7 @@ impl NetStats {
             self.bytes_sent.resize(n, 0);
             self.msgs_recv.resize(n, 0);
             self.bytes_recv.resize(n, 0);
+            self.dropped.resize(n, 0);
         }
     }
 
@@ -55,6 +57,20 @@ impl NetStats {
     pub fn on_recv(&mut self, to: usize, bytes: u64) {
         self.msgs_recv[to] += 1;
         self.bytes_recv[to] += bytes;
+    }
+
+    /// Records a drop, charged to the sending actor.
+    #[inline]
+    pub fn on_drop(&mut self, from: usize) {
+        if self.dropped.len() <= from {
+            self.dropped.resize(from + 1, 0);
+        }
+        self.dropped[from] += 1;
+    }
+
+    /// Total messages dropped across all actors.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
     }
 
     /// Total messages sent across all actors.
@@ -92,8 +108,19 @@ impl NetStats {
             bytes_sent: sub(&self.bytes_sent, &earlier.bytes_sent),
             msgs_recv: sub(&self.msgs_recv, &earlier.msgs_recv),
             bytes_recv: sub(&self.bytes_recv, &earlier.bytes_recv),
-            dropped: self.dropped - earlier.dropped,
+            dropped: sub(&self.dropped, &earlier.dropped),
         }
+    }
+}
+
+impl SnapshotInto for NetStats {
+    fn snapshot_into(&self, registry: &mut MetricsRegistry) {
+        registry.counter("net.msgs_sent", self.total_msgs());
+        registry.counter("net.bytes_sent", self.total_bytes());
+        registry.counter("net.msgs_recv", self.msgs_recv.iter().sum());
+        registry.counter("net.bytes_recv", self.bytes_recv.iter().sum());
+        registry.counter("net.dropped", self.dropped_total());
+        registry.series_merge("net.dropped_per_actor", &self.dropped);
     }
 }
 
@@ -141,5 +168,30 @@ mod tests {
         s.ensure_len(4);
         s.on_send(3, 7);
         assert_eq!(s.bytes_sent[3], 7);
+    }
+
+    #[test]
+    fn drops_are_per_actor_and_windowed() {
+        let mut s = NetStats::new(3);
+        s.on_drop(2);
+        s.on_drop(2);
+        s.on_drop(0);
+        assert_eq!(s.dropped, vec![1, 0, 2]);
+        assert_eq!(s.dropped_total(), 3);
+        let a = s.clone();
+        s.on_drop(1);
+        let d = s.since(&a);
+        assert_eq!(d.dropped, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn snapshot_into_registry() {
+        let mut s = NetStats::new(2);
+        s.on_send(0, 64);
+        s.on_drop(1);
+        let mut r = MetricsRegistry::new();
+        s.snapshot_into(&mut r);
+        assert_eq!(r.counter_value("net.dropped"), 1);
+        assert_eq!(r.series("net.dropped_per_actor"), Some(&[0, 1][..]));
     }
 }

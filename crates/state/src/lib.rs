@@ -38,7 +38,9 @@ pub mod wal;
 pub use kv::{
     lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, DEFAULT_KEYSPACE, MERKLE_LANES,
 };
-pub use pipeline::{static_lane_mask, ExecOutcome, ExecSchedStats, ExecutionPipeline, ReplayStats};
+pub use pipeline::{
+    static_lane_mask, ExecOutcome, ExecSchedStats, ExecutionPipeline, PipelinePerf, ReplayStats,
+};
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use wal::{
     decode_records, decode_segment, group_of_lane, CommitWal, FileBackend, MemBackend,

@@ -148,6 +148,55 @@ pub struct ExecSchedStats {
     pub max_wave_ops: u32,
 }
 
+/// Wall-clock split of the flush barrier, cumulative per pipeline: how
+/// much real time went into WAL durability (fsync-barrier wait) vs.
+/// DAG execution (apply_batch). The `wall_` names mark these
+/// non-deterministic by the obs convention — they never enter the
+/// determinism gates, but they are exactly the breakdown the perf
+/// trajectory and ROADMAP item 3 (pipelined durability) need.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelinePerf {
+    /// Nanoseconds spent inside `wal.flush()` barriers.
+    pub wall_wal_flush_ns: u64,
+    /// Nanoseconds spent executing staged ops (DAG apply + ledger).
+    pub wall_exec_ns: u64,
+    /// Flush barriers taken (denominator for per-barrier means).
+    pub flush_barriers: u64,
+}
+
+impl ladon_obs::SnapshotInto for PipelinePerf {
+    fn snapshot_into(&self, registry: &mut ladon_obs::MetricsRegistry) {
+        registry.counter("pipeline.wall_wal_flush_ns", self.wall_wal_flush_ns);
+        registry.counter("pipeline.wall_exec_ns", self.wall_exec_ns);
+        registry.counter("pipeline.flush_barriers", self.flush_barriers);
+    }
+}
+
+impl ladon_obs::SnapshotInto for ExecSchedStats {
+    fn snapshot_into(&self, registry: &mut ladon_obs::MetricsRegistry) {
+        registry.counter("exec.batches", self.batches);
+        registry.counter("exec.waves", self.waves);
+        registry.counter("exec.scheduled_ops", self.scheduled_ops);
+        registry.counter("exec.cross_lane_edges", self.cross_lane_edges);
+        registry.gauge("exec.max_wave_ops", self.max_wave_ops as f64);
+    }
+}
+
+impl ladon_obs::SnapshotInto for ReplayStats {
+    fn snapshot_into(&self, registry: &mut ladon_obs::MetricsRegistry) {
+        registry.counter("replay.segments_scanned", self.segments_scanned);
+        registry.counter("replay.segments_skipped", self.segments_skipped);
+        registry.counter("replay.records_below_floor", self.records_below_floor);
+        registry.counter("replay.records_torn", self.records_torn);
+        registry.counter("replay.records_unacked_lost", self.records_unacked_lost);
+        registry.counter("replay.segments_clean_end", self.segments_clean_end);
+        registry.counter("replay.manifest_recovered", self.manifest_recovered as u64);
+        registry.counter("replay.records_replayed", self.records_replayed);
+        registry.counter("replay.replayed_txs", self.replayed_txs);
+        registry.gauge("replay.dirty_lanes", self.dirty_lanes() as f64);
+    }
+}
+
 /// The static lane-routing mask of a block's derived ops: bit `l` set
 /// when some op routes to Merkle lane `l`. Computed *before* execution
 /// (a transfer sets both its debit and its credit lane, whether or not
@@ -208,6 +257,8 @@ pub struct ExecutionPipeline {
     sched: ExecSchedStats,
     /// What the last rebuild replayed (all zeros for fresh pipelines).
     recovery: ReplayStats,
+    /// Wall-clock split of the flush barrier (see [`PipelinePerf`]).
+    perf: PipelinePerf,
 }
 
 impl ExecutionPipeline {
@@ -244,6 +295,7 @@ impl ExecutionPipeline {
             staged: Vec::new(),
             sched: ExecSchedStats::default(),
             recovery: ReplayStats::default(),
+            perf: PipelinePerf::default(),
         }
     }
 
@@ -487,23 +539,34 @@ impl ExecutionPipeline {
     /// blocks, and recovery replays a batched log byte-identically to a
     /// per-record one (the DAG is sequentially equivalent, so replaying
     /// record by record reproduces the same state).
-    pub fn flush_staged(&mut self) {
+    /// Returns the dense `sn` range the flush made durable and applied
+    /// (`start..end`, empty when nothing was staged) — the node's
+    /// lifecycle tracer uses it to stamp per-block `Flushed`/`Applied`
+    /// events without re-deriving the staged set.
+    pub fn flush_staged(&mut self) -> std::ops::Range<u64> {
         if self.staged.is_empty() {
-            return;
+            return self.applied..self.applied;
         }
+        let flush_t0 = std::time::Instant::now();
         self.wal.flush();
+        self.perf.wall_wal_flush_ns += flush_t0.elapsed().as_nanos() as u64;
+        self.perf.flush_barriers += 1;
         let staged = std::mem::take(&mut self.staged);
+        let first = staged.first().map_or(self.applied, |(sn, _)| *sn);
         let total: usize = staged.iter().map(|(_, ops)| ops.len()).sum();
         let mut flat: Vec<TxOp> = Vec::with_capacity(total);
         for (_, ops) in &staged {
             flat.extend_from_slice(ops);
         }
+        let exec_t0 = std::time::Instant::now();
         let out = self.kv.apply_batch(&flat);
         self.absorb_outcome(&out);
         for (sn, ops) in &staged {
             self.account_block(*sn, ops);
             self.applied = sn + 1;
         }
+        self.perf.wall_exec_ns += exec_t0.elapsed().as_nanos() as u64;
+        first..self.applied
     }
 
     /// Blocks staged but not yet flushed — the size the cross-drain
@@ -731,6 +794,13 @@ impl ExecutionPipeline {
     /// `Report`.
     pub fn wal_io_stats(&self) -> crate::wal::WalIoStats {
         self.wal.io_stats()
+    }
+
+    /// Cumulative wall-clock split of the flush barrier: WAL durability
+    /// wait vs. DAG execution time. Real elapsed time (`wall_` by the
+    /// obs convention) — never part of the determinism gates.
+    pub fn perf(&self) -> PipelinePerf {
+        self.perf
     }
 
     /// Read access to the KV state (assertions and examples).

@@ -573,6 +573,15 @@ pub struct WalIoStats {
     pub bytes_written: u64,
 }
 
+impl ladon_obs::SnapshotInto for WalIoStats {
+    fn snapshot_into(&self, registry: &mut ladon_obs::MetricsRegistry) {
+        registry.counter("wal.appends", self.appends);
+        registry.counter("wal.fsyncs", self.fsyncs);
+        registry.counter("wal.segment_opens", self.segment_opens);
+        registry.counter("wal.bytes_written", self.bytes_written);
+    }
+}
+
 /// Segment-file storage behind a [`CommitWal`].
 ///
 /// Every mutating operation returns `false` on failure; the WAL treats a

@@ -17,6 +17,6 @@ pub mod report;
 pub mod runner;
 
 pub use client::ClientFleet;
-pub use metrics::{aggregate, Report, RunData};
+pub use metrics::{aggregate, Report, RunData, StageLatency};
 pub use report::{cs_fmt, f2, f3, scale, Scale, Table};
 pub use runner::{run_experiment, ExperimentConfig};

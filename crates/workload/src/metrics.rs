@@ -8,6 +8,7 @@
 //! replica, so aggregation happens here, after the run.
 
 use ladon_core::{ConfirmRecord, NodeMetrics};
+use ladon_obs::{MetricsRegistry, MetricsSnapshot, SnapshotInto};
 use ladon_types::{Digest, TimeNs};
 use std::collections::{BTreeMap, HashMap};
 
@@ -110,6 +111,67 @@ pub struct Report {
     /// Mean ops per wave at the reference replica (`executed_txs /
     /// exec_waves`) — the executor's mean exploitable parallelism.
     pub mean_ops_per_wave: f64,
+    /// Records dropped from torn WAL tails at recovery, summed across
+    /// replicas (genuinely acknowledged loss — the fault matrix asserts
+    /// on this at Report level).
+    pub records_torn: u64,
+    /// Never-acknowledged records missing from cleanly-ended segments at
+    /// recovery, summed across replicas.
+    pub records_unacked_lost: u64,
+    /// Scanned segments whose stream ended cleanly at a batch trailer,
+    /// summed across replicas.
+    pub segments_clean_end: u64,
+    /// WAL-tail records re-executed at recovery, summed across replicas.
+    pub records_replayed: u64,
+    /// Certificate verifications skipped via the per-instance
+    /// verified-cert cache over the measurement window (filled by the
+    /// runner from [`ladon_crypto::CryptoCounters`]) — the PR 5
+    /// cert-cache win, visible in run output.
+    pub qc_verify_hits: u64,
+    /// Signature verifications actually performed over the window
+    /// (plain + aggregate), from the same counters.
+    pub sig_verifies: u64,
+    /// Messages dropped by the network model over the window, per
+    /// sending actor (filled by the runner from `NetStats`).
+    pub net_dropped: Vec<u64>,
+    /// Sum of [`Self::net_dropped`].
+    pub net_dropped_total: u64,
+    /// Per-block lifecycle stage latencies at the reference replica:
+    /// one summary per adjacent stage transition (`staged_to_flushed` is
+    /// the cross-drain fsync-barrier wait, `flushed_to_applied` the DAG
+    /// execution stage). Sim-time derived, so deterministic.
+    pub stage_latencies: Vec<StageLatency>,
+    /// Wall-clock nanoseconds replicas spent inside WAL flush barriers,
+    /// summed (real elapsed time — the `wall_` obs convention, excluded
+    /// from determinism comparisons).
+    pub wall_wal_flush_ns: u64,
+    /// Wall-clock nanoseconds replicas spent executing staged ops
+    /// (dependency-DAG apply), summed.
+    pub wall_exec_ns: u64,
+    /// Flush barriers taken across replicas (denominator for
+    /// per-barrier wall-clock means).
+    pub flush_barriers: u64,
+    /// The unified metrics snapshot: every replica's counters merged
+    /// through the order-invariant registry, plus run-level network and
+    /// crypto counters (filled by the runner). `to_json()` is the one
+    /// exposition path; `deterministic_json()` must be byte-identical
+    /// across same-seed runs.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Summary of one lifecycle stage transition's latency distribution.
+#[derive(Clone, Debug, Default)]
+pub struct StageLatency {
+    /// Transition name, e.g. `"staged_to_flushed"`.
+    pub transition: String,
+    /// Transitions observed.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median (log2-bucket resolution) in milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile (log2-bucket resolution) in milliseconds.
+    pub p99_ms: f64,
 }
 
 /// Inputs to aggregation.
@@ -277,6 +339,37 @@ pub fn aggregate(data: &RunData) -> Report {
     let wal_write_failures = data.nodes.iter().map(|n| n.wal_write_failures).sum();
     let wal_fsyncs = data.nodes.iter().map(|n| n.wal_fsyncs).sum();
     let wal_bytes_written = data.nodes.iter().map(|n| n.wal_bytes_written).sum();
+    let records_torn = data.nodes.iter().map(|n| n.records_torn).sum();
+    let records_unacked_lost = data.nodes.iter().map(|n| n.records_unacked_lost).sum();
+    let segments_clean_end = data.nodes.iter().map(|n| n.segments_clean_end).sum();
+    let records_replayed = data.nodes.iter().map(|n| n.records_replayed).sum();
+    let wall_wal_flush_ns = data.nodes.iter().map(|n| n.wall_wal_flush_ns).sum();
+    let wall_exec_ns = data.nodes.iter().map(|n| n.wall_exec_ns).sum();
+    let flush_barriers = data.nodes.iter().map(|n| n.flush_barriers).sum();
+
+    // Reference-replica lifecycle stage latencies (sim-time ns →
+    // milliseconds). Log2-bucketed, so p50/p99 carry bucket resolution.
+    let stage_latencies: Vec<StageLatency> = reference
+        .trace
+        .stage_latencies()
+        .into_iter()
+        .map(|(transition, h)| StageLatency {
+            transition,
+            count: h.count(),
+            mean_ms: h.mean() / 1e6,
+            p50_ms: h.quantile(0.50) as f64 / 1e6,
+            p99_ms: h.quantile(0.99) as f64 / 1e6,
+        })
+        .collect();
+
+    // The unified snapshot: merge every replica's registry. The merge is
+    // commutative and associative (counters add, gauges max, histograms
+    // add bucket-wise), so replica order cannot perturb the result.
+    let mut registry = MetricsRegistry::new();
+    for node in &data.nodes {
+        node.snapshot_into(&mut registry);
+    }
+    let metrics = registry.snapshot();
 
     // Timeline: per-sample ktps at the reference replica (Fig. 8).
     let mut timeline = Vec::new();
@@ -339,6 +432,19 @@ pub fn aggregate(data: &RunData) -> Report {
         wal_write_failures,
         wal_fsyncs,
         wal_bytes_written,
+        records_torn,
+        records_unacked_lost,
+        segments_clean_end,
+        records_replayed,
+        qc_verify_hits: 0,       // filled by the runner from CryptoCounters
+        sig_verifies: 0,         // filled by the runner from CryptoCounters
+        net_dropped: Vec::new(), // filled by the runner from NetStats
+        net_dropped_total: 0,
+        stage_latencies,
+        wall_wal_flush_ns,
+        wall_exec_ns,
+        flush_barriers,
+        metrics,
     }
 }
 

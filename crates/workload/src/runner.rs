@@ -297,6 +297,19 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Report {
     report.cpu_pct = crypto1.cpu_seconds_proxy() / n as f64 / window.as_secs_f64() * 100.0;
     report.msgs_total = stats1.msgs_sent.iter().take(n).sum();
     report.bytes_total = stats1.bytes_sent.iter().take(n).sum();
+    // Cert-cache and verification totals over the window (thread-local
+    // counters, so they cover the whole simulated fleet).
+    report.qc_verify_hits = crypto1.qc_verify_hits;
+    report.sig_verifies = crypto1.sig_verifies();
+    // Per-actor drop counts (replicas + the client-fleet actor).
+    report.net_dropped = stats1.dropped.clone();
+    report.net_dropped_total = stats1.dropped_total();
+    // Fold the run-level network and crypto counters into the unified
+    // snapshot next to the per-replica merge from `aggregate`.
+    let mut run_registry = ladon_obs::MetricsRegistry::new();
+    ladon_obs::SnapshotInto::snapshot_into(&stats1, &mut run_registry);
+    ladon_obs::SnapshotInto::snapshot_into(&crypto1, &mut run_registry);
+    report.metrics.merge(&run_registry.snapshot());
     report
 }
 
@@ -319,6 +332,26 @@ mod tests {
         );
         assert!(report.mean_latency_s > 0.0);
         assert!(report.causal_strength > 0.99);
+        // Observability surface: crypto, per-actor network accounting and
+        // lifecycle stage latencies all reach the report.
+        assert!(
+            report.sig_verifies > 0,
+            "a confirming cluster must verify signatures: {report:?}"
+        );
+        assert_eq!(
+            report.net_dropped.iter().sum::<u64>(),
+            report.net_dropped_total
+        );
+        let confirmed = report
+            .stage_latencies
+            .iter()
+            .find(|s| s.transition == "proposed_to_confirmed")
+            .expect("lifecycle trace must cover proposed -> confirmed");
+        assert!(confirmed.count > 0 && confirmed.mean_ms > 0.0);
+        assert!(
+            report.flush_barriers > 0,
+            "group-commit flushes must be counted: {report:?}"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@
 pub use ladon_core as core;
 pub use ladon_crypto as crypto;
 pub use ladon_hotstuff as hotstuff;
+pub use ladon_obs as obs;
 pub use ladon_pbft as pbft;
 pub use ladon_sim as sim;
 pub use ladon_state as state;

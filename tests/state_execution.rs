@@ -992,3 +992,77 @@ fn batched_execution_crash_matrix_recovers_acked_prefix() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// Report-level fault surfacing: a torn WAL tail must show up not just
+/// in [`ladon::state::ReplayStats`] but all the way through
+/// `NodeMetrics` aggregation into the experiment [`Report`] — the same
+/// chain the runner uses — so fault-matrix outcomes are assertable from
+/// the top-level document.
+#[test]
+fn torn_wal_recovery_surfaces_replay_stats_in_report() {
+    use ladon::state::{static_lane_mask, TRAILER_LEN};
+    use ladon::types::{Block, TimeNs, TxOp};
+    use ladon::workload::{aggregate, metrics::empty_nodes, RunData};
+
+    let opts = WalOptions {
+        lane_groups: 1,
+        segment_records: 4,
+    };
+    let keyspace = DEFAULT_KEYSPACE;
+    let dir = scratch_dir("report-torn", 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let mut wal = CommitWal::open(
+            Box::new(FileBackend::open_dir(dir.join("wal")).unwrap()),
+            opts,
+        );
+        for sn in 0..12u64 {
+            let b = Block::synthetic(sn, sn * 16, 16);
+            let ops: Vec<TxOp> = b.batch.txs(keyspace).map(|tx| tx.op).collect();
+            wal.append_buffered(WalRecord::of_block(sn, &b, static_lane_mask(&ops)));
+            if sn % 4 == 3 {
+                assert!(wal.flush());
+            }
+        }
+        assert_eq!(wal.write_failures(), 0);
+    }
+    // Tear the newest segment mid-batch (trailer plus a few record
+    // bytes): an acknowledged-loss tail, with the prefix intact.
+    let mut segs: Vec<std::path::PathBuf> = std::fs::read_dir(dir.join("wal"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segs.sort();
+    let victim = segs.last().expect("the run must have produced segments");
+    let bytes = std::fs::read(victim).unwrap();
+    std::fs::write(victim, &bytes[..bytes.len() - TRAILER_LEN - 7]).unwrap();
+
+    let recovered = ExecutionPipeline::recover_opts(&dir, keyspace, 1, opts).unwrap();
+    let stats = recovered.recovery_stats().clone();
+    assert!(
+        stats.records_torn > 0,
+        "the tear must classify as torn loss"
+    );
+    assert!(stats.records_replayed > 0, "the intact prefix must replay");
+    assert!(stats.segments_clean_end > 0, "untouched segments end clean");
+
+    // The same chain the runner uses: pipeline -> NodeMetrics -> Report.
+    let mut nodes = empty_nodes(4);
+    MultiBftNode::mirror_exec_metrics(&mut nodes[0], &recovered);
+    let report = aggregate(&RunData {
+        nodes,
+        f: 1,
+        window_start: TimeNs::ZERO,
+        window_end: TimeNs::from_millis(1_000),
+        reference: 0,
+        waiting_blocks: 0,
+    });
+    assert_eq!(report.records_torn, stats.records_torn);
+    assert_eq!(report.records_unacked_lost, stats.records_unacked_lost);
+    assert_eq!(report.records_replayed, stats.records_replayed);
+    assert_eq!(report.segments_clean_end, stats.segments_clean_end);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -213,6 +213,34 @@ fn run_smoke_suite(pass: &str) -> BenchReport {
             ("wall_exec_ns", Json::U64(base.wall_exec_ns)),
         ]),
     );
+    // Pipelined durability: the failure alarm must be silent on a
+    // healthy run (a nonzero count is exactly the swallowed-barrier bug
+    // this figure exists to catch), and the cross-drain path must have
+    // genuinely overlapped barriers with execution.
+    assert_eq!(
+        base.wal_flush_failures, 0,
+        "healthy smoke run reported failed flush barriers"
+    );
+    assert!(
+        base.wal_pipelined_submits > 0,
+        "the pipelined drain never overlapped a barrier"
+    );
+    report.add_figure(
+        "fig_wal_pipeline",
+        fields(vec![
+            ("wal_flush_failures", Json::U64(base.wal_flush_failures)),
+            ("pipelined_submits", Json::U64(base.wal_pipelined_submits)),
+            ("flush_barriers", Json::U64(base.flush_barriers)),
+            (
+                "fsyncs_per_barrier",
+                Json::F64(if base.flush_barriers > 0 {
+                    base.wal_fsyncs as f64 / base.flush_barriers as f64
+                } else {
+                    0.0
+                }),
+            ),
+        ]),
+    );
     report.add_figure("trace_lifecycle", lifecycle_fields(&base));
     report.add_figure("fig_recovery_scaling", recovery_fields(pass));
     report

@@ -199,6 +199,27 @@ pub struct NodeMetrics {
     pub wall_exec_ns: u64,
     /// Flush barriers taken (denominator for per-barrier wall means).
     pub flush_barriers: u64,
+    /// Flush barriers whose durable step failed, mirrored from
+    /// [`ladon_state::PipelinePerf::wal_flush_failures`] — the alarm the
+    /// node raises **before** a drained range is treated as durable
+    /// (previously the outcome was swallowed inside the pipeline). Must
+    /// stay 0; nonzero means ranges were applied whose durability the
+    /// storage never confirmed.
+    pub wal_flush_failures: u64,
+    /// Barriers submitted while the previous barrier was still in
+    /// flight — genuine write/execute overlap windows, from
+    /// [`ladon_state::PipelinePerf::pipelined_submits`]. Deterministic
+    /// (identical in pipelined File mode and inline simulation).
+    pub wal_pipelined_submits: u64,
+    /// Peak records inside one in-flight barrier, from
+    /// [`ladon_state::PipelinePerf::inflight_records_peak`].
+    pub wal_inflight_records_peak: u64,
+    /// Per-barrier wall-clock token-wait samples (`wall_`, excluded from
+    /// determinism gates), from [`ladon_state::PipelinePerf`].
+    pub barrier_wait: ladon_obs::Histogram,
+    /// Per-barrier wall-clock in-flight (overlap) window samples, from
+    /// the same counters.
+    pub barrier_overlap: ladon_obs::Histogram,
     /// Per-block lifecycle journal: timestamped stage transitions
     /// (submitted → proposed → confirmed → staged → flushed → applied →
     /// checkpointed) with incrementally maintained stage-latency
@@ -233,6 +254,14 @@ impl ladon_obs::SnapshotInto for NodeMetrics {
         registry.counter("pipeline.wall_wal_flush_ns", self.wall_wal_flush_ns);
         registry.counter("pipeline.wall_exec_ns", self.wall_exec_ns);
         registry.counter("pipeline.flush_barriers", self.flush_barriers);
+        registry.counter("pipeline.wal_flush_failures", self.wal_flush_failures);
+        registry.counter("pipeline.pipelined_submits", self.wal_pipelined_submits);
+        registry.gauge(
+            "pipeline.inflight_records_peak",
+            self.wal_inflight_records_peak as f64,
+        );
+        registry.merge_histogram("pipeline.wall_barrier_wait_ns", &self.barrier_wait);
+        registry.merge_histogram("pipeline.wall_barrier_overlap_ns", &self.barrier_overlap);
         self.trace.snapshot_into(registry);
     }
 }
@@ -257,6 +286,10 @@ const T_CRASH: u64 = 4;
 const T_SAMPLE: u64 = 5;
 const T_QUIET: u64 = 6;
 const T_SYNC: u64 = 7;
+/// Time-based flush policy: drain staged WAL records into a barrier
+/// submit even when the record-count threshold has not been reached
+/// (`SystemConfig::wal_flush_interval_ms`; 0 disables the timer).
+const T_FLUSH: u64 = 8;
 
 /// State-transfer probe period.
 const SYNC_PERIOD: TimeNs = TimeNs::from_millis(1000);
@@ -792,7 +825,15 @@ impl MultiBftNode {
             }
         }
         if self.exec.staged_records() as u64 >= self.cfg.sys.wal_flush_max_records.max(1) as u64 {
-            let flushed = self.exec.flush_staged();
+            // Pipelined drain: submit this accumulation's barrier and
+            // apply the *previous* batch whose barrier token just
+            // resolved — in File mode batch N's write+fsync now runs on
+            // the writer thread while the next drain stages batch N+1.
+            // Mirror (raising `wal_flush_failures`) BEFORE tracing the
+            // resolved range as flushed+applied: a failed barrier must
+            // alarm before any range is treated as durable.
+            let flushed = self.exec.submit_staged();
+            Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
             Self::trace_flushed(&mut self.metrics, flushed, now);
         }
         // Mirror the durability alarm and the I/O counters after every
@@ -849,6 +890,11 @@ impl MultiBftNode {
         metrics.wall_wal_flush_ns = perf.wall_wal_flush_ns;
         metrics.wall_exec_ns = perf.wall_exec_ns;
         metrics.flush_barriers = perf.flush_barriers;
+        metrics.wal_flush_failures = perf.wal_flush_failures;
+        metrics.wal_pipelined_submits = perf.pipelined_submits;
+        metrics.wal_inflight_records_peak = perf.inflight_records_peak;
+        metrics.barrier_wait = perf.barrier_wait.clone();
+        metrics.barrier_overlap = perf.barrier_overlap.clone();
         // Executed txs advance at flush time (staged blocks are not
         // executed yet), so the metric mirrors the pipeline's cumulative
         // count instead of summing per-drain outcomes — the *local* one:
@@ -1319,6 +1365,17 @@ impl Actor<NodeMsg> for MultiBftNode {
         if let Some(every) = self.cfg.sample_interval {
             ctx.set_timer(every, enc(T_SAMPLE, 0, 0, 0));
         }
+        // Time-based flush policy: with a nonzero interval, staged WAL
+        // accumulations that never reach `wal_flush_max_records` are
+        // still drained into a barrier submit on a fixed cadence, so a
+        // lull in confirmations bounds (rather than defers forever) the
+        // unacknowledged window. Sim timers keep it deterministic.
+        if self.cfg.sys.wal_flush_interval_ms > 0 {
+            ctx.set_timer(
+                TimeNs::from_millis(self.cfg.sys.wal_flush_interval_ms as u64),
+                enc(T_FLUSH, 0, 0, 0),
+            );
+        }
     }
 
     fn on_message(&mut self, from: ActorId, msg: NodeMsg, ctx: &mut dyn Context<NodeMsg>) {
@@ -1394,6 +1451,23 @@ impl Actor<NodeMsg> for MultiBftNode {
                     self.send_sync_request(ctx);
                 }
                 ctx.set_timer(SYNC_PERIOD, enc(T_SYNC, 0, 0, 0));
+            }
+            T_FLUSH => {
+                // Drain whatever accumulated below the record-count
+                // threshold, and resolve any in-flight barrier token so
+                // its batch gets applied even if no further confirm ever
+                // arrives. Same alarm-before-durable ordering as the
+                // threshold drain in `record_confirms`.
+                if self.exec.staged_records() > 0 || self.exec.inflight_records() > 0 {
+                    let now = ctx.now();
+                    let flushed = self.exec.submit_staged();
+                    Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
+                    Self::trace_flushed(&mut self.metrics, flushed, now);
+                }
+                ctx.set_timer(
+                    TimeNs::from_millis(self.cfg.sys.wal_flush_interval_ms as u64),
+                    enc(T_FLUSH, 0, 0, 0),
+                );
             }
             T_QUIET
                 // `round` carries the commit count captured at arming time:

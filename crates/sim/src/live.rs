@@ -6,6 +6,18 @@
 //! processes deliveries; a clock thread holds a delay queue and releases
 //! messages when they fall due. Used by the `live_cluster` example to
 //! demonstrate that the protocol crates are runtime-agnostic.
+//!
+//! ## Companion threads (per-node WAL writer)
+//!
+//! Actors may own worker threads of their own: a file-backed
+//! `MultiBftNode` runs its WAL barriers on a dedicated `ladon-wal-writer`
+//! thread (pipelined durability), so a live cluster of `n` file-backed
+//! nodes runs `n` actor threads + `n` writer threads + 1 clock thread.
+//! The runtime never sees those companions — they are owned by the actor
+//! state returned from [`LiveRuntime::shutdown`], and each one drains its
+//! in-flight barrier and joins when that state (its `CommitWal`) drops.
+//! Shut down the runtime and drop (or inspect, then drop) the returned
+//! actors to tear the whole tree down; nothing detaches.
 
 use crate::engine::{Actor, ActorId, Context};
 use crate::net::Network;
@@ -155,7 +167,10 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
             let shared = shared.clone();
             let clock_tx = clock_tx.clone();
             let rng = seed_rng.fork();
-            actor_handles.push(std::thread::spawn(move || {
+            // Named so a live cluster's thread tree reads cleanly next to
+            // the per-node "ladon-wal-writer" companions (see module doc).
+            let builder = std::thread::Builder::new().name(format!("ladon-actor-{id}"));
+            let handle = builder.spawn(move || {
                 let mut ctx = LiveCtx {
                     self_id: id,
                     shared: shared.clone(),
@@ -182,7 +197,8 @@ impl<M: WireSize + Clone + Send + 'static> LiveRuntime<M> {
                     }
                 }
                 actor
-            }));
+            });
+            actor_handles.push(handle.expect("spawn actor thread"));
         }
 
         Self {

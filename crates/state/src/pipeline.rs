@@ -148,20 +148,41 @@ pub struct ExecSchedStats {
     pub max_wave_ops: u32,
 }
 
-/// Wall-clock split of the flush barrier, cumulative per pipeline: how
-/// much real time went into WAL durability (fsync-barrier wait) vs.
-/// DAG execution (apply_batch). The `wall_` names mark these
-/// non-deterministic by the obs convention — they never enter the
-/// determinism gates, but they are exactly the breakdown the perf
-/// trajectory and ROADMAP item 3 (pipelined durability) need.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Barrier accounting of the execution pipeline, cumulative: the
+/// wall-clock split between WAL durability (fsync-barrier wait) and DAG
+/// execution (apply_batch), plus the deterministic barrier counters the
+/// durability alarms and the pipelining gates ride on. The `wall_`
+/// names mark those fields non-deterministic by the obs convention —
+/// they never enter the determinism gates, while the counters do.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PipelinePerf {
-    /// Nanoseconds spent inside `wal.flush()` barriers.
+    /// Nanoseconds spent inside WAL flush barriers (submit + token
+    /// wait).
     pub wall_wal_flush_ns: u64,
     /// Nanoseconds spent executing staged ops (DAG apply + ledger).
     pub wall_exec_ns: u64,
-    /// Flush barriers taken (denominator for per-barrier means).
+    /// Flush barriers submitted (denominator for per-barrier means).
     pub flush_barriers: u64,
+    /// Flush barriers whose durable step **failed** (deterministic
+    /// durability alarm): the batch was still applied — the WAL mirror
+    /// stays authoritative — but its range must not be treated as
+    /// durable. Previously this outcome was swallowed inside
+    /// `flush_staged`.
+    pub wal_flush_failures: u64,
+    /// Barriers submitted while the previous barrier was still in
+    /// flight — each one is a genuine write/execute overlap window
+    /// (deterministic: the submit/complete structure is identical in
+    /// pipelined and inline modes).
+    pub pipelined_submits: u64,
+    /// Peak records inside one in-flight barrier (deterministic;
+    /// snapshots as a max-merged gauge).
+    pub inflight_records_peak: u64,
+    /// Wall-clock ns blocked resolving a barrier token at complete time
+    /// (per-barrier samples).
+    pub barrier_wait: ladon_obs::Histogram,
+    /// Wall-clock ns each barrier spent in flight before its completion
+    /// began — the window overlapped with staging/execution.
+    pub barrier_overlap: ladon_obs::Histogram,
 }
 
 impl ladon_obs::SnapshotInto for PipelinePerf {
@@ -169,6 +190,14 @@ impl ladon_obs::SnapshotInto for PipelinePerf {
         registry.counter("pipeline.wall_wal_flush_ns", self.wall_wal_flush_ns);
         registry.counter("pipeline.wall_exec_ns", self.wall_exec_ns);
         registry.counter("pipeline.flush_barriers", self.flush_barriers);
+        registry.counter("pipeline.wal_flush_failures", self.wal_flush_failures);
+        registry.counter("pipeline.pipelined_submits", self.pipelined_submits);
+        registry.gauge(
+            "pipeline.inflight_records_peak",
+            self.inflight_records_peak as f64,
+        );
+        registry.merge_histogram("pipeline.wall_barrier_wait_ns", &self.barrier_wait);
+        registry.merge_histogram("pipeline.wall_barrier_overlap_ns", &self.barrier_overlap);
     }
 }
 
@@ -217,6 +246,19 @@ pub fn static_lane_mask(ops: &[TxOp]) -> u64 {
     mask
 }
 
+/// A batch whose WAL barrier is in flight: submitted to the writer by
+/// [`ExecutionPipeline::submit_staged`], token not yet resolved. The
+/// blocks' derived ops ride along so the apply can run at completion —
+/// after durability, never before.
+/// A drained run of confirmed blocks: `(sn, derived ops)` in order.
+type StagedBlocks = Vec<(u64, Vec<TxOp>)>;
+
+struct InFlightBatch {
+    blocks: StagedBlocks,
+    /// When the barrier was submitted (feeds the overlap histogram).
+    submitted_at: std::time::Instant,
+}
+
 /// The replica's execution pipeline.
 pub struct ExecutionPipeline {
     kv: KvState,
@@ -253,6 +295,11 @@ pub struct ExecutionPipeline {
     /// flushed + applied — the cross-drain group-commit accumulator.
     /// Staged blocks are unacknowledged: a crash loses exactly them.
     staged: Vec<(u64, Vec<TxOp>)>,
+    /// The batch whose WAL barrier is in flight (submitted via
+    /// [`Self::submit_staged`], token not yet resolved). Its blocks are
+    /// neither acknowledged nor applied — WAL-before-apply holds at
+    /// batch granularity — and a crash loses exactly them plus `staged`.
+    inflight: Option<InFlightBatch>,
     /// Cumulative wave-scheduler accounting.
     sched: ExecSchedStats,
     /// What the last rebuild replayed (all zeros for fresh pipelines).
@@ -293,6 +340,7 @@ impl ExecutionPipeline {
             lane_ops: vec![0; MERKLE_LANES as usize],
             lane_last_sn: vec![None; MERKLE_LANES as usize],
             staged: Vec::new(),
+            inflight: None,
             sched: ExecSchedStats::default(),
             recovery: ReplayStats::default(),
             perf: PipelinePerf::default(),
@@ -528,40 +576,133 @@ impl ExecutionPipeline {
         ExecOutcome::Applied { txs }
     }
 
-    /// The durability + apply barrier for everything staged: one WAL
-    /// flush makes every staged record durable (one fsync per touched
-    /// lane group, however many drains accumulated), then the staged
-    /// blocks' ops execute as **one batch-wide dependency DAG** — ops
+    /// The **synchronous** durability + apply barrier for everything in
+    /// the pipeline: resolves any in-flight barrier (applying its
+    /// batch), then submits and completes everything staged — so on
+    /// return nothing is staged or in flight and every returned `sn` is
+    /// applied. One WAL flush barrier per submitted batch (one fsync per
+    /// touched lane group, however many drains accumulated), then the
+    /// batch's ops execute as **one batch-wide dependency DAG** — ops
     /// from independent blocks overlap in the same waves; conflicting
     /// ops keep block order — and the per-block ledger advances.
-    /// WAL-before-apply, preserved at accumulated-batch granularity: a
-    /// crash before the flush loses only staged (never-acknowledged)
-    /// blocks, and recovery replays a batched log byte-identically to a
-    /// per-record one (the DAG is sequentially equivalent, so replaying
-    /// record by record reproduces the same state).
-    /// Returns the dense `sn` range the flush made durable and applied
-    /// (`start..end`, empty when nothing was staged) — the node's
-    /// lifecycle tracer uses it to stamp per-block `Flushed`/`Applied`
-    /// events without re-deriving the staged set.
+    /// WAL-before-apply, preserved at batch granularity: a crash before
+    /// a batch's barrier completes loses only unacknowledged blocks, and
+    /// recovery replays a batched log byte-identically to a per-record
+    /// one (the DAG is sequentially equivalent, so replaying record by
+    /// record reproduces the same state).
+    ///
+    /// Returns the dense `sn` range drained and applied (`start..end`,
+    /// empty when nothing was pending) — the node's lifecycle tracer
+    /// uses it to stamp per-block `Flushed`/`Applied` events without
+    /// re-deriving the set. The range is durable only if no barrier
+    /// reported failure: a failed barrier raises the deterministic
+    /// [`PipelinePerf::wal_flush_failures`] alarm (and the WAL's own
+    /// `write_failures`), and callers must consult it before treating
+    /// the range as durable.
     pub fn flush_staged(&mut self) -> std::ops::Range<u64> {
-        if self.staged.is_empty() {
-            return self.applied..self.applied;
+        let first = self
+            .inflight
+            .as_ref()
+            .and_then(|b| b.blocks.first().map(|(sn, _)| *sn))
+            .or_else(|| self.staged.first().map(|(sn, _)| *sn))
+            .unwrap_or(self.applied);
+        self.complete_inflight();
+        if !self.staged.is_empty() {
+            self.submit_batch();
+            self.complete_inflight();
         }
-        let flush_t0 = std::time::Instant::now();
-        self.wal.flush();
-        self.perf.wall_wal_flush_ns += flush_t0.elapsed().as_nanos() as u64;
+        first..self.applied
+    }
+
+    /// The **pipelined** drain: hands everything staged to the WAL
+    /// writer as one flush barrier and applies the *previous* submitted
+    /// batch, so batch N's write+fsync proceeds on the writer while this
+    /// thread executes batch N-1's DAG (and stages batch N+1 into
+    /// double-buffered scratch). Acknowledgement and apply happen only
+    /// when a batch's barrier token resolves — WAL-before-apply holds at
+    /// batch granularity, in submission order.
+    ///
+    /// Returns the applied range (the *previous* batch's; empty on the
+    /// first submit). In simulation (in-memory WAL) the barrier runs
+    /// inline at submit but resolves here all the same, so the
+    /// submit/apply structure — and every deterministic counter — is
+    /// identical to File mode. Barrier failures raise
+    /// [`PipelinePerf::wal_flush_failures`] exactly as in
+    /// [`Self::flush_staged`].
+    pub fn submit_staged(&mut self) -> std::ops::Range<u64> {
+        // Resolve the previous token first (the writer is one-deep), but
+        // apply only after the new batch is on the writer: the apply is
+        // the work the in-flight barrier overlaps with.
+        let prior = self.take_resolved_inflight();
+        if prior.is_some() && !self.staged.is_empty() {
+            self.perf.pipelined_submits += 1;
+        }
+        if !self.staged.is_empty() {
+            self.submit_batch();
+        }
+        match prior {
+            Some((ok, blocks)) => self.apply_blocks(&blocks, ok),
+            None => self.applied..self.applied,
+        }
+    }
+
+    /// Resolves the in-flight barrier (if any) and applies its batch.
+    /// Returns the applied range, or `None` when nothing was in flight.
+    pub fn complete_inflight(&mut self) -> Option<std::ops::Range<u64>> {
+        let (ok, blocks) = self.take_resolved_inflight()?;
+        Some(self.apply_blocks(&blocks, ok))
+    }
+
+    /// Submits the staged batch as one WAL flush barrier (must be
+    /// nonempty; no barrier may be in flight).
+    fn submit_batch(&mut self) {
+        debug_assert!(self.inflight.is_none());
+        let blocks = std::mem::take(&mut self.staged);
+        let t0 = std::time::Instant::now();
+        self.wal.submit_flush();
+        self.perf.wall_wal_flush_ns += t0.elapsed().as_nanos() as u64;
         self.perf.flush_barriers += 1;
-        let staged = std::mem::take(&mut self.staged);
-        let first = staged.first().map_or(self.applied, |(sn, _)| *sn);
-        let total: usize = staged.iter().map(|(_, ops)| ops.len()).sum();
+        self.perf.inflight_records_peak = self.perf.inflight_records_peak.max(blocks.len() as u64);
+        self.inflight = Some(InFlightBatch {
+            blocks,
+            submitted_at: std::time::Instant::now(),
+        });
+    }
+
+    /// Waits out the in-flight barrier token and hands back its batch
+    /// with the barrier outcome. Does **not** apply.
+    fn take_resolved_inflight(&mut self) -> Option<(bool, StagedBlocks)> {
+        let batch = self.inflight.take()?;
+        self.perf
+            .barrier_overlap
+            .observe(batch.submitted_at.elapsed().as_nanos() as u64);
+        let t0 = std::time::Instant::now();
+        let ok = self.wal.complete_flush().unwrap_or(true);
+        let wait = t0.elapsed().as_nanos() as u64;
+        self.perf.wall_wal_flush_ns += wait;
+        self.perf.barrier_wait.observe(wait);
+        Some((ok, batch.blocks))
+    }
+
+    /// Applies one completed batch's ops as a batch-wide DAG and
+    /// advances the per-block ledger. `ok = false` means the batch's
+    /// barrier failed: the blocks still apply (the WAL mirror is
+    /// authoritative) but the deterministic failure alarm is raised so
+    /// no caller can mistake the range for durable.
+    fn apply_blocks(&mut self, blocks: &[(u64, Vec<TxOp>)], ok: bool) -> std::ops::Range<u64> {
+        if !ok {
+            self.perf.wal_flush_failures += 1;
+        }
+        let first = blocks.first().map_or(self.applied, |(sn, _)| *sn);
+        let total: usize = blocks.iter().map(|(_, ops)| ops.len()).sum();
         let mut flat: Vec<TxOp> = Vec::with_capacity(total);
-        for (_, ops) in &staged {
+        for (_, ops) in blocks {
             flat.extend_from_slice(ops);
         }
         let exec_t0 = std::time::Instant::now();
         let out = self.kv.apply_batch(&flat);
         self.absorb_outcome(&out);
-        for (sn, ops) in &staged {
+        for (sn, ops) in blocks {
             self.account_block(*sn, ops);
             self.applied = sn + 1;
         }
@@ -569,17 +710,26 @@ impl ExecutionPipeline {
         first..self.applied
     }
 
-    /// Blocks staged but not yet flushed — the size the cross-drain
+    /// Blocks staged but not yet submitted — the size the cross-drain
     /// flush policy thresholds on. Unacknowledged: a crash right now
-    /// loses exactly these.
+    /// loses exactly these (plus any in-flight batch).
     pub fn staged_records(&self) -> usize {
         self.staged.len()
     }
 
+    /// Blocks submitted to the WAL writer whose barrier token has not
+    /// resolved — unacknowledged and unapplied.
+    pub fn inflight_records(&self) -> usize {
+        self.inflight.as_ref().map_or(0, |b| b.blocks.len())
+    }
+
     /// The next `sn` the pipeline will accept (dense-order frontier over
-    /// applied + staged blocks).
+    /// applied + in-flight + staged blocks).
     pub fn next_sn(&self) -> u64 {
-        self.staged.last().map_or(self.applied, |(sn, _)| sn + 1)
+        self.staged
+            .last()
+            .or_else(|| self.inflight.as_ref().and_then(|b| b.blocks.last()))
+            .map_or(self.applied, |(sn, _)| sn + 1)
     }
 
     /// Applies one block's derived ops through the wave executor
@@ -796,11 +946,13 @@ impl ExecutionPipeline {
         self.wal.io_stats()
     }
 
-    /// Cumulative wall-clock split of the flush barrier: WAL durability
-    /// wait vs. DAG execution time. Real elapsed time (`wall_` by the
-    /// obs convention) — never part of the determinism gates.
+    /// Cumulative barrier accounting: the wall-clock durability/execute
+    /// split (`wall_` fields, never part of the determinism gates) plus
+    /// the deterministic barrier counters — including
+    /// [`PipelinePerf::wal_flush_failures`], the alarm a caller must
+    /// check before treating a drained range as durable.
     pub fn perf(&self) -> PipelinePerf {
-        self.perf
+        self.perf.clone()
     }
 
     /// Read access to the KV state (assertions and examples).
@@ -974,6 +1126,48 @@ mod tests {
         run_blocks(&mut reference, 0, 5);
         assert_eq!(p.state_root(), reference.state_root());
         assert_eq!(p.executed_txs(), reference.executed_txs());
+    }
+
+    #[test]
+    fn submit_staged_applies_one_barrier_late() {
+        let mut p = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        // Batch A submits; nothing applies (its barrier is in flight).
+        p.stage_blocks(&[(0, block(0, 0, 50)), (1, block(1, 50, 50))]);
+        let r = p.submit_staged();
+        assert!(r.is_empty());
+        assert_eq!(p.applied(), 0, "apply waits for the barrier token");
+        assert_eq!(p.inflight_records(), 2);
+        assert_eq!(p.staged_records(), 0);
+        assert_eq!(p.wal_len(), 0, "in-flight records are unacknowledged");
+        assert_eq!(p.next_sn(), 2, "the frontier covers the in-flight batch");
+        // Batch B submits; batch A's token resolves and A applies.
+        p.stage_blocks(&[(2, block(2, 100, 50))]);
+        let r = p.submit_staged();
+        assert_eq!(r, 0..2);
+        assert_eq!(p.applied(), 2);
+        assert_eq!(p.inflight_records(), 1);
+        assert_eq!(p.wal_len(), 2);
+        let perf = p.perf();
+        assert_eq!(perf.flush_barriers, 2);
+        assert_eq!(perf.pipelined_submits, 1, "B overlapped A's barrier");
+        assert_eq!(perf.wal_flush_failures, 0);
+        // The synchronous drain resolves the tail; state matches the
+        // sequential reference.
+        let r = p.flush_staged();
+        assert_eq!(r, 2..3);
+        assert_eq!(p.applied(), 3);
+        assert_eq!(p.wal_len(), 3);
+        let mut reference = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        run_blocks(&mut reference, 0, 3);
+        assert_eq!(p.state_root(), reference.state_root());
+        assert_eq!(p.executed_txs(), reference.executed_txs());
+        // Same fsync count as the synchronous path at the same batch
+        // boundaries: pipelining moves the barrier, it never adds one.
+        let mut sync = ExecutionPipeline::in_memory(DEFAULT_KEYSPACE);
+        sync.execute_batch(&[(0, block(0, 0, 50)), (1, block(1, 50, 50))]);
+        sync.execute_batch(&[(2, block(2, 100, 50))]);
+        assert_eq!(p.wal_io_stats(), sync.wal_io_stats());
+        assert_eq!(p.state_root(), sync.state_root());
     }
 
     #[test]

@@ -632,6 +632,14 @@ pub trait WalBackend: Send {
     fn list_segments(&mut self) -> Vec<(u32, u64)>;
     /// The backend's deterministic I/O counters since construction.
     fn io_stats(&self) -> WalIoStats;
+    /// Whether [`CommitWal`] should run this backend's flush barriers on
+    /// a dedicated writer thread (pipelined durability). File-backed
+    /// logs say yes — their fsync latency is worth overlapping with
+    /// execution; in-memory backends say no, keeping every seeded
+    /// simulation run bit-deterministic with the writer inline.
+    fn prefers_writer_thread(&self) -> bool {
+        false
+    }
 }
 
 /// In-memory backend (simulation and tests). Storage never tears, but
@@ -950,6 +958,10 @@ impl WalBackend for FileBackend {
     fn io_stats(&self) -> WalIoStats {
         self.stats
     }
+
+    fn prefers_writer_thread(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -997,14 +1009,15 @@ pub struct WalLoadStats {
     pub manifest_recovered: bool,
 }
 
-/// The commit log: an in-memory mirror of the records past the last
-/// snapshot, plus a segmented storage backend holding their encoding
-/// fanned out across lane-group chains.
-pub struct CommitWal {
+/// The writer back half of the commit log: owns the storage backend,
+/// the live segment set (manifest mirror), segment rolls, and manifest
+/// publication. In pipelined mode the whole struct shuttles to a
+/// dedicated writer thread for each flush barrier and comes back with
+/// the barrier's outcome; in simulation it stays on the caller and the
+/// barrier runs inline.
+struct WalBack {
     backend: Box<dyn WalBackend>,
     opts: WalOptions,
-    /// Records currently in the log (ascending, dense `sn`).
-    records: Vec<WalRecord>,
     /// The live segment set (manifest mirror), ascending `(group, seq)`.
     segments: Vec<SegmentMeta>,
     /// Next unused segment sequence number.
@@ -1015,6 +1028,82 @@ pub struct CommitWal {
     /// is nonzero may lose the affected records, so operators must treat
     /// it as a durability alarm.
     write_failures: u64,
+}
+
+/// One flush barrier's worth of double-buffered stage scratch: the
+/// per-group record encodings plus the records behind them. Shuttles to
+/// the writer with its [`WalBack`] and returns emptied (capacity
+/// retained) for reuse, so staging never blocks on an in-flight flush
+/// and steady-state flushing allocates nothing.
+struct FlushJob {
+    bytes: Vec<Vec<u8>>,
+    recs: Vec<Vec<WalRecord>>,
+}
+
+impl FlushJob {
+    fn empty(groups: usize) -> Self {
+        Self {
+            bytes: vec![Vec::new(); groups],
+            recs: vec![Vec::new(); groups],
+        }
+    }
+}
+
+/// The dedicated writer thread (pipelined mode only): receives
+/// `(back, job)` per submitted barrier, runs the write+fsync barrier,
+/// and sends `(back, job, ok)` home. Depth is at most one in flight —
+/// the front cannot submit again until it completed the previous
+/// barrier, because the back itself is on the writer.
+struct WalWriter {
+    submit: std::sync::mpsc::Sender<(WalBack, FlushJob)>,
+    done: std::sync::mpsc::Receiver<(WalBack, FlushJob, bool)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A submitted-but-uncompleted flush barrier: the records it carries
+/// are **not acknowledged** (absent from the mirror) until
+/// [`CommitWal::complete_flush`] resolves the barrier token.
+enum InFlightFlush {
+    /// Inline mode (simulation): the barrier already ran at submit time;
+    /// its outcome is parked here so acknowledgement still happens at
+    /// complete time — the pipeline observes the identical submit/apply
+    /// structure in both modes, keeping seeded runs bit-deterministic.
+    Done { ok: bool, records: Vec<WalRecord> },
+    /// Pipelined mode: the back (and the batch's bytes) are on the
+    /// writer thread; completing blocks until it reports.
+    Sent { records: Vec<WalRecord> },
+}
+
+impl InFlightFlush {
+    fn records(&self) -> &[WalRecord] {
+        match self {
+            InFlightFlush::Done { records, .. } | InFlightFlush::Sent { records } => records,
+        }
+    }
+}
+
+/// The commit log: an in-memory mirror of the records past the last
+/// snapshot, plus a segmented storage backend holding their encoding
+/// fanned out across lane-group chains.
+///
+/// Split into a staging **front** (this struct: stage scratch, record
+/// mirror, acknowledgement bookkeeping) and a writer **back**
+/// ([`WalBack`]: segment handles, rolls, manifest publication). When the
+/// backend [prefers a writer thread](WalBackend::prefers_writer_thread)
+/// the back runs each flush barrier on a dedicated thread —
+/// [`Self::submit_flush`] hands batch N to the writer and returns, and
+/// batch N+1 stages into double-buffered scratch while N's fsync is in
+/// flight; [`Self::complete_flush`] resolves the barrier token,
+/// acknowledges the batch into the mirror, and surfaces the barrier's
+/// outcome. [`Self::flush`] remains the synchronous submit+complete
+/// composition.
+pub struct CommitWal {
+    /// The writer back. `None` exactly while a pipelined flush is in
+    /// flight (the back is on the writer thread).
+    back: Option<WalBack>,
+    opts: WalOptions,
+    /// Records currently in the log (ascending, dense `sn`).
+    records: Vec<WalRecord>,
     /// Accounting of the open-time load.
     load_stats: WalLoadStats,
     /// Per-group staged record encodings awaiting the next flush barrier
@@ -1025,11 +1114,24 @@ pub struct CommitWal {
     /// lifecycle; needed to absorb segment metadata at flush).
     stage_recs: Vec<Vec<WalRecord>>,
     /// Staged records in `sn` order, not yet acknowledged: they join the
-    /// mirror only when their batch's flush runs.
+    /// mirror only when their batch's flush barrier *completes*.
     pending: Vec<WalRecord>,
     /// Record-encoding scratch (one encode per record, reused across
     /// appends — no steady-state allocation on the hot path).
     enc_buf: Vec<u8>,
+    /// The dedicated writer thread (pipelined mode only).
+    writer: Option<WalWriter>,
+    /// The submitted-but-uncompleted barrier, if any (depth ≤ 1: the
+    /// stage scratch is double-buffered, not N-buffered).
+    inflight: Option<InFlightFlush>,
+    /// The second stage-scratch buffer set, recycled from completed
+    /// flush jobs.
+    spare: Option<FlushJob>,
+    /// Backend I/O counters and write-failure count as of the last
+    /// submit — what [`Self::io_stats`] / [`Self::write_failures`]
+    /// report while the back is on the writer (counters reflect
+    /// *completed* barriers; the in-flight one lands at complete).
+    stats_at_submit: (WalIoStats, u64),
 }
 
 impl CommitWal {
@@ -1174,25 +1276,37 @@ impl CommitWal {
         stats.records_loaded = records.len() as u64;
 
         let groups = opts.lane_groups as usize;
+        let pipelined = backend.prefers_writer_thread();
         let mut wal = Self {
-            backend,
+            back: Some(WalBack {
+                backend,
+                opts,
+                segments,
+                next_seq: manifest.next_seq,
+                write_failures: 0,
+            }),
             opts,
             records,
-            segments,
-            next_seq: manifest.next_seq,
-            write_failures: 0,
             load_stats: stats,
             stage_bytes: vec![Vec::new(); groups],
             stage_recs: vec![Vec::new(); groups],
             pending: Vec::new(),
             enc_buf: Vec::new(),
+            writer: None,
+            inflight: None,
+            spare: None,
+            stats_at_submit: (WalIoStats::default(), 0),
         };
         // After a scan-recovery the old chains' lane grouping is
         // unknowable, so rewrite storage from the mirror under the
         // current options and leave a decodable manifest behind — the
         // next open is a normal one.
         if stats.manifest_recovered {
-            wal.rebuild_storage();
+            let back = wal.back.as_mut().expect("back present at open");
+            back.rebuild_from(&wal.records);
+        }
+        if pipelined {
+            wal.spawn_writer();
         }
         wal
     }
@@ -1227,9 +1341,22 @@ impl CommitWal {
         self.load_stats
     }
 
-    /// The live segment set (manifest mirror).
+    /// The live segment set (manifest mirror). Only callable at rest —
+    /// while a pipelined flush is in flight the segment set is on the
+    /// writer thread; resolve the barrier ([`Self::complete_flush`] or
+    /// [`Self::flush`]) first.
     pub fn segments(&self) -> &[SegmentMeta] {
-        &self.segments
+        &self
+            .back
+            .as_ref()
+            .expect("segments(): flush barrier in flight; complete it first")
+            .segments
+    }
+
+    /// Whether flush barriers run on a dedicated writer thread (File
+    /// mode) rather than inline (simulation).
+    pub fn pipelined(&self) -> bool {
+        self.writer.is_some()
     }
 
     /// Appends one confirmed-block record durably: stage + flush as a
@@ -1249,12 +1376,9 @@ impl CommitWal {
     /// flush returns, and a crash before that loses it by design.
     pub fn append_buffered(&mut self, rec: WalRecord) {
         debug_assert!(
-            self.pending
-                .last()
-                .or(self.records.last())
-                .is_none_or(|l| l.sn + 1 == rec.sn),
+            self.last_known_sn().is_none_or(|sn| sn + 1 == rec.sn),
             "WAL sns must be dense: {:?} then {}",
-            self.pending.last().or(self.records.last()).map(|l| l.sn),
+            self.last_known_sn(),
             rec.sn
         );
         self.enc_buf.clear();
@@ -1270,10 +1394,10 @@ impl CommitWal {
         self.pending.push(rec);
     }
 
-    /// The group-commit barrier: writes every staged group's bytes with
-    /// **one** backend write + **one** fsync per touched group (plus the
-    /// amortized segment-roll bookkeeping), then acknowledges the staged
-    /// records into the mirror. Returns `true` when every durable step
+    /// The group-commit barrier, synchronous form: resolves any
+    /// in-flight barrier, then submits and completes everything staged —
+    /// [`Self::submit_flush`] + [`Self::complete_flush`] back to back.
+    /// Returns `true` when every durable step (of both barriers)
     /// succeeded; on failure the records still enter the (authoritative)
     /// mirror and [`Self::write_failures`] is raised — same alarm
     /// discipline as every other durable write.
@@ -1282,20 +1406,307 @@ impl CommitWal {
     /// in the stage→flush window loses exactly them and nothing else
     /// (previously flushed records sit behind their own barriers).
     pub fn flush(&mut self) -> bool {
-        if self.pending.is_empty() {
-            return true;
+        let mut ok = self.complete_flush().unwrap_or(true);
+        if self.submit_flush() {
+            ok &= self.complete_flush().expect("barrier just submitted");
         }
+        ok
+    }
+
+    /// Submits everything staged as one flush barrier and returns
+    /// without waiting for durability. In pipelined mode the write+fsync
+    /// runs on the writer thread while the caller keeps working (new
+    /// records stage into the double-buffered scratch); inline mode runs
+    /// the barrier here but still parks the outcome, so the
+    /// submit→complete structure is identical in both modes. The batch's
+    /// records stay unacknowledged until [`Self::complete_flush`].
+    ///
+    /// Returns `false` (no barrier submitted) when nothing is staged. At
+    /// most one barrier may be in flight: complete the previous one
+    /// first.
+    pub fn submit_flush(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        assert!(
+            self.inflight.is_none(),
+            "submit_flush: a flush barrier is already in flight; complete it first"
+        );
+        let groups = self.opts.lane_groups as usize;
+        let spare = self.spare.take().unwrap_or_else(|| FlushJob::empty(groups));
+        let mut job = FlushJob {
+            bytes: std::mem::replace(&mut self.stage_bytes, spare.bytes),
+            recs: std::mem::replace(&mut self.stage_recs, spare.recs),
+        };
+        let records = std::mem::take(&mut self.pending);
+        let mut back = self
+            .back
+            .take()
+            .expect("back present when no barrier is in flight");
+        self.stats_at_submit = (back.backend.io_stats(), back.write_failures);
+        match &self.writer {
+            None => {
+                let ok = back.flush_batch(&mut job);
+                self.back = Some(back);
+                self.spare = Some(job);
+                self.inflight = Some(InFlightFlush::Done { ok, records });
+            }
+            Some(w) => {
+                w.submit
+                    .send((back, job))
+                    .expect("WAL writer thread is alive");
+                self.inflight = Some(InFlightFlush::Sent { records });
+            }
+        }
+        true
+    }
+
+    /// Resolves the in-flight barrier token: blocks until the writer
+    /// reports (pipelined mode), acknowledges the batch's records into
+    /// the mirror, and returns the barrier's outcome — `false` means a
+    /// durable step failed and the caller must treat the batch as
+    /// alarmed, not durable. Returns `None` when no barrier is in
+    /// flight.
+    pub fn complete_flush(&mut self) -> Option<bool> {
+        match self.inflight.take()? {
+            InFlightFlush::Done { ok, mut records } => {
+                self.records.append(&mut records);
+                Some(ok)
+            }
+            InFlightFlush::Sent { mut records } => {
+                let w = self.writer.as_ref().expect("Sent implies a writer");
+                let (back, job, ok) = w.done.recv().expect("WAL writer thread died");
+                self.back = Some(back);
+                self.spare = Some(job);
+                self.records.append(&mut records);
+                Some(ok)
+            }
+        }
+    }
+
+    /// True while a submitted barrier awaits [`Self::complete_flush`].
+    pub fn has_inflight_flush(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Records inside the in-flight barrier, if any: submitted to the
+    /// writer but not yet acknowledged.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.as_ref().map_or(0, |f| f.records().len())
+    }
+
+    /// Highest sn known to the front across all acknowledgement states:
+    /// staged, in flight, or mirrored.
+    fn last_known_sn(&self) -> Option<u64> {
+        self.pending
+            .last()
+            .or_else(|| self.inflight.as_ref().and_then(|f| f.records().last()))
+            .or(self.records.last())
+            .map(|r| r.sn)
+    }
+
+    fn spawn_writer(&mut self) {
+        let (submit, submit_rx) = std::sync::mpsc::channel::<(WalBack, FlushJob)>();
+        let (done_tx, done) = std::sync::mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("ladon-wal-writer".into())
+            .spawn(move || {
+                while let Ok((mut back, mut job)) = submit_rx.recv() {
+                    let ok = back.flush_batch(&mut job);
+                    if done_tx.send((back, job, ok)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn WAL writer thread");
+        self.writer = Some(WalWriter {
+            submit,
+            done,
+            handle: Some(handle),
+        });
+    }
+
+    /// Records staged by [`Self::append_buffered`] but not yet flushed —
+    /// unacknowledged, and lost by a crash right now.
+    pub fn staged_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The backend's deterministic I/O counters (writes, fsyncs, segment
+    /// opens, bytes written). While a pipelined barrier is in flight
+    /// this reports the counters as of its submission — completed
+    /// barriers only, never a half-run one.
+    pub fn io_stats(&self) -> WalIoStats {
+        match &self.back {
+            Some(back) => back.backend.io_stats(),
+            None => self.stats_at_submit.0,
+        }
+    }
+
+    /// Backend writes that reported failure since open (durability
+    /// alarm). Same as-of-submission discipline as [`Self::io_stats`]
+    /// while a barrier is in flight.
+    pub fn write_failures(&self) -> u64 {
+        match &self.back {
+            Some(back) => back.write_failures,
+            None => self.stats_at_submit.1,
+        }
+    }
+
+    /// Records currently in the log.
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drops records with `sn < upto` (they are covered by a snapshot).
+    ///
+    /// Storage-side this is the atomic segment rotation, never an
+    /// in-place truncation:
+    ///
+    /// 1. fully covered segments are marked for deletion; straddling
+    ///    segments get their surviving tail written to *new* segment
+    ///    files (fsynced);
+    /// 2. a manifest naming the new live set is published atomically
+    ///    (temp + fsync + rename + dir-fsync) — the commit point;
+    /// 3. only then are the old files deleted.
+    ///
+    /// A crash (or a failed write) anywhere in the protocol leaves a
+    /// readable log: before the commit point the old manifest still
+    /// names the complete old set; after it the new manifest names the
+    /// complete new set, and stale files are orphans the next open
+    /// sweeps away. No step ever modifies a file the current manifest
+    /// references.
+    pub fn compact(&mut self, upto: u64) {
+        // Rotation rewrites straddlers from the mirror: staged records
+        // must be acknowledged (or alarmed) first so none can vanish
+        // between a stage and a rotation — and the drain guarantees the
+        // back is home from the writer.
+        self.flush();
+        let keep_from = self.records.partition_point(|r| r.sn < upto);
+        let back = self.back.as_mut().expect("back home after flush");
+        let affected = back
+            .segments
+            .iter()
+            .any(|s| s.records > 0 && s.first_sn < upto);
+        if keep_from == 0 && !affected {
+            return;
+        }
+        // Mirror first: it is authoritative regardless of storage luck.
+        self.records.drain(..keep_from);
+        let back = self.back.as_mut().expect("back home after flush");
+        back.rotate_segments(&self.records, |meta| {
+            if meta.records == 0 || meta.first_sn >= upto {
+                SegmentFate::Keep
+            } else if meta.last_sn < upto {
+                SegmentFate::Delete
+            } else {
+                // Straddler: the surviving tail, capped at the
+                // straddler's own range — the group's later segments
+                // keep theirs.
+                SegmentFate::Rewrite {
+                    first: upto,
+                    last: meta.last_sn,
+                }
+            }
+        });
+    }
+
+    /// Drops records with `sn >= from_sn` from the log — the unreplayable
+    /// dangling suffix left when corruption opened a gap below it.
+    /// Records the mirror no longer holds (covered, torn, or past the
+    /// gap) are dropped with their segments.
+    pub fn truncate_from(&mut self, from_sn: u64) {
+        self.flush();
+        let cut = self.records.partition_point(|r| r.sn < from_sn);
+        let back = self.back.as_mut().expect("back home after flush");
+        let affected = back
+            .segments
+            .iter()
+            .any(|s| s.records > 0 && s.last_sn >= from_sn);
+        if cut == self.records.len() && !affected {
+            return;
+        }
+        self.records.truncate(cut);
+        let back = self.back.as_mut().expect("back home after flush");
+        back.rotate_segments(&self.records, |meta| {
+            if meta.records == 0 || meta.last_sn < from_sn {
+                SegmentFate::Keep
+            } else if meta.first_sn >= from_sn {
+                SegmentFate::Delete
+            } else {
+                SegmentFate::Rewrite {
+                    first: meta.first_sn,
+                    last: from_sn - 1,
+                }
+            }
+        });
+    }
+
+    /// The whole log as bytes (for shipping a WAL tail over sync).
+    /// Acknowledged records only: staged and in-flight records are not
+    /// yet durable and never ship.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for r in &self.records {
+            r.encode_into(&mut bytes);
+        }
+        bytes
+    }
+}
+
+impl Drop for CommitWal {
+    fn drop(&mut self) {
+        // Resolve any in-flight barrier so the writer is not mid-batch
+        // when its channels close, then drop the submit side and join —
+        // the writer loop exits on the hangup. Records staged but never
+        // submitted are lost by design (same as a crash in the
+        // stage→flush window).
+        let _ = self.complete_flush();
+        if let Some(WalWriter {
+            submit,
+            done,
+            handle,
+        }) = self.writer.take()
+        {
+            drop(submit);
+            drop(done);
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl WalBack {
+    /// The group-commit barrier body: writes every staged group's bytes
+    /// with **one** backend write + **one** fsync per touched group
+    /// (plus the amortized segment-roll bookkeeping). Runs on the writer
+    /// thread in pipelined mode, inline otherwise; the front
+    /// acknowledges the batch's records only once the outcome computed
+    /// here resolves. The job's buffers come back emptied with capacity
+    /// retained (the double-buffering recycle).
+    fn flush_batch(&mut self, job: &mut FlushJob) -> bool {
         let mut failed = false;
         let mut sealed_any = false;
         for group in 0..self.opts.lane_groups {
             let g = group as usize;
-            if self.stage_recs[g].is_empty() {
+            if job.recs[g].is_empty() {
                 continue;
             }
             // Take the scratch out (returned, emptied, below) so the
             // borrow does not fight the segment-roll bookkeeping.
-            let recs = std::mem::take(&mut self.stage_recs[g]);
-            let bytes = std::mem::take(&mut self.stage_bytes[g]);
+            let recs = std::mem::take(&mut job.recs[g]);
+            let bytes = std::mem::take(&mut job.bytes[g]);
             debug_assert_eq!(bytes.len(), recs.len() * ENCODED_RECORD_LEN);
             let mut at = 0usize;
             while at < recs.len() {
@@ -1381,12 +1792,9 @@ impl CommitWal {
             let (mut recs, mut bytes) = (recs, bytes);
             recs.clear();
             bytes.clear();
-            self.stage_recs[g] = recs;
-            self.stage_bytes[g] = bytes;
+            job.recs[g] = recs;
+            job.bytes[g] = bytes;
         }
-        // Acknowledge: the batch is durable (or alarmed); the mirror is
-        // authoritative either way.
-        self.records.append(&mut self.pending);
         // Seal events only refresh metadata of already-referenced files;
         // deferring their publish to the end opens no sweep window.
         if sealed_any && !self.publish_manifest() {
@@ -1396,18 +1804,6 @@ impl CommitWal {
             self.write_failures += 1;
         }
         !failed
-    }
-
-    /// Records staged by [`Self::append_buffered`] but not yet flushed —
-    /// unacknowledged, and lost by a crash right now.
-    pub fn staged_len(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// The backend's deterministic I/O counters (writes, fsyncs, segment
-    /// opens, bytes written).
-    pub fn io_stats(&self) -> WalIoStats {
-        self.backend.io_stats()
     }
 
     /// Rewrites the whole backend from the mirror under the current
@@ -1421,16 +1817,15 @@ impl CommitWal {
     /// the publish leaves the (still undecodable) old manifest, so the
     /// next open re-enters scan recovery with all data intact (the
     /// partial new files simply join the scan and deduplicate).
-    fn rebuild_storage(&mut self) {
+    fn rebuild_from(&mut self, records: &[WalRecord]) {
         let old: Vec<(u32, u64)> = self.segments.iter().map(|s| (s.group, s.seq)).collect();
         let mut ok = true;
         let mut new_segments: Vec<SegmentMeta> = Vec::new();
-        let records = std::mem::take(&mut self.records);
         for group in 0..self.opts.lane_groups {
             let group_bit = 1u64 << group;
             let mut bytes = Vec::new();
             let mut meta = SegmentMeta::fresh(group, 0);
-            for rec in &records {
+            for rec in records {
                 if groups_of_mask(rec.lane_mask, self.opts.lane_groups) & group_bit == 0 {
                     continue;
                 }
@@ -1455,7 +1850,6 @@ impl CommitWal {
                 new_segments.push(meta);
             }
         }
-        self.records = records;
         if !ok {
             self.write_failures += 1;
             return;
@@ -1473,134 +1867,14 @@ impl CommitWal {
         }
     }
 
-    fn active_segment(&self, group: u32) -> Option<usize> {
-        self.segments
-            .iter()
-            .position(|s| s.group == group && !s.sealed)
-    }
-
-    fn segment_index(&self, group: u32, seq: u64) -> Option<usize> {
-        self.segments
-            .iter()
-            .position(|s| s.group == group && s.seq == seq)
-    }
-
-    fn publish_manifest(&mut self) -> bool {
-        let manifest = Manifest {
-            next_seq: self.next_seq,
-            lane_groups: self.opts.lane_groups,
-            segments: self.segments.clone(),
-        };
-        self.backend.publish_manifest(&manifest.encode())
-    }
-
-    /// Backend writes that reported failure since open (durability
-    /// alarm).
-    pub fn write_failures(&self) -> u64 {
-        self.write_failures
-    }
-
-    /// Records currently in the log.
-    pub fn records(&self) -> &[WalRecord] {
-        &self.records
-    }
-
-    /// Number of records.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// True when the log holds no records.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Drops records with `sn < upto` (they are covered by a snapshot).
-    ///
-    /// Storage-side this is the atomic segment rotation, never an
-    /// in-place truncation:
-    ///
-    /// 1. fully covered segments are marked for deletion; straddling
-    ///    segments get their surviving tail written to *new* segment
-    ///    files (fsynced);
-    /// 2. a manifest naming the new live set is published atomically
-    ///    (temp + fsync + rename + dir-fsync) — the commit point;
-    /// 3. only then are the old files deleted.
-    ///
-    /// A crash (or a failed write) anywhere in the protocol leaves a
-    /// readable log: before the commit point the old manifest still
-    /// names the complete old set; after it the new manifest names the
-    /// complete new set, and stale files are orphans the next open
-    /// sweeps away. No step ever modifies a file the current manifest
-    /// references.
-    pub fn compact(&mut self, upto: u64) {
-        // Rotation rewrites straddlers from the mirror: staged records
-        // must be acknowledged (or alarmed) first so none can vanish
-        // between a stage and a rotation.
-        self.flush();
-        let keep_from = self.records.partition_point(|r| r.sn < upto);
-        let affected = self
-            .segments
-            .iter()
-            .any(|s| s.records > 0 && s.first_sn < upto);
-        if keep_from == 0 && !affected {
-            return;
-        }
-        // Mirror first: it is authoritative regardless of storage luck.
-        self.records.drain(..keep_from);
-        self.rotate_segments(|meta| {
-            if meta.records == 0 || meta.first_sn >= upto {
-                SegmentFate::Keep
-            } else if meta.last_sn < upto {
-                SegmentFate::Delete
-            } else {
-                // Straddler: the surviving tail, capped at the
-                // straddler's own range — the group's later segments
-                // keep theirs.
-                SegmentFate::Rewrite {
-                    first: upto,
-                    last: meta.last_sn,
-                }
-            }
-        });
-    }
-
-    /// Drops records with `sn >= from_sn` from the log — the unreplayable
-    /// dangling suffix left when corruption opened a gap below it.
-    /// Records the mirror no longer holds (covered, torn, or past the
-    /// gap) are dropped with their segments.
-    pub fn truncate_from(&mut self, from_sn: u64) {
-        self.flush();
-        let cut = self.records.partition_point(|r| r.sn < from_sn);
-        let affected = self
-            .segments
-            .iter()
-            .any(|s| s.records > 0 && s.last_sn >= from_sn);
-        if cut == self.records.len() && !affected {
-            return;
-        }
-        self.records.truncate(cut);
-        self.rotate_segments(|meta| {
-            if meta.records == 0 || meta.last_sn < from_sn {
-                SegmentFate::Keep
-            } else if meta.first_sn >= from_sn {
-                SegmentFate::Delete
-            } else {
-                SegmentFate::Rewrite {
-                    first: meta.first_sn,
-                    last: from_sn - 1,
-                }
-            }
-        });
-    }
-
-    /// The atomic segment rotation behind [`Self::compact`] and
-    /// [`Self::truncate_from`], never an in-place truncation:
+    /// The atomic segment rotation behind [`CommitWal::compact`] and
+    /// [`CommitWal::truncate_from`], never an in-place truncation:
     ///
     /// 1. each live segment is kept, marked for deletion, or — when it
     ///    straddles the cut — has its surviving `first..=last` records
-    ///    rewritten (from the mirror, restricted to the records routed
-    ///    to its group) to a *new* fsynced segment file;
+    ///    rewritten (from `records`, the front's mirror, restricted to
+    ///    the records routed to its group) to a *new* fsynced segment
+    ///    file;
     /// 2. a manifest naming the new live set is published atomically
     ///    (temp + fsync + rename + dir-fsync) — the commit point;
     /// 3. only then are the replaced files deleted.
@@ -1610,7 +1884,11 @@ impl CommitWal {
     /// names the complete old set, which no step ever modifies; after it
     /// the new manifest names the complete new set, and stale files are
     /// orphans the next open sweeps away.
-    fn rotate_segments(&mut self, fate: impl Fn(&SegmentMeta) -> SegmentFate) {
+    fn rotate_segments(
+        &mut self,
+        records: &[WalRecord],
+        fate: impl Fn(&SegmentMeta) -> SegmentFate,
+    ) {
         let mut ok = true;
         let mut new_segments: Vec<SegmentMeta> = Vec::with_capacity(self.segments.len());
         let mut delete: Vec<(u32, u64)> = Vec::new();
@@ -1623,7 +1901,7 @@ impl CommitWal {
                     let mut bytes = Vec::new();
                     let mut fresh = SegmentMeta::fresh(meta.group, self.next_seq);
                     fresh.sealed = meta.sealed;
-                    for rec in &self.records {
+                    for rec in records {
                         if (first..=last).contains(&rec.sn)
                             && groups_of_mask(rec.lane_mask, self.opts.lane_groups) & group_bit != 0
                         {
@@ -1676,13 +1954,25 @@ impl CommitWal {
         }
     }
 
-    /// The whole log as bytes (for shipping a WAL tail over sync).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut bytes = Vec::new();
-        for r in &self.records {
-            r.encode_into(&mut bytes);
-        }
-        bytes
+    fn active_segment(&self, group: u32) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|s| s.group == group && !s.sealed)
+    }
+
+    fn segment_index(&self, group: u32, seq: u64) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|s| s.group == group && s.seq == seq)
+    }
+
+    fn publish_manifest(&mut self) -> bool {
+        let manifest = Manifest {
+            next_seq: self.next_seq,
+            lane_groups: self.opts.lane_groups,
+            segments: self.segments.clone(),
+        };
+        self.backend.publish_manifest(&manifest.encode())
     }
 }
 
@@ -2329,6 +2619,239 @@ mod tests {
             "the alarmed suffix is classified unacknowledged: {stats:?}"
         );
         assert_eq!(wal.len(), 2, "the acknowledged prefix survives");
+    }
+
+    /// Storage whose staged appends fail (nothing lands, `false`
+    /// reported) while an externally shared flag is raised — a transient
+    /// write-error window without a crash. Syncs, rolls, and manifest
+    /// publishes keep succeeding, so a later seal publishes the absorbed
+    /// (inflated) record count.
+    struct FailingAppends {
+        inner: SharedMem,
+        failing: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl WalBackend for FailingAppends {
+        fn append_segment_batch(
+            &mut self,
+            group: u32,
+            seq: u64,
+            records: &[u8],
+            trailer: &[u8],
+        ) -> bool {
+            if self.failing.load(std::sync::atomic::Ordering::SeqCst) {
+                return false;
+            }
+            self.inner
+                .append_segment_batch(group, seq, records, trailer)
+        }
+        fn sync_group(&mut self, group: u32) -> bool {
+            self.inner.sync_group(group)
+        }
+        fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+            self.inner.write_segment(group, seq, bytes)
+        }
+        fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+            self.inner.read_segment(group, seq)
+        }
+        fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+            self.inner.delete_segment(group, seq)
+        }
+        fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+            self.inner.publish_manifest(bytes)
+        }
+        fn load_manifest(&mut self) -> Option<Vec<u8>> {
+            self.inner.load_manifest()
+        }
+        fn list_segments(&mut self) -> Vec<(u32, u64)> {
+            self.inner.list_segments()
+        }
+        fn io_stats(&self) -> WalIoStats {
+            self.inner.io_stats()
+        }
+    }
+
+    #[test]
+    fn failed_write_without_crash_reopens_as_unacked_lost_never_torn() {
+        // An alarmed failed write whose batch the NEXT seal publishes
+        // (inflated count in the manifest) must reopen as
+        // `records_unacked_lost` — the stream still ends at the previous
+        // acknowledgement trailer — never as `records_torn`. Swept at
+        // both ends of the lane-group matrix.
+        for groups in [1u32, 4] {
+            let disk = SharedMem::default();
+            let failing = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            {
+                let backend = FailingAppends {
+                    inner: disk.clone(),
+                    failing: failing.clone(),
+                };
+                // segment_records = 4: the failed batch's absorbed
+                // records fill and seal every chain's segment, so the
+                // seal publishes the inflated count.
+                let mut wal = CommitWal::open(Box::new(backend), opts(groups, 4));
+                wal.append_buffered(rec_masked(0, u64::MAX));
+                wal.append_buffered(rec_masked(1, u64::MAX));
+                assert!(wal.flush(), "groups={groups}: first batch lands clean");
+                failing.store(true, std::sync::atomic::Ordering::SeqCst);
+                wal.append_buffered(rec_masked(2, u64::MAX));
+                wal.append_buffered(rec_masked(3, u64::MAX));
+                assert!(!wal.flush(), "groups={groups}: the failed batch must alarm");
+                assert_eq!(wal.write_failures(), 1);
+                failing.store(false, std::sync::atomic::Ordering::SeqCst);
+                wal.append_buffered(rec_masked(4, u64::MAX));
+                wal.append_buffered(rec_masked(5, u64::MAX));
+                assert!(wal.flush(), "groups={groups}: post-alarm batch lands clean");
+            }
+            let wal = CommitWal::open(Box::new(disk), opts(groups, 4));
+            let stats = wal.load_stats();
+            assert_eq!(
+                stats.records_torn, 0,
+                "groups={groups}: an alarmed failed write must never read as torn: {stats:?}"
+            );
+            assert_eq!(
+                stats.records_unacked_lost,
+                2 * groups as u64,
+                "groups={groups}: every chain lost exactly the failed batch: {stats:?}"
+            );
+            assert_eq!(
+                wal.len(),
+                2,
+                "groups={groups}: the acknowledged prefix below the gap survives"
+            );
+        }
+    }
+
+    /// Storage that (a) asks for the writer thread and (b) gates every
+    /// staged append on an external channel pair: the writer signals
+    /// `entered` when it reaches the batch's append and blocks until
+    /// `release` fires (a hung-up gate releases). Lets a test hold a
+    /// barrier in flight at a deterministic point.
+    struct GatedAppends {
+        inner: SharedMem,
+        entered: std::sync::mpsc::Sender<()>,
+        release: std::sync::mpsc::Receiver<()>,
+    }
+
+    impl WalBackend for GatedAppends {
+        fn append_segment_batch(
+            &mut self,
+            group: u32,
+            seq: u64,
+            records: &[u8],
+            trailer: &[u8],
+        ) -> bool {
+            let _ = self.entered.send(());
+            let _ = self.release.recv();
+            self.inner
+                .append_segment_batch(group, seq, records, trailer)
+        }
+        fn sync_group(&mut self, group: u32) -> bool {
+            self.inner.sync_group(group)
+        }
+        fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
+            self.inner.write_segment(group, seq, bytes)
+        }
+        fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
+            self.inner.read_segment(group, seq)
+        }
+        fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
+            self.inner.delete_segment(group, seq)
+        }
+        fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
+            self.inner.publish_manifest(bytes)
+        }
+        fn load_manifest(&mut self) -> Option<Vec<u8>> {
+            self.inner.load_manifest()
+        }
+        fn list_segments(&mut self) -> Vec<(u32, u64)> {
+            self.inner.list_segments()
+        }
+        fn io_stats(&self) -> WalIoStats {
+            self.inner.io_stats()
+        }
+        fn prefers_writer_thread(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn pipelined_barrier_overlaps_staging_and_acks_only_on_completion() {
+        let disk = SharedMem::default();
+        let (entered_tx, entered) = std::sync::mpsc::channel();
+        let (release, release_rx) = std::sync::mpsc::channel();
+        let mut wal = CommitWal::open(
+            Box::new(GatedAppends {
+                inner: disk.clone(),
+                entered: entered_tx,
+                release: release_rx,
+            }),
+            opts(1, 1024),
+        );
+        assert!(wal.pipelined(), "the backend asked for the writer thread");
+        wal.append_buffered(rec(0));
+        wal.append_buffered(rec(1));
+        let io_at_submit = wal.io_stats();
+        assert!(wal.submit_flush());
+        entered.recv().expect("writer reached the batch's append");
+        // The barrier is provably in flight; nothing may be acknowledged.
+        assert!(wal.has_inflight_flush());
+        assert_eq!(wal.inflight_len(), 2);
+        assert_eq!(wal.len(), 0, "no acknowledgement before durability");
+        assert_eq!(wal.staged_len(), 0);
+        // Double-buffered scratch: staging proceeds against the in-flight
+        // barrier without blocking, and without acknowledging anything.
+        wal.append_buffered(rec(2));
+        assert_eq!(wal.staged_len(), 1);
+        assert_eq!(wal.len(), 0);
+        assert_eq!(
+            wal.io_stats(),
+            io_at_submit,
+            "in-flight I/O reports as of submission: completed barriers only"
+        );
+        // Resolve the token: acknowledgement happens exactly here.
+        release.send(()).unwrap();
+        assert_eq!(wal.complete_flush(), Some(true));
+        assert_eq!(wal.len(), 2);
+        assert!(!wal.has_inflight_flush());
+        // Drain the second batch through the same writer (the dropped
+        // gate releases every later append immediately).
+        drop(release);
+        assert!(wal.flush());
+        assert_eq!(wal.len(), 3);
+        // Dropping the WAL resolves/joins the writer; the storage must
+        // hold every acknowledged record.
+        drop(wal);
+        let reopened = CommitWal::open(Box::new(disk), opts(1, 1024));
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.load_stats().records_torn, 0);
+        assert_eq!(reopened.load_stats().records_unacked_lost, 0);
+    }
+
+    #[test]
+    fn submit_complete_pair_is_flush_in_counts_and_content() {
+        // The split barrier must cost exactly what the synchronous
+        // composition costs: same backend op counts, same bytes, same
+        // storage content.
+        let run = |split: bool| -> (WalIoStats, Vec<u8>) {
+            let mut wal = CommitWal::in_memory_with(opts(2, 8));
+            for batch in 0..4u64 {
+                for i in 0..3u64 {
+                    wal.append_buffered(rec(batch * 3 + i));
+                }
+                if split {
+                    assert!(wal.submit_flush());
+                    assert_eq!(wal.complete_flush(), Some(true));
+                } else {
+                    assert!(wal.flush());
+                }
+            }
+            (wal.io_stats(), wal.to_bytes())
+        };
+        let (io_split, bytes_split) = run(true);
+        let (io_flush, bytes_flush) = run(false);
+        assert_eq!(io_split, io_flush);
+        assert_eq!(bytes_split, bytes_flush);
     }
 
     #[test]

@@ -179,6 +179,16 @@ pub struct SystemConfig {
     /// confirm rates at the cost of acknowledgement latency: staged
     /// records are unacknowledged, and a crash loses exactly them.
     pub wal_flush_max_records: u32,
+    /// Time-based flush policy for the pipelined WAL writer: when > 0,
+    /// the node arms a recurring flush timer with this period and
+    /// submits whatever is staged (and resolves whatever is in flight)
+    /// on each tick, bounding the acknowledgement latency a large
+    /// `wal_flush_max_records` threshold can add under a lull in
+    /// confirms. `0` — the default — disables the timer; the size
+    /// threshold, epoch checkpoints, and snapshot installs remain the
+    /// only flush triggers. Deterministic in simulation: ticks are sim
+    /// timers, not wall clocks.
+    pub wal_flush_interval_ms: u32,
 }
 
 impl SystemConfig {
@@ -202,6 +212,7 @@ impl SystemConfig {
             wal_lane_groups: 8,
             wal_segment_records: 1024,
             wal_flush_max_records: 1,
+            wal_flush_interval_ms: 0,
         }
     }
 
@@ -402,10 +413,13 @@ mod tests {
         bad.wal_flush_max_records = 0;
         assert!(bad.validate().is_err());
 
+        assert_eq!(c.wal_flush_interval_ms, 0, "default = no flush timer");
+
         let mut ok = c;
         ok.wal_lane_groups = MERKLE_LANES;
         ok.wal_segment_records = 1;
         ok.wal_flush_max_records = 64;
+        ok.wal_flush_interval_ms = 5;
         ok.validate().unwrap();
     }
 

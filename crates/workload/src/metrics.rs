@@ -151,6 +151,18 @@ pub struct Report {
     /// Flush barriers taken across replicas (denominator for
     /// per-barrier wall-clock means).
     pub flush_barriers: u64,
+    /// Flush barriers whose durable step failed, summed across replicas
+    /// — the alarm PR 7 un-swallowed: `flush_staged`/`submit_staged`
+    /// used to discard the barrier outcome, so a failed fsync still
+    /// reported its range as durable. Must be 0 in every healthy run;
+    /// nonzero means ranges were applied whose durability storage never
+    /// confirmed (deterministic, unlike the wall-clock barrier timers).
+    pub wal_flush_failures: u64,
+    /// Barriers submitted while the previous barrier was still in
+    /// flight, summed across replicas — genuine write/execute overlap
+    /// windows under pipelined durability. Deterministic: inline
+    /// (simulation) and writer-thread (File) modes count identically.
+    pub wal_pipelined_submits: u64,
     /// The unified metrics snapshot: every replica's counters merged
     /// through the order-invariant registry, plus run-level network and
     /// crypto counters (filled by the runner). `to_json()` is the one
@@ -346,6 +358,8 @@ pub fn aggregate(data: &RunData) -> Report {
     let wall_wal_flush_ns = data.nodes.iter().map(|n| n.wall_wal_flush_ns).sum();
     let wall_exec_ns = data.nodes.iter().map(|n| n.wall_exec_ns).sum();
     let flush_barriers = data.nodes.iter().map(|n| n.flush_barriers).sum();
+    let wal_flush_failures = data.nodes.iter().map(|n| n.wal_flush_failures).sum();
+    let wal_pipelined_submits = data.nodes.iter().map(|n| n.wal_pipelined_submits).sum();
 
     // Reference-replica lifecycle stage latencies (sim-time ns →
     // milliseconds). Log2-bucketed, so p50/p99 carry bucket resolution.
@@ -444,6 +458,8 @@ pub fn aggregate(data: &RunData) -> Report {
         wall_wal_flush_ns,
         wall_exec_ns,
         flush_barriers,
+        wal_flush_failures,
+        wal_pipelined_submits,
         metrics,
     }
 }
@@ -600,6 +616,21 @@ mod tests {
         // And a healthy fleet reports zero.
         let rep = aggregate(&run_data(empty_nodes(4)));
         assert_eq!(rep.wal_write_failures, 0);
+    }
+
+    #[test]
+    fn wal_flush_failures_summed_across_replicas() {
+        let mut nodes = empty_nodes(4);
+        nodes[1].wal_flush_failures = 1;
+        nodes[3].wal_flush_failures = 2;
+        nodes[0].wal_pipelined_submits = 7;
+        nodes[2].wal_pipelined_submits = 5;
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.wal_flush_failures, 3);
+        assert_eq!(rep.wal_pipelined_submits, 12);
+        // And a healthy fleet reports zero failed barriers.
+        let rep = aggregate(&run_data(empty_nodes(4)));
+        assert_eq!(rep.wal_flush_failures, 0);
     }
 
     #[test]

@@ -471,6 +471,11 @@ fn one_block_behind_gets_log_sync_not_snapshot() {
 struct CrashBackend {
     inner: FileBackend,
     budget: Arc<AtomicI64>,
+    /// Route barriers through the dedicated `ladon-wal-writer` thread
+    /// (the pipelined-durability path) instead of running them inline —
+    /// the budget cell is shared, so the sweep kills storage at the same
+    /// op boundaries either way.
+    threaded: bool,
 }
 
 impl CrashBackend {
@@ -520,6 +525,9 @@ impl WalBackend for CrashBackend {
     fn io_stats(&self) -> ladon::state::WalIoStats {
         self.inner.io_stats()
     }
+    fn prefers_writer_thread(&self) -> bool {
+        self.threaded
+    }
 }
 
 fn scratch_dir(tag: &str, k: i64) -> std::path::PathBuf {
@@ -562,6 +570,7 @@ fn wal_append_crash_matrix_preserves_acked_records() {
             let backend = CrashBackend {
                 inner: FileBackend::open_dir(&dir).unwrap(),
                 budget: budget.clone(),
+                threaded: false,
             };
             let mut wal = CommitWal::open(Box::new(backend), opts);
             for sn in 0..12 {
@@ -606,6 +615,7 @@ fn wal_compaction_crash_matrix_loses_no_record() {
             let backend = CrashBackend {
                 inner: FileBackend::open_dir(&dir).unwrap(),
                 budget: budget.clone(),
+                threaded: false,
             };
             let mut wal = CommitWal::open(Box::new(backend), opts);
             for sn in 0..records {
@@ -656,6 +666,7 @@ fn checkpoint_compaction_crash_matrix_recovers_exact_state() {
             let backend = CrashBackend {
                 inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
                 budget: budget.clone(),
+                threaded: false,
             };
             let mut p = ExecutionPipeline::recover_backend(
                 &dir,
@@ -726,6 +737,7 @@ fn wal_group_commit_crash_matrix_preserves_flushed_batches() {
             let backend = CrashBackend {
                 inner: FileBackend::open_dir(&dir).unwrap(),
                 budget: budget.clone(),
+                threaded: false,
             };
             let mut wal = CommitWal::open(Box::new(backend), opts);
             let mut sn = 0u64;
@@ -801,6 +813,7 @@ fn cross_drain_accumulation_crash_matrix_never_acks_unflushed_records() {
                 let backend = CrashBackend {
                     inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
                     budget: budget.clone(),
+                    threaded: false,
                 };
                 let mut p = ExecutionPipeline::recover_backend(
                     &dir,
@@ -937,6 +950,7 @@ fn batched_execution_crash_matrix_recovers_acked_prefix() {
             let backend = CrashBackend {
                 inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
                 budget: budget.clone(),
+                threaded: false,
             };
             let mut p = ExecutionPipeline::recover_backend(
                 &dir,
@@ -1065,4 +1079,219 @@ fn torn_wal_recovery_surfaces_replay_stats_in_report() {
     assert_eq!(report.records_replayed, stats.records_replayed);
     assert_eq!(report.segments_clean_end, stats.segments_clean_end);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The un-swallowed barrier alarm (the PR 7 bugfix): a failed durability
+/// barrier must propagate `PipelinePerf::wal_flush_failures` →
+/// `NodeMetrics::wal_flush_failures` → `Report.wal_flush_failures`, in
+/// both the inline (simulation) and writer-thread (File) barrier modes.
+/// `flush_staged` used to discard the `CommitWal::flush()` outcome
+/// entirely and report the drained range as durable; now the range is
+/// still returned (the in-memory mirror is authoritative and the blocks
+/// apply) but the alarm is raised before any caller can treat it as
+/// durable.
+#[test]
+fn failed_flush_barrier_raises_alarm_through_report() {
+    use ladon::types::TimeNs;
+    use ladon::workload::{aggregate, metrics::empty_nodes, RunData};
+
+    let wal_opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    let batch_of = |from: u64, n: u64| -> Vec<(u64, ladon::types::Block)> {
+        (from..from + n)
+            .map(|sn| (sn, common::exec_block(sn, sn * 50, 50)))
+            .collect()
+    };
+    for threaded in [false, true] {
+        let dir = scratch_dir(
+            if threaded {
+                "alarm-threaded"
+            } else {
+                "alarm-inline"
+            },
+            0,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(i64::MAX));
+        let backend = CrashBackend {
+            inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
+            budget: budget.clone(),
+            threaded,
+        };
+        let mut p = ExecutionPipeline::recover_backend(
+            &dir,
+            Box::new(backend),
+            DEFAULT_KEYSPACE,
+            1,
+            wal_opts,
+        )
+        .unwrap();
+        p.execute_batch(&batch_of(0, 4));
+        assert_eq!(
+            p.perf().wal_flush_failures,
+            0,
+            "threaded={threaded}: a clean run must not alarm"
+        );
+        // The disk dies: every write in the next barrier fails.
+        budget.store(0, Ordering::SeqCst);
+        p.stage_blocks(&batch_of(4, 2));
+        let range = p.flush_staged();
+        assert_eq!(
+            range,
+            4..6,
+            "threaded={threaded}: the range is still reported"
+        );
+        assert!(
+            p.perf().wal_flush_failures >= 1,
+            "threaded={threaded}: the failed barrier must raise the alarm"
+        );
+        assert!(p.wal_write_failures() > 0, "threaded={threaded}");
+
+        // pipeline → NodeMetrics → Report: the exact chain the runner
+        // uses, so fault outcomes are assertable from the top document.
+        let mut nodes = empty_nodes(4);
+        MultiBftNode::mirror_exec_metrics(&mut nodes[0], &p);
+        assert!(
+            nodes[0].wal_flush_failures >= 1,
+            "threaded={threaded}: NodeMetrics must mirror the alarm"
+        );
+        let report = aggregate(&RunData {
+            nodes,
+            f: 1,
+            window_start: TimeNs::ZERO,
+            window_end: TimeNs::from_millis(1_000),
+            reference: 0,
+            waiting_blocks: 0,
+        });
+        assert!(
+            report.wal_flush_failures >= 1,
+            "threaded={threaded}: a failed barrier must surface as a \
+             nonzero Report.wal_flush_failures, never a silently \
+             \"durable\" range"
+        );
+        drop(p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Writer-thread crash matrix (pipelined durability): storage dies `k`
+/// ops into the submit → write → fsync → ack-token window of the
+/// dedicated WAL writer, while a further accumulation stages into the
+/// double-buffered scratch mid-flight. Sweep contract, at every `k`:
+/// no acknowledgement before durability (nothing past a clean-barrier
+/// prefix is trusted), the staged-while-in-flight accumulation is never
+/// acknowledged, and recovery roots are byte-identical at worker counts
+/// {1, 4} and equal a clean re-execution of the recovered prefix.
+#[test]
+fn writer_thread_crash_matrix_never_acks_before_durability() {
+    let wal_opts = WalOptions {
+        lane_groups: 2,
+        segment_records: 4,
+    };
+    let batch_of = |from: u64, n: u64| -> Vec<(u64, ladon::types::Block)> {
+        (from..from + n)
+            .map(|sn| (sn, common::exec_block(sn, sn * 50, 50)))
+            .collect()
+    };
+    for k in 0..=16i64 {
+        let dir = scratch_dir("writer-crash", k);
+        let _ = std::fs::remove_dir_all(&dir);
+        let budget = Arc::new(AtomicI64::new(i64::MAX));
+        let acked = {
+            let backend = CrashBackend {
+                inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
+                budget: budget.clone(),
+                threaded: true,
+            };
+            let mut p = ExecutionPipeline::recover_backend(
+                &dir,
+                Box::new(backend),
+                DEFAULT_KEYSPACE,
+                1,
+                wal_opts,
+            )
+            .unwrap();
+            // A clean pipelined prefix: two overlapped submits, drained.
+            p.stage_blocks(&batch_of(0, 2));
+            assert!(
+                p.submit_staged().is_empty(),
+                "k={k}: the first submit has no prior batch to apply"
+            );
+            p.stage_blocks(&batch_of(2, 2));
+            assert_eq!(
+                p.submit_staged(),
+                0..2,
+                "k={k}: the second submit applies batch 1 (whose token resolved)"
+            );
+            p.flush_staged();
+            assert_eq!(p.applied(), 4, "k={k}");
+            let perf = p.perf();
+            assert_eq!(perf.wal_flush_failures, 0, "k={k}: prefix must be clean");
+            assert!(
+                perf.pipelined_submits >= 1,
+                "k={k}: the prefix must have genuinely overlapped"
+            );
+            // The budgeted window: batch 3's barrier runs on the writer
+            // thread (submit → write → fsync → ack token) with `k` ops of
+            // storage life left.
+            budget.store(k, Ordering::SeqCst);
+            p.stage_blocks(&batch_of(4, 2));
+            p.submit_staged();
+            // In flight: submitted, not applied, not acknowledged.
+            assert_eq!(p.inflight_records(), 2, "k={k}");
+            assert_eq!(
+                p.applied(),
+                4,
+                "k={k}: no acknowledgement before the barrier token resolves"
+            );
+            // Double-buffered staging proceeds while the barrier flies —
+            // and this accumulation is never submitted before the crash.
+            p.stage_blocks(&batch_of(6, 2));
+            assert_eq!(p.staged_records(), 2, "k={k}");
+            p.complete_inflight();
+            if p.perf().wal_flush_failures == 0 && p.wal_write_failures() == 0 {
+                6
+            } else {
+                4
+            }
+            // Process dies here: batch 4 (sns 6..8) was never flushed.
+        };
+        let mut roots = Vec::new();
+        for lanes in LANE_MATRIX {
+            let r =
+                ExecutionPipeline::recover_opts(&dir, DEFAULT_KEYSPACE, lanes, wal_opts).unwrap();
+            assert!(
+                r.applied() >= acked,
+                "k={k} lanes={lanes}: an acknowledged prefix was lost \
+                 (recovered {} < acked {acked})",
+                r.applied()
+            );
+            assert!(
+                r.applied() <= 6,
+                "k={k} lanes={lanes}: the unflushed double-buffered \
+                 accumulation must never be acknowledged (recovered {})",
+                r.applied()
+            );
+            let mut reference = ExecutionPipeline::in_memory_with(DEFAULT_KEYSPACE, lanes);
+            for sn in 0..r.applied() {
+                reference.execute(sn, &common::exec_block(sn, sn * 50, 50));
+            }
+            assert_eq!(
+                r.state_root(),
+                reference.state_root(),
+                "k={k} lanes={lanes}: recovered root diverges from a clean \
+                 re-execution of the recovered prefix"
+            );
+            roots.push((lanes, r.applied(), r.state_root()));
+        }
+        assert!(
+            roots
+                .windows(2)
+                .all(|w| (w[0].1, w[0].2) == (w[1].1, w[1].2)),
+            "k={k}: recovery differs across worker counts: {roots:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -22,10 +22,10 @@ use std::time::Instant;
 
 use ladon_obs::{fields, BenchReport, Json, BENCH_JSON_ENV};
 use ladon_state::{
-    static_lane_mask, CommitWal, ExecutionPipeline, FileBackend, Snapshot, SnapshotStore,
-    WalOptions, WalRecord,
+    delta_lanes, lane_of, static_lane_mask, ChunkCache, CommitWal, ExecutionPipeline, FileBackend,
+    KvState, Snapshot, SnapshotChunk, SnapshotStore, WalOptions, WalRecord, MERKLE_LANES,
 };
-use ladon_types::{Block, NetEnv, ProtocolKind, TxOp};
+use ladon_types::{Block, NetEnv, ProtocolKind, TxOp, WireSize};
 use ladon_workload::{run_experiment, ExperimentConfig, Report};
 
 const TARGETS: [&str; 9] = [
@@ -243,6 +243,7 @@ fn run_smoke_suite(pass: &str) -> BenchReport {
     );
     report.add_figure("trace_lifecycle", lifecycle_fields(&base));
     report.add_figure("fig_recovery_scaling", recovery_fields(pass));
+    report.add_figure("fig_snapshot_delta", snapshot_delta_fields(pass));
     report
 }
 
@@ -336,5 +337,131 @@ fn recovery_fields(pass: &str) -> Vec<(String, Json)> {
         ("segments_scanned", Json::U64(stats.segments_scanned)),
         ("dirty_lanes", Json::U64(stats.dirty_lanes() as u64)),
         ("wall_recover_ns", Json::U64(wall_recover_ns)),
+    ])
+}
+
+/// `fig_snapshot_delta`: content-addressed delta sync ships chunks and
+/// bytes proportional to *changed lanes*, not state size. All fields
+/// are deterministic counts (chunk counts, wire bytes, cache builds) —
+/// the same gates as the standalone `fig_snapshot_delta` bench target.
+fn snapshot_delta_fields(pass: &str) -> Vec<(String, Json)> {
+    const BASE_KEYS: u32 = 2048;
+    const DIRTY_KS: [usize; 3] = [1, 8, 64];
+
+    let base = KvState::from_entries((0..BASE_KEYS).map(|k| (k, k as u64 * 37 + 11)));
+    // First base key landing in each lane (index = lane).
+    let mut lane_keys = vec![u32::MAX; MERKLE_LANES as usize];
+    for k in 0..BASE_KEYS {
+        let lane = lane_of(k);
+        if lane_keys[lane] == u32::MAX {
+            lane_keys[lane] = k;
+        }
+    }
+    assert!(lane_keys.iter().all(|&k| k != u32::MAX));
+    let dirtied = |k: usize| -> KvState {
+        let mut entries: std::collections::BTreeMap<u32, u64> = base.entries().collect();
+        for &key in &lane_keys[..k] {
+            *entries.get_mut(&key).expect("lane key exists") += 1;
+        }
+        KvState::from_entries(entries)
+    };
+    let shipped_for = |snap: &Snapshot, delta: &[u32]| -> Vec<SnapshotChunk> {
+        let (_, chunks) = snap.split();
+        let mut sent = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for &lane in delta {
+            let root = snap.lane_roots[lane as usize];
+            if sent.insert(root) {
+                let c = chunks
+                    .iter()
+                    .find(|c| c.root == root)
+                    .expect("split covers every lane root")
+                    .clone();
+                assert!(c.verify());
+                out.push(c);
+            }
+        }
+        out
+    };
+
+    let snap_a = Snapshot::capture(1, 64, 4096, Vec::new(), Vec::new(), &base);
+    assert!(snap_a.verify());
+    let monolithic_bytes = snap_a.wire_size();
+
+    // k dirty lanes -> exactly k chunks; delta assembly byte-identical.
+    let mut chunk_counts = Vec::new();
+    let mut byte_counts = Vec::new();
+    for &k in &DIRTY_KS {
+        let snap_b = Snapshot::capture(2, 128, 8192, Vec::new(), Vec::new(), &dirtied(k));
+        let delta = delta_lanes(&snap_b.lane_roots, &snap_a.lane_roots);
+        assert_eq!(delta.len(), k, "delta must be exactly the dirty lanes");
+        let shipped = shipped_for(&snap_b, &delta);
+        assert_eq!(shipped.len(), k, "one chunk per dirty lane");
+        let (head, _) = snap_b.split();
+        let (_, local) = snap_a.split();
+        let mut parts: Vec<SnapshotChunk> = local
+            .into_iter()
+            .filter(|c| head.lane_roots.contains(&c.root))
+            .collect();
+        parts.extend(shipped.iter().cloned());
+        let rebuilt = Snapshot::assemble(head, &parts).expect("all lanes accounted for");
+        assert_eq!(
+            rebuilt.encode(),
+            snap_b.encode(),
+            "delta install must be byte-identical"
+        );
+        chunk_counts.push(shipped.len() as u64);
+        byte_counts.push(shipped.iter().map(|c| c.wire_size()).sum::<u64>());
+    }
+    assert!(byte_counts[0] < byte_counts[1] && byte_counts[1] < byte_counts[2]);
+    assert!(byte_counts[0] * 8 < monolithic_bytes);
+
+    // Unchanged lanes are never re-encoded across epochs.
+    let mut cache = ChunkCache::new();
+    assert_eq!(cache.prime(&snap_a), MERKLE_LANES as u64);
+    assert_eq!(cache.prime(&snap_a), 0);
+    let snap_b8 = Snapshot::capture(2, 128, 8192, Vec::new(), Vec::new(), &dirtied(8));
+    assert_eq!(cache.prime(&snap_b8), 8, "only dirty lanes re-encoded");
+    let cache_encodes = cache.encodes();
+
+    // Interrupted install: the stash survives restart; only missing
+    // chunks are re-requested.
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "ladon-repro-snapdelta-{pass}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create snapdelta scratch dir");
+    let delta8 = delta_lanes(&snap_b8.lane_roots, &snap_a.lane_roots);
+    let shipped8 = shipped_for(&snap_b8, &delta8);
+    let stash_n = shipped8.len() / 2;
+    {
+        let mut store = SnapshotStore::at_dir(&dir).expect("open snapdelta store");
+        for c in &shipped8[..stash_n] {
+            assert!(store.stash_chunk(c.clone()));
+        }
+    }
+    let store = SnapshotStore::at_dir(&dir).expect("reopen snapdelta store");
+    assert_eq!(store.stash_len(), stash_n, "stash must survive restart");
+    assert_eq!(store.decode_failures(), 0);
+    let mut advertised = snap_a.lane_roots.clone();
+    for c in store.stashed_chunks() {
+        advertised[c.lane as usize] = c.root;
+    }
+    let resume = delta_lanes(&snap_b8.lane_roots, &advertised);
+    assert_eq!(resume.len(), shipped8.len() - stash_n);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    fields(vec![
+        ("base_entries", Json::U64(BASE_KEYS as u64)),
+        ("monolithic_bytes", Json::U64(monolithic_bytes)),
+        ("chunks_k1", Json::U64(chunk_counts[0])),
+        ("bytes_k1", Json::U64(byte_counts[0])),
+        ("chunks_k8", Json::U64(chunk_counts[1])),
+        ("bytes_k8", Json::U64(byte_counts[1])),
+        ("chunks_k64", Json::U64(chunk_counts[2])),
+        ("bytes_k64", Json::U64(byte_counts[2])),
+        ("cache_encodes", Json::U64(cache_encodes)),
+        ("resume_missing_chunks", Json::U64(resume.len() as u64)),
     ])
 }

@@ -21,17 +21,21 @@ use crate::epoch::{EpochEvent, EpochPacemaker};
 use crate::msg::{ClientTxs, NodeMsg};
 use crate::ordering::{ConfirmedBlock, GlobalOrderer, LadonOrderer};
 use crate::predetermined::{BaselineKind, PredeterminedOrderer};
-use crate::sync::{SyncEntry, SyncRequest, SyncResponse};
+use crate::sync::{select_chunk_lanes, SyncEntry, SyncRequest, SyncResponse};
 use ladon_crypto::{KeyRegistry, RankCert};
 use ladon_hotstuff::{HsConfig, HsInstance, HsRankMode};
 use ladon_obs::{Stage, TraceJournal};
 use ladon_pbft::{InstanceConfig, PbftInstance, RankMode, RankStrategy};
 use ladon_sim::{Actor, ActorId, Context};
-use ladon_state::{ExecOutcome, ExecutionPipeline};
+use ladon_state::{
+    delta_lanes, ChunkCache, ExecOutcome, ExecutionPipeline, Snapshot, SnapshotChunk,
+};
 use ladon_types::{
     Batch, Block, Digest, InstanceId, ProtocolKind, Rank, ReplicaId, Round, SystemConfig, TimeNs,
-    View,
+    View, WireSize,
 };
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 /// Fault/behavior injection for one replica (§6.1 straggler settings).
 #[derive(Clone, Debug, Default)]
@@ -133,6 +137,25 @@ pub struct NodeMetrics {
     pub state_roots: Vec<(TimeNs, u64, Digest)>,
     /// Peer snapshots installed (execution fast-forward).
     pub snapshot_installs: u64,
+    /// Snapshot heads served to lagging peers (one per sync response that
+    /// carried a snapshot, however many chunk rounds the transfer takes).
+    pub snapshots_served: u64,
+    /// Per-lane snapshot chunks shipped in sync responses. With delta
+    /// sync this scales with *changed* lanes, not state size — a
+    /// requester that already holds most lanes costs chunks ∝ the delta.
+    pub snapshot_chunks_served: u64,
+    /// Wire bytes of the chunks behind `snapshot_chunks_served`.
+    pub snapshot_bytes_served: u64,
+    /// Requester-side: snapshot lanes satisfied from *local* state
+    /// (the lane root in the peer's head matched a lane we already
+    /// held, so the lane was reconstructed in place, never shipped).
+    pub snapshot_chunks_reused: u64,
+    /// Snapshot-store files (snapshots or stashed chunks) that failed to
+    /// read, decode, or verify when the store directory was scanned —
+    /// mirrored from [`ladon_state::ExecutionPipeline`]. Previously a
+    /// corrupt `snap-*.bin` was skipped silently; nonzero here means
+    /// recovery fell back past the newest checkpoint it should have had.
+    pub snapshot_decode_failures: u64,
     /// Confirmed `sn`s this replica never recorded a `ConfirmRecord` for
     /// because a snapshot install fast-forwarded past them (the
     /// confirm-record gap a log join on `sn` must tolerate). Summed over
@@ -237,6 +260,14 @@ impl ladon_obs::SnapshotInto for NodeMetrics {
         registry.counter("node.sync_requests", self.sync_requests);
         registry.counter("node.sync_installed", self.sync_installed);
         registry.counter("node.snapshot_installs", self.snapshot_installs);
+        registry.counter("node.snapshots_served", self.snapshots_served);
+        registry.counter("sync.snapshot_chunks_served", self.snapshot_chunks_served);
+        registry.counter("sync.snapshot_bytes_served", self.snapshot_bytes_served);
+        registry.counter("sync.snapshot_chunks_reused", self.snapshot_chunks_reused);
+        registry.counter(
+            "node.snapshot_decode_failures",
+            self.snapshot_decode_failures,
+        );
         registry.counter("node.skipped_sns", self.skipped_sns);
         registry.counter("node.exec_gaps", self.exec_gaps);
         registry.counter("node.root_conflicts", self.root_conflicts);
@@ -326,6 +357,19 @@ pub struct MultiBftNode {
     sync_gap_snapshot: Vec<Round>,
     /// The execution pipeline: KV state machine + commit WAL + snapshots.
     pub exec: ExecutionPipeline,
+    /// Serve-side cache of per-lane chunk encodes for the latest
+    /// snapshot, keyed by lane root. Primed lazily when a sync request
+    /// needs chunks, pruned at each checkpoint to the roots the new
+    /// snapshot still references — an unchanged lane is encoded once per
+    /// *content*, however many transfers or snapshots reference it.
+    /// `RefCell` because [`Self::build_sync_response`] is `&self` (the
+    /// sync tests drive it directly) and the cache is pure memoization.
+    chunk_cache: RefCell<ChunkCache>,
+    /// Resume cursor for chunked snapshot transfers: the lane offset the
+    /// next `SyncRequest` asks the responder to continue serving from.
+    /// Advances by `sys.sync_chunks_per_response` per partial response,
+    /// wraps with the responder's scan, resets once an install lands.
+    sync_cursor: u32,
     /// The epoch the buckets are rotated to (tracks pacemaker advances,
     /// including multi-epoch fast-forwards after a snapshot install).
     bucket_epoch: u64,
@@ -465,6 +509,8 @@ impl MultiBftNode {
             orderer,
             pacemaker,
             exec,
+            chunk_cache: RefCell::new(ChunkCache::new()),
+            sync_cursor: 0,
             bucket_epoch: 0,
             ckpt_traced_upto: applied_at_start,
             metrics: NodeMetrics::default(),
@@ -720,6 +766,13 @@ impl MultiBftNode {
                     // cost — immediately (`pm` holds the pacemaker
                     // borrow, so the mirror is an associated call).
                     Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
+                    // The new snapshot supersedes the previous one for
+                    // serving: drop cached chunk encodes for lane roots
+                    // it no longer references (unchanged lanes keep
+                    // their cached chunks — same root, same bytes).
+                    if let Some(snap) = self.exec.latest_snapshot() {
+                        self.chunk_cache.borrow_mut().retain(&snap.lane_roots);
+                    }
                     self.metrics.state_roots.push((now, epoch.0, root));
                     let signer = self.cfg.registry.signer(self.cfg.me);
                     broadcast = Some(pm.make_checkpoint(&signer, root));
@@ -881,6 +934,7 @@ impl MultiBftNode {
         metrics.exec_waves = sched.waves;
         metrics.exec_cross_lane_edges = sched.cross_lane_edges;
         metrics.exec_max_wave_ops = sched.max_wave_ops;
+        metrics.snapshot_decode_failures = exec.snapshot_decode_failures();
         let replay = exec.recovery_stats();
         metrics.records_torn = replay.records_torn;
         metrics.records_unacked_lost = replay.records_unacked_lost;
@@ -1095,14 +1149,33 @@ impl MultiBftNode {
             .collect()
     }
 
-    /// Sends one state-transfer request to the next peer in round-robin
-    /// order.
-    fn send_sync_request(&mut self, ctx: &mut dyn Context<NodeMsg>) {
-        let req = SyncRequest {
+    /// Builds the state-transfer request this replica would send right
+    /// now. Pure with respect to the network (the sync fault tests drive
+    /// the request/response exchange directly). The lane-root
+    /// advertisement is the *effective* held roots: local state roots,
+    /// overridden per lane by any chunk already verified into the stash —
+    /// so a transfer resumed across responses (or a crash) re-fetches
+    /// only the lanes still missing.
+    pub fn build_sync_request(&self) -> SyncRequest {
+        let mut lane_roots = self.exec.lane_roots();
+        for chunk in self.exec.stashed_chunks() {
+            if let Some(slot) = lane_roots.get_mut(chunk.lane as usize) {
+                *slot = chunk.root;
+            }
+        }
+        SyncRequest {
             epoch: ladon_types::Epoch(self.epoch()),
             applied: self.exec.applied(),
             frontier: self.commit_frontier(),
-        };
+            lane_roots,
+            chunk_cursor: self.sync_cursor,
+        }
+    }
+
+    /// Sends one state-transfer request to the next peer in round-robin
+    /// order.
+    fn send_sync_request(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        let req = self.build_sync_request();
         let n = self.cfg.sys.n;
         let mut target = self.sync_rr % n;
         if target == self.cfg.me.as_usize() {
@@ -1124,6 +1197,12 @@ impl MultiBftNode {
             return;
         }
         if let Some(resp) = self.build_sync_response(&req) {
+            if resp.snapshot.is_some() {
+                self.metrics.snapshots_served += 1;
+                self.metrics.snapshot_chunks_served += resp.chunks.len() as u64;
+                self.metrics.snapshot_bytes_served +=
+                    resp.chunks.iter().map(|c| c.wire_size()).sum::<u64>();
+            }
             ctx.send(from.as_usize(), NodeMsg::SyncResp(resp));
         }
     }
@@ -1133,10 +1212,18 @@ impl MultiBftNode {
     /// sync tests drive it directly): log entries past the requester's
     /// frontier, plus — only when the requester's applied frontier lags
     /// our latest snapshot by at least `sys.snapshot_min_lag` blocks
-    /// ([`crate::sync::snapshot_worthwhile`]) — the snapshot and its
-    /// proving checkpoint. A barely-behind replica gets log sync alone;
-    /// shipping a full-keyspace snapshot for a one-block gap wastes the
-    /// snapshot's wire cost where a single entry suffices.
+    /// ([`crate::sync::snapshot_worthwhile`]) — the snapshot *head* and
+    /// its proving checkpoint, with per-lane chunks for only the lanes
+    /// whose roots differ from the requester's advertisement (delta
+    /// sync): bytes shipped scale with changed lanes, not state size.
+    /// At most `sys.sync_chunks_per_response` delta lanes are served per
+    /// response, scanning from `req.chunk_cursor` with wraparound;
+    /// `chunks_remaining > 0` tells the requester to come back with an
+    /// advanced cursor. Chunks come from the [`ChunkCache`], so an
+    /// unchanged lane is encoded once per content, not once per
+    /// transfer. A barely-behind replica gets log sync alone; shipping
+    /// snapshot chunks for a one-block gap wastes the wire cost where a
+    /// single entry suffices.
     pub fn build_sync_response(&self, req: &SyncRequest) -> Option<SyncResponse> {
         let m = self.cfg.sys.m;
         if req.frontier.len() != m {
@@ -1166,6 +1253,8 @@ impl MultiBftNode {
         // as the requester's epoch proof.
         let mut checkpoint = None;
         let mut snapshot = None;
+        let mut chunks = Vec::new();
+        let mut chunks_remaining = 0;
         if let Some(pm) = &self.pacemaker {
             if let Some(snap) = self.exec.latest_snapshot() {
                 if crate::sync::snapshot_worthwhile(
@@ -1175,7 +1264,31 @@ impl MultiBftNode {
                 ) {
                     if let Some(cp) = pm.stable_checkpoint(ladon_types::Epoch(snap.epoch)) {
                         if cp.state_root == snap.root {
-                            snapshot = Some(snap.clone());
+                            // Delta selection: only lanes whose roots
+                            // differ from the requester's advertisement,
+                            // capped and cursor-resumable. Chunks are
+                            // deduplicated by root within the response
+                            // (all-empty lanes share one root — one chunk
+                            // reconstructs every one of them).
+                            let mut cache = self.chunk_cache.borrow_mut();
+                            cache.prime(snap);
+                            let delta = delta_lanes(&snap.lane_roots, &req.lane_roots);
+                            let (lanes, remaining) = select_chunk_lanes(
+                                &delta,
+                                req.chunk_cursor,
+                                self.cfg.sys.sync_chunks_per_response as usize,
+                            );
+                            let mut sent = std::collections::BTreeSet::new();
+                            for lane in lanes {
+                                let root = snap.lane_roots[lane as usize];
+                                if sent.insert(root) {
+                                    if let Some(chunk) = cache.get(&root) {
+                                        chunks.push(chunk.clone());
+                                    }
+                                }
+                            }
+                            chunks_remaining = remaining;
+                            snapshot = Some(snap.head());
                             checkpoint = Some(cp);
                         }
                     }
@@ -1201,75 +1314,161 @@ impl MultiBftNode {
         Some(SyncResponse {
             checkpoint,
             snapshot,
+            chunks,
+            chunks_remaining,
             entries,
         })
     }
 
-    /// Verifies and installs a peer's sync response.
-    fn on_sync_response(&mut self, resp: SyncResponse, ctx: &mut dyn Context<NodeMsg>) {
+    /// Verifies and installs a peer's sync response. `pub` so the fault
+    /// tests can drive the chunked request/response exchange directly
+    /// (Byzantine chunk rejection, crash-resume) without a network.
+    pub fn on_sync_response(&mut self, resp: SyncResponse, ctx: &mut dyn Context<NodeMsg>) {
         let now = ctx.now();
         // Snapshot fast-forward: only with a verified stable checkpoint
-        // whose quorum-signed root matches the snapshot's content root.
+        // whose quorum-signed root matches the snapshot head's manifest
+        // root. The head alone proves the lane-root vector; each chunk
+        // then verifies independently against its lane root, so a
+        // Byzantine responder can corrupt at most its own chunks — a bad
+        // chunk is dropped per-chunk without discarding verified ones.
         let mut snapshot_installed = false;
-        if let (Some(cp), Some(snap)) = (&resp.checkpoint, &resp.snapshot) {
+        let mut head_accepted = false;
+        if let (Some(cp), Some(head)) = (&resp.checkpoint, &resp.snapshot) {
             let applied_before = self.exec.applied();
-            if cp.epoch.0 == snap.epoch
-                && cp.state_root == snap.root
+            if cp.epoch.0 == head.epoch
+                && cp.state_root == head.root
+                && head.verify()
+                && head.applied > applied_before
                 && cp.verify(&self.cfg.registry, self.cfg.sys.quorum())
-                && self.exec.install_snapshot(snap)
             {
-                self.metrics.snapshot_installs += 1;
-                // Installing drains staged blocks and compacts the WAL
-                // behind the snapshot.
-                Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
-                // The fast-forwarded prefix never gets ConfirmRecords
-                // here: surface the gap instead of leaving it implicit in
-                // a shorter log.
-                self.metrics.skipped_sns += snap.applied - applied_before;
-                // The prefix was never traced here either — jump the
-                // checkpoint-trace frontier so the next epoch sweep does
-                // not stamp blocks this replica never processed.
-                self.ckpt_traced_upto = self.ckpt_traced_upto.max(self.exec.applied());
-                snapshot_installed = true;
-                // Fast-forward the consensus layers past the snapshotted
-                // prefix: each instance's commit frontier jumps to the
-                // snapshot's recorded rounds (peers then serve only the
-                // tail), and the orderer's intake tips jump with it so
-                // confirmation resumes at the snapshot's sn. The frontier
-                // is covered by the quorum-signed manifest root, so the
-                // rounds are as trustworthy as the state itself. A
-                // state-only snapshot (empty frontier — HotStuff capture,
-                // see the checkpoint path) skips this: the state machine
-                // fast-forwards, consensus intake re-confirms history and
-                // execution skips it idempotently.
-                if snap.frontier.len() == self.cfg.sys.m {
-                    for (i, &round) in snap.frontier.iter().enumerate() {
-                        if let Slot::Pbft(inst) = &mut self.slots[i] {
-                            inst.fast_forward(Round(round));
+                head_accepted = true;
+                // Stash every chunk that verifies against the head's
+                // lane-root vector: membership (the root is one the head
+                // actually names for that lane) plus content (entries
+                // recompute to the root, stay in-lane, stay canonical).
+                // The stash is content-addressed and durable, so chunks
+                // survive across responses and crashes; mismatched
+                // chunks are rejected here one by one.
+                for chunk in &resp.chunks {
+                    if head.lane_roots.get(chunk.lane as usize) == Some(&chunk.root)
+                        && chunk.verify()
+                    {
+                        self.exec.stash_chunk(chunk.clone());
+                    }
+                }
+                // Assemble: resolve all 64 lanes from the stash plus
+                // lanes our local state already holds at the right root
+                // (those were advertised, so the responder never shipped
+                // them — reconstruct in place and count the reuse).
+                let local: BTreeMap<Digest, SnapshotChunk> = self
+                    .exec
+                    .lane_chunks()
+                    .into_iter()
+                    .map(|c| (c.root, c))
+                    .collect();
+                let mut by_root: BTreeMap<Digest, SnapshotChunk> = BTreeMap::new();
+                let mut reused = 0u64;
+                let mut complete = true;
+                for root in &head.lane_roots {
+                    if by_root.contains_key(root) {
+                        continue;
+                    }
+                    if let Some(c) = self.exec.stashed_chunk(root) {
+                        by_root.insert(*root, c.clone());
+                    } else if let Some(c) = local.get(root) {
+                        reused += 1;
+                        by_root.insert(*root, c.clone());
+                    } else {
+                        complete = false;
+                        break;
+                    }
+                }
+                let assembled: Option<Snapshot> = if complete {
+                    let parts: Vec<SnapshotChunk> = by_root.into_values().collect();
+                    Snapshot::assemble(head.clone(), &parts)
+                } else {
+                    None
+                };
+                if let Some(snap) = assembled {
+                    if self.exec.install_snapshot(&snap) {
+                        self.metrics.snapshot_installs += 1;
+                        self.metrics.snapshot_chunks_reused += reused;
+                        // Installing drains staged blocks and compacts
+                        // the WAL behind the snapshot; the stash has
+                        // served its purpose, on disk and in memory.
+                        self.exec.clear_chunk_stash();
+                        self.sync_cursor = 0;
+                        Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
+                        // The fast-forwarded prefix never gets
+                        // ConfirmRecords here: surface the gap instead of
+                        // leaving it implicit in a shorter log.
+                        self.metrics.skipped_sns += snap.applied - applied_before;
+                        // The prefix was never traced here either — jump
+                        // the checkpoint-trace frontier so the next epoch
+                        // sweep does not stamp blocks this replica never
+                        // processed.
+                        self.ckpt_traced_upto = self.ckpt_traced_upto.max(self.exec.applied());
+                        snapshot_installed = true;
+                        // Fast-forward the consensus layers past the
+                        // snapshotted prefix: each instance's commit
+                        // frontier jumps to the snapshot's recorded
+                        // rounds (peers then serve only the tail), and
+                        // the orderer's intake tips jump with it so
+                        // confirmation resumes at the snapshot's sn. The
+                        // frontier is covered by the quorum-signed
+                        // manifest root, so the rounds are as
+                        // trustworthy as the state itself. A state-only
+                        // snapshot (empty frontier — HotStuff capture,
+                        // see the checkpoint path) skips this: the state
+                        // machine fast-forwards, consensus intake
+                        // re-confirms history and execution skips it
+                        // idempotently.
+                        if snap.frontier.len() == self.cfg.sys.m {
+                            for (i, &round) in snap.frontier.iter().enumerate() {
+                                if let Slot::Pbft(inst) = &mut self.slots[i] {
+                                    inst.fast_forward(Round(round));
+                                }
+                            }
+                            if let Orderer::Ladon(o) = &mut self.orderer {
+                                let max_rank =
+                                    self.cfg.sys.rank_range(ladon_types::Epoch(snap.epoch)).1;
+                                let tips: Vec<(Round, Rank)> = snap
+                                    .frontier
+                                    .iter()
+                                    .map(|&r| (Round(r), max_rank))
+                                    .collect();
+                                o.fast_forward(&tips, snap.applied);
+                            }
+                        }
+                        // The installed snapshot supplies everything up
+                        // to and including cp.epoch, so the pacemaker
+                        // can jump straight past it instead of
+                        // completing each old epoch locally (whose
+                        // stable checkpoints peers may have pruned).
+                        let ev = self
+                            .pacemaker
+                            .as_mut()
+                            .and_then(|p| p.fast_forward(cp, &self.cfg.registry, now));
+                        if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
+                            self.apply_epoch_advance(epoch, min, max, ctx);
                         }
                     }
-                    if let Orderer::Ladon(o) = &mut self.orderer {
-                        let max_rank = self.cfg.sys.rank_range(ladon_types::Epoch(snap.epoch)).1;
-                        let tips: Vec<(Round, Rank)> = snap
-                            .frontier
-                            .iter()
-                            .map(|&r| (Round(r), max_rank))
-                            .collect();
-                        o.fast_forward(&tips, snap.applied);
-                    }
-                }
-                // The installed snapshot supplies everything up to and
-                // including cp.epoch, so the pacemaker can jump straight
-                // past it instead of completing each old epoch locally
-                // (whose stable checkpoints peers may have pruned).
-                let ev = self
-                    .pacemaker
-                    .as_mut()
-                    .and_then(|p| p.fast_forward(cp, &self.cfg.registry, now));
-                if let Some(EpochEvent::Advance { epoch, min, max }) = ev {
-                    self.apply_epoch_advance(epoch, min, max, ctx);
                 }
             }
+        }
+        // Partial transfer: the responder capped this response and more
+        // delta lanes remain. Advance the cursor past the served window
+        // and re-request immediately (the stash keeps what already
+        // verified, the refreshed advertisement shrinks the delta).
+        // `send_sync_request` rotates round-robin, so a responder whose
+        // chunks keep failing verification is simply left behind for the
+        // next peer.
+        if head_accepted && !snapshot_installed && resp.chunks_remaining > 0 {
+            self.sync_cursor = self
+                .sync_cursor
+                .wrapping_add(self.cfg.sys.sync_chunks_per_response)
+                % ladon_state::MERKLE_LANES;
+            self.send_sync_request(ctx);
         }
         if let Some(cp) = resp.checkpoint.as_ref().filter(|_| !snapshot_installed) {
             let ev = self.pacemaker.as_mut().and_then(|p| {

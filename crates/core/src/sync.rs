@@ -21,11 +21,28 @@
 //! Fetched blocks flow through the normal commit pipeline (global
 //! ordering, epoch pacemaker), so catching up eventually re-arms the
 //! pacemaker and the replica rejoins the current epoch.
+//!
+//! # Delta state sync (chunked snapshots)
+//!
+//! Deep lag is repaired by snapshot, and snapshots travel **chunked**:
+//! the requester advertises its own lane roots in the [`SyncRequest`],
+//! and the responder ships the quorum-attested manifest head
+//! ([`ladon_state::SnapshotHead`]) plus only the chunks whose lane
+//! roots differ from the advertisement ([`ladon_state::delta_lanes`]) —
+//! at most `sync_chunks_per_response` per message, ascending from the
+//! request's `chunk_cursor` so a deep transfer resumes across
+//! responses, peer rotations, and requester crashes. Bytes shipped are
+//! therefore proportional to the **changed lanes**, not the state size.
+//! The requester verifies each chunk against the head's lane-root
+//! vector on arrival, stashes it (persistently, when disk-backed),
+//! reconstructs unchanged lanes from its local state, and installs once
+//! every lane is accounted for — a Byzantine responder can still serve
+//! correct chunks or nothing.
 
 use crate::epoch::StableCheckpoint;
 use ladon_crypto::QuorumCert;
-use ladon_state::Snapshot;
-use ladon_types::{sizes, Block, Epoch, InstanceId, Round, WireSize};
+use ladon_state::{SnapshotChunk, SnapshotHead};
+use ladon_types::{sizes, Block, Digest, Epoch, InstanceId, Round, WireSize};
 use serde::{Deserialize, Serialize};
 
 /// Snapshot serving minimum-gap policy: ship a snapshot only when the
@@ -61,12 +78,51 @@ pub struct SyncRequest {
     /// The requester's highest contiguously committed round, per instance
     /// (`frontier[i]` for instance `i`; length `m`).
     pub frontier: Vec<Round>,
+    /// The requester's *effective* lane roots: its local state's
+    /// lane-root vector, overridden per lane by any verified chunk it
+    /// has already stashed for a pending delta install. The responder
+    /// serves only chunks whose roots differ
+    /// ([`ladon_state::delta_lanes`]) — lanes the requester already
+    /// holds (locally or stashed, including across a crash) are never
+    /// re-shipped. Empty (or wrong-length) means nothing can be reused
+    /// and every lane differs. Purely an optimization hint: a forged
+    /// advertisement only changes *which* chunks come back, and every
+    /// chunk is verified against the quorum-attested head on arrival.
+    pub lane_roots: Vec<Digest>,
+    /// Resume cursor: the lane the responder starts its (wrapping,
+    /// ascending) delta scan at. A requester mid-transfer sets this one
+    /// past the last lane it received, so successive capped responses
+    /// cover the delta without re-shipping the prefix even before the
+    /// stash updates the advertisement.
+    pub chunk_cursor: u32,
 }
 
 impl WireSize for SyncRequest {
     fn wire_size(&self) -> u64 {
-        sizes::MSG_HEADER + 16 + 8 * self.frontier.len() as u64
+        sizes::MSG_HEADER
+            + 16
+            + 8 * self.frontier.len() as u64
+            + 4
+            + sizes::DIGEST * self.lane_roots.len() as u64
     }
+}
+
+/// The responder's chunk schedule for one response: of the differing
+/// lanes `delta` (ascending, from [`ladon_state::delta_lanes`]), serve
+/// at most `cap` starting at `cursor` and wrapping — so a requester
+/// advancing its cursor walks the whole delta in `⌈delta/cap⌉`
+/// responses regardless of where it started. Returns the lanes to ship
+/// plus how many differing lanes remain unshipped (`chunks_remaining`).
+pub fn select_chunk_lanes(delta: &[u32], cursor: u32, cap: usize) -> (Vec<u32>, u32) {
+    let cap = cap.max(1);
+    let pivot = delta.partition_point(|&l| l < cursor);
+    let lanes: Vec<u32> = delta[pivot..]
+        .iter()
+        .chain(delta[..pivot].iter())
+        .take(cap)
+        .copied()
+        .collect();
+    (lanes, (delta.len().saturating_sub(cap)) as u32)
 }
 
 /// One fetched log entry: a committed block and the prepare QC binding its
@@ -98,18 +154,29 @@ pub struct SyncResponse {
     /// otherwise it is the checkpoint of the requested epoch, when the
     /// responder has completed it.
     pub checkpoint: Option<StableCheckpoint>,
-    /// The responder's latest execution snapshot, when it is ahead of the
-    /// requester's applied frontier. The receiver recomputes its manifest
-    /// root — which covers the `applied`/`frontier`/`executed_txs`
-    /// metadata and the per-lane covered-sn vector as well as the
-    /// entries — and checks it against `checkpoint.state_root` before
-    /// installing, so a Byzantine responder can serve correct state or
-    /// nothing: neither the contents nor the metadata the installer
-    /// fast-forwards by can be forged. Installing restores the
+    /// The manifest head of the responder's latest execution snapshot,
+    /// when it is ahead of the requester's applied frontier. The
+    /// receiver recomputes its manifest root — which covers the
+    /// `applied`/`frontier`/`executed_txs` metadata, the per-lane
+    /// covered-sn vector, and the **lane-root vector** — and checks it
+    /// against `checkpoint.state_root` before trusting anything, so a
+    /// Byzantine responder can serve correct state or nothing: neither
+    /// the contents nor the metadata the installer fast-forwards by can
+    /// be forged. The contents arrive separately in `chunks`, each
+    /// verified against the head's lane roots. Installing restores the
     /// requester's per-lane ledger from the covered-sn vector, so its
     /// next checkpoint and its segmented WAL routing continue from the
     /// donor's frontier as if it had executed the history itself.
-    pub snapshot: Option<Snapshot>,
+    pub snapshot: Option<SnapshotHead>,
+    /// The delta: chunks for lanes whose roots differ from the
+    /// requester's advertisement, ascending from its cursor (wrapping),
+    /// at most `sync_chunks_per_response`. Lanes the requester already
+    /// holds are reconstructed locally and never shipped.
+    pub chunks: Vec<SnapshotChunk>,
+    /// Differing lanes the cap left unserved — nonzero tells the
+    /// requester to probe again (cursor advanced) instead of waiting
+    /// for the next lag probe period.
+    pub chunks_remaining: u32,
     /// Missing log entries past the requester's frontier.
     pub entries: Vec<SyncEntry>,
 }
@@ -119,6 +186,8 @@ impl WireSize for SyncResponse {
         sizes::MSG_HEADER
             + self.checkpoint.as_ref().map_or(0, WireSize::wire_size)
             + self.snapshot.as_ref().map_or(0, WireSize::wire_size)
+            + self.chunks.iter().map(WireSize::wire_size).sum::<u64>()
+            + 4
             + self.entries.iter().map(WireSize::wire_size).sum::<u64>()
     }
 }
@@ -150,14 +219,49 @@ mod tests {
             epoch: Epoch(1),
             applied: 0,
             frontier: vec![Round(0); 4],
+            lane_roots: Vec::new(),
+            chunk_cursor: 0,
         };
         let big = SyncRequest {
             epoch: Epoch(1),
             applied: 0,
             frontier: vec![Round(0); 128],
+            lane_roots: Vec::new(),
+            chunk_cursor: 0,
         };
         assert!(big.wire_size() > small.wire_size());
         assert_eq!(big.wire_size() - small.wire_size(), 8 * 124);
+        // The lane-root advertisement is counted too: 64 digests.
+        let mut advertised = small.clone();
+        advertised.lane_roots = vec![Digest::NIL; 64];
+        assert_eq!(
+            advertised.wire_size() - small.wire_size(),
+            64 * sizes::DIGEST
+        );
+    }
+
+    #[test]
+    fn chunk_selection_caps_and_resumes() {
+        let delta: Vec<u32> = vec![3, 10, 20, 40, 63];
+        // Uncapped: everything from the cursor, wrapping.
+        let (lanes, remaining) = select_chunk_lanes(&delta, 0, 64);
+        assert_eq!(lanes, delta);
+        assert_eq!(remaining, 0);
+        // Capped: ascending from the cursor, remainder reported.
+        let (lanes, remaining) = select_chunk_lanes(&delta, 0, 2);
+        assert_eq!(lanes, vec![3, 10]);
+        assert_eq!(remaining, 3);
+        // The requester resumes one past the last received lane.
+        let (lanes, remaining) = select_chunk_lanes(&delta, 11, 2);
+        assert_eq!(lanes, vec![20, 40]);
+        assert_eq!(remaining, 3);
+        // Wrapping covers lanes below the cursor.
+        let (lanes, _) = select_chunk_lanes(&delta, 41, 3);
+        assert_eq!(lanes, vec![63, 3, 10]);
+        // Empty delta: nothing to ship.
+        let (lanes, remaining) = select_chunk_lanes(&[], 7, 4);
+        assert!(lanes.is_empty());
+        assert_eq!(remaining, 0);
     }
 
     #[test]
@@ -207,6 +311,8 @@ mod tests {
         let resp = SyncResponse {
             checkpoint: None,
             snapshot: None,
+            chunks: Vec::new(),
+            chunks_remaining: 0,
             entries: vec![entry],
         };
         assert!(
@@ -216,7 +322,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_bytes_counted_in_response_size() {
+    fn chunk_bytes_counted_in_response_size() {
         let mut kv = ladon_state::KvState::new();
         for k in 0..100u32 {
             kv.apply(&ladon_types::TxOp::Put {
@@ -224,17 +330,35 @@ mod tests {
                 value: k as u64 + 1,
             });
         }
-        let snap = Snapshot::capture(2, 500, 10_000, vec![0; 4], vec![400; 64], &kv);
+        let snap = ladon_state::Snapshot::capture(2, 500, 10_000, vec![0; 4], vec![400; 64], &kv);
+        let (head, chunks) = snap.split();
         let without = SyncResponse {
             checkpoint: None,
             snapshot: None,
+            chunks: Vec::new(),
+            chunks_remaining: 0,
             entries: Vec::new(),
         };
-        let with = SyncResponse {
+        let full = SyncResponse {
             checkpoint: None,
-            snapshot: Some(snap),
+            snapshot: Some(head.clone()),
+            chunks: chunks.clone(),
+            chunks_remaining: 0,
             entries: Vec::new(),
         };
-        assert!(with.wire_size() >= without.wire_size() + 100 * 12);
+        // A full transfer still carries every entry's bytes.
+        assert!(full.wire_size() >= without.wire_size() + 100 * 12);
+        // A delta of one chunk costs the head plus that chunk — not the
+        // state: the per-lane payload scales with changed lanes.
+        let one = chunks.iter().find(|c| !c.entries.is_empty()).unwrap();
+        let delta = SyncResponse {
+            checkpoint: None,
+            snapshot: Some(head),
+            chunks: vec![one.clone()],
+            chunks_remaining: 0,
+            entries: Vec::new(),
+        };
+        assert!(delta.wire_size() < full.wire_size());
+        assert!(delta.wire_size() >= without.wire_size() + one.entries.len() as u64 * 12);
     }
 }

@@ -19,7 +19,10 @@
 //!   simulation, [`FileBackend`] for real durability).
 //! - [`snapshot`]: epoch-aligned state snapshots ([`Snapshot`]) keyed by
 //!   their state root, with a [`SnapshotStore`] that can persist them
-//!   content-addressed on disk.
+//!   content-addressed on disk. Snapshots also split into per-lane
+//!   chunks ([`SnapshotChunk`]) content-addressed by lane root for
+//!   delta state sync: a receiver fetches only lanes whose roots
+//!   changed and reassembles byte-identically.
 //! - [`pipeline`]: the [`ExecutionPipeline`] gluing the three together:
 //!   WAL-append → apply → per-epoch checkpoint (snapshot + WAL compaction),
 //!   plus snapshot install and crash recovery (snapshot + WAL replay).
@@ -41,7 +44,7 @@ pub use kv::{
 pub use pipeline::{
     static_lane_mask, ExecOutcome, ExecSchedStats, ExecutionPipeline, PipelinePerf, ReplayStats,
 };
-pub use snapshot::{Snapshot, SnapshotStore};
+pub use snapshot::{delta_lanes, ChunkCache, Snapshot, SnapshotChunk, SnapshotHead, SnapshotStore};
 pub use wal::{
     decode_records, decode_segment, group_of_lane, CommitWal, FileBackend, MemBackend,
     SegmentDecode, SegmentMeta, WalBackend, WalIoStats, WalLoadStats, WalOptions, WalRecord,

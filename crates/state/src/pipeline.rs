@@ -33,7 +33,7 @@
 //! exactly this.
 
 use crate::kv::{lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, MERKLE_LANES};
-use crate::snapshot::{Snapshot, SnapshotStore};
+use crate::snapshot::{Snapshot, SnapshotChunk, SnapshotStore};
 use crate::wal::{CommitWal, FileBackend, WalBackend, WalLoadStats, WalOptions, WalRecord};
 use ladon_types::{Block, Digest, TxOp};
 use std::path::Path;
@@ -904,6 +904,65 @@ impl ExecutionPipeline {
     /// The latest checkpoint snapshot, if one has been taken.
     pub fn latest_snapshot(&self) -> Option<&Snapshot> {
         self.store.latest()
+    }
+
+    /// Snapshot/chunk files that failed to read, decode, or verify on
+    /// the last disk recovery. Nonzero means a rotted artifact silently
+    /// dropped the recovery floor (or a stashed chunk was lost) — the
+    /// `snapshot_decode_failures` alarm the node mirrors.
+    pub fn snapshot_decode_failures(&self) -> u64 {
+        self.store.decode_failures()
+    }
+
+    /// Stashes a verified delta-sync chunk (persisted content-addressed
+    /// when disk-backed) so a partially fetched install survives a
+    /// crash. The caller must have verified the chunk against the
+    /// manifest head's lane root.
+    pub fn stash_chunk(&mut self, chunk: SnapshotChunk) -> bool {
+        self.store.stash_chunk(chunk)
+    }
+
+    /// The stashed chunk content-addressed by `root`, if held.
+    pub fn stashed_chunk(&self, root: &Digest) -> Option<&SnapshotChunk> {
+        self.store.stashed_chunk(root)
+    }
+
+    /// Every stashed delta-sync chunk (assembly input / resume
+    /// advertisement).
+    pub fn stashed_chunks(&self) -> impl Iterator<Item = &SnapshotChunk> {
+        self.store.stashed_chunks()
+    }
+
+    /// Stashed chunk count.
+    pub fn stashed_chunk_count(&self) -> usize {
+        self.store.stash_len()
+    }
+
+    /// Drops the chunk stash (and its files): the pending delta install
+    /// completed or was abandoned.
+    pub fn clear_chunk_stash(&mut self) {
+        self.store.clear_stash()
+    }
+
+    /// The current local state decomposed into per-lane chunks, each
+    /// content-addressed by its live lane root — what a delta installer
+    /// reuses for lanes whose roots already match the target manifest.
+    /// One pass over the entries, O(state).
+    pub fn lane_chunks(&self) -> Vec<SnapshotChunk> {
+        let roots = self.kv.lane_roots();
+        let mut buckets: Vec<Vec<(u32, u64)>> = vec![Vec::new(); MERKLE_LANES as usize];
+        for (k, v) in self.kv.entries() {
+            buckets[lane_of(k)].push((k, v));
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(lane, entries)| SnapshotChunk {
+                lane: lane as u32,
+                root: roots[lane],
+                entries,
+            })
+            .collect()
     }
 
     /// Records currently in the WAL tail (past the last snapshot).

@@ -88,6 +88,23 @@ pub struct Report {
     /// no `ConfirmRecord`s (agreement checks join on `sn` for exactly
     /// this reason). Nonzero whenever `snapshot_installs` is.
     pub skipped_sns: u64,
+    /// Snapshot heads served to lagging peers, summed across replicas
+    /// (serve-side view of the installs above; one per snapshot-bearing
+    /// sync response, however many chunk rounds a transfer takes).
+    pub snapshots_served: u64,
+    /// Per-lane snapshot chunks shipped in sync responses, summed across
+    /// replicas. Under delta sync this scales with *changed* lanes, not
+    /// state size.
+    pub snapshot_chunks_served: u64,
+    /// Wire bytes behind `snapshot_chunks_served`, summed.
+    pub snapshot_bytes_served: u64,
+    /// Snapshot lanes requesters reconstructed from local state instead
+    /// of the wire (advertised lane roots matched the head), summed.
+    pub snapshot_chunks_reused: u64,
+    /// Snapshot-store files that failed to read/decode/verify at store
+    /// scans, summed across replicas. Previously swallowed; must be 0
+    /// unless a fault test corrupts the store on purpose.
+    pub snapshot_decode_failures: u64,
     /// Failed durable WAL writes (segment appends, compaction rotations,
     /// manifest publishes) summed across replicas. Must be 0 in every
     /// healthy run: nonzero means some replica acknowledged blocks a
@@ -348,6 +365,11 @@ pub fn aggregate(data: &RunData) -> Report {
     let root_conflicts = data.nodes.iter().map(|n| n.root_conflicts).sum();
     let snapshot_installs = data.nodes.iter().map(|n| n.snapshot_installs).sum();
     let skipped_sns = data.nodes.iter().map(|n| n.skipped_sns).sum();
+    let snapshots_served = data.nodes.iter().map(|n| n.snapshots_served).sum();
+    let snapshot_chunks_served = data.nodes.iter().map(|n| n.snapshot_chunks_served).sum();
+    let snapshot_bytes_served = data.nodes.iter().map(|n| n.snapshot_bytes_served).sum();
+    let snapshot_chunks_reused = data.nodes.iter().map(|n| n.snapshot_chunks_reused).sum();
+    let snapshot_decode_failures = data.nodes.iter().map(|n| n.snapshot_decode_failures).sum();
     let wal_write_failures = data.nodes.iter().map(|n| n.wal_write_failures).sum();
     let wal_fsyncs = data.nodes.iter().map(|n| n.wal_fsyncs).sum();
     let wal_bytes_written = data.nodes.iter().map(|n| n.wal_bytes_written).sum();
@@ -443,6 +465,11 @@ pub fn aggregate(data: &RunData) -> Report {
         root_conflicts,
         snapshot_installs,
         skipped_sns,
+        snapshots_served,
+        snapshot_chunks_served,
+        snapshot_bytes_served,
+        snapshot_chunks_reused,
+        snapshot_decode_failures,
         wal_write_failures,
         wal_fsyncs,
         wal_bytes_written,
@@ -604,6 +631,32 @@ mod tests {
         let rep = aggregate(&run_data(nodes));
         assert_eq!(rep.skipped_sns, 15);
         assert_eq!(rep.snapshot_installs, 3);
+    }
+
+    #[test]
+    fn snapshot_serve_counters_summed_across_replicas() {
+        let mut nodes = empty_nodes(4);
+        nodes[0].snapshots_served = 2;
+        nodes[0].snapshot_chunks_served = 9;
+        nodes[0].snapshot_bytes_served = 900;
+        nodes[2].snapshots_served = 1;
+        nodes[2].snapshot_chunks_served = 3;
+        nodes[2].snapshot_bytes_served = 300;
+        nodes[3].snapshot_chunks_reused = 61;
+        nodes[1].snapshot_decode_failures = 1;
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.snapshots_served, 3);
+        assert_eq!(rep.snapshot_chunks_served, 12);
+        assert_eq!(rep.snapshot_bytes_served, 1200);
+        assert_eq!(rep.snapshot_chunks_reused, 61);
+        assert_eq!(rep.snapshot_decode_failures, 1);
+        // And the merged registry carries the same sums.
+        let reg = rep.metrics.registry();
+        assert_eq!(reg.counter_value("sync.snapshot_chunks_served"), 12);
+        assert_eq!(reg.counter_value("sync.snapshot_bytes_served"), 1200);
+        assert_eq!(reg.counter_value("sync.snapshot_chunks_reused"), 61);
+        assert_eq!(reg.counter_value("node.snapshots_served"), 3);
+        assert_eq!(reg.counter_value("node.snapshot_decode_failures"), 1);
     }
 
     #[test]

@@ -208,6 +208,22 @@ fn straggler_catch_up_at(lanes: u32) -> Digest {
     // The straggler executes the same log as everyone else.
     assert!(c.node(1).metrics.executed_txs > 0);
     assert_eq!(c.node(0).exec.exec_lanes(), lanes);
+    // A straggler is slow to *propose*, not to apply: it never lags the
+    // snapshot-serving threshold, so no replica ships snapshot chunks —
+    // the minimum-gap policy holds at the serve counters.
+    for r in 0..4 {
+        let m = &c.node(r).metrics;
+        assert_eq!(
+            (
+                m.snapshots_served,
+                m.snapshot_chunks_served,
+                m.snapshot_bytes_served
+            ),
+            (0, 0, 0),
+            "lanes={lanes}: replica {r} served snapshot chunks in a \
+             cluster where nobody's applied frontier lagged"
+        );
+    }
     c.assert_agreement(&[0, 1, 2, 3]);
     c.node(0).exec.state_root()
 }
@@ -376,6 +392,27 @@ fn disk_loss_at(lanes: u32) -> Digest {
     assert!(r3.exec.applied() >= healthy_applied);
     assert_eq!(r3.epoch(), c.node(0).epoch());
     assert_eq!(r3.metrics.root_conflicts, 0);
+    // Serve-side accounting: some peer shipped the snapshot head with
+    // real chunk bytes behind the install counted above, and no replica's
+    // snapshot store saw a decode failure along the way.
+    let (served, chunks, bytes): (u64, u64, u64) = (0..3)
+        .map(|r| {
+            let m = &c.node(r).metrics;
+            (
+                m.snapshots_served,
+                m.snapshot_chunks_served,
+                m.snapshot_bytes_served,
+            )
+        })
+        .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+    assert!(
+        served > 0 && chunks > 0 && bytes > 0,
+        "lanes={lanes}: a from-zero install must show up in the peers' \
+         serve counters (served={served} chunks={chunks} bytes={bytes})"
+    );
+    for r in 0..4 {
+        assert_eq!(c.node(r).metrics.snapshot_decode_failures, 0);
+    }
     assert_root_agreement(&c, &[0, 1, 2, 3]);
     c.node(0).exec.state_root()
 }
@@ -421,6 +458,8 @@ fn one_block_behind_gets_log_sync_not_snapshot() {
             .iter()
             .map(|r| Round(r.0.saturating_sub(1)))
             .collect(),
+        lane_roots: Vec::new(),
+        chunk_cursor: 0,
     };
     let resp = responder
         .build_sync_response(&near)
@@ -444,14 +483,23 @@ fn one_block_behind_gets_log_sync_not_snapshot() {
         epoch: ladon::types::Epoch(0),
         applied: 0,
         frontier: vec![Round(0); m],
+        lane_roots: Vec::new(),
+        chunk_cursor: 0,
     };
     let resp = responder
         .build_sync_response(&deep)
         .expect("a deep lagger must be served");
-    let shipped = resp.snapshot.expect("deep lag must ship the snapshot");
+    let shipped = resp.snapshot.expect("deep lag must ship the snapshot head");
     assert_eq!(shipped.applied, snap.applied);
+    assert!(shipped.verify(), "served head must self-verify");
     let cp = resp.checkpoint.expect("snapshot must come with its proof");
     assert_eq!(cp.state_root, shipped.root);
+    // A from-zero advertisement differs on every lane: the served chunks
+    // (deduplicated by root) must reassemble the snapshot byte-for-byte.
+    assert_eq!(resp.chunks_remaining, 0, "default cap serves all 64 lanes");
+    let rebuilt = ladon::state::Snapshot::assemble(shipped, &resp.chunks)
+        .expect("full-delta chunk set must reassemble");
+    assert_eq!(rebuilt.encode(), snap.encode());
 }
 
 // ---------------------------------------------------------------------

@@ -115,3 +115,347 @@ fn random_message_loss_repaired_by_state_transfer() {
         "all replicas must stay near the confirmed frontier: {fronts:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Chunked delta state sync: per-lane chunks verify independently against
+// the quorum-proved head, so a Byzantine responder corrupts at most its
+// own chunks, and a crash mid-transfer loses nothing that already
+// verified. Both properties are driven through the real node
+// request/response handlers, no network in between.
+// ---------------------------------------------------------------------
+
+use ladon::core::{Behavior, MultiBftNode, NodeConfig, NodeMsg};
+use ladon::sim::{ActorId, Context, SimRng};
+use ladon::state::ExecutionPipeline;
+use ladon::types::{ReplicaId, TimeNs};
+
+/// Minimal context for driving node handlers directly: records outgoing
+/// messages, ignores timers.
+struct DirectCtx {
+    rng: SimRng,
+    sent: Vec<(ActorId, NodeMsg)>,
+}
+
+impl DirectCtx {
+    fn new() -> Self {
+        Self {
+            rng: SimRng::new(7),
+            sent: Vec::new(),
+        }
+    }
+
+    /// Targets of the sync requests captured so far.
+    fn sync_req_targets(&self) -> Vec<ActorId> {
+        self.sent
+            .iter()
+            .filter(|(_, m)| matches!(m, NodeMsg::SyncReq(_)))
+            .map(|&(to, _)| to)
+            .collect()
+    }
+}
+
+impl Context<NodeMsg> for DirectCtx {
+    fn now(&self) -> TimeNs {
+        TimeNs(0)
+    }
+    fn self_id(&self) -> ActorId {
+        3
+    }
+    fn send_sized(&mut self, to: ActorId, msg: NodeMsg, _bytes: u64) {
+        self.sent.push((to, msg));
+    }
+    fn set_timer(&mut self, _delay: TimeNs, _id: u64) {}
+    fn crash(&mut self, _actor: ActorId) {}
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+fn from_zero_node(c: &common::TestCluster, sys: ladon::types::SystemConfig) -> MultiBftNode {
+    MultiBftNode::new(NodeConfig {
+        sys,
+        protocol: c.protocol,
+        me: ReplicaId(3),
+        registry: c.registry.clone(),
+        behavior: Behavior::default(),
+        sample_interval: None,
+    })
+}
+
+/// A Byzantine responder serves chunks whose payload does not match the
+/// lane root it claims. Each bad chunk is rejected individually — the
+/// clean chunks from the same response stay stashed — and the retry
+/// fetches only what is still missing before installing.
+#[test]
+fn byzantine_chunks_rejected_per_chunk_without_discarding_verified_ones() {
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 12.0,
+        ..Default::default()
+    });
+    c.run_secs(15.0);
+    let responder = c.node(0);
+    let snap = responder
+        .exec
+        .latest_snapshot()
+        .expect("responder must have checkpointed")
+        .clone();
+
+    let mut requester = from_zero_node(&c, c.sys.clone());
+    let mut ctx = DirectCtx::new();
+    let req = requester.build_sync_request();
+    let honest = responder
+        .build_sync_response(&req)
+        .expect("a from-zero requester must be served");
+    assert!(honest.snapshot.is_some());
+    let total = honest.chunks.len();
+    assert!(total > 2, "need several chunks to corrupt some of them");
+
+    // Tamper every other chunk's payload; lane label and claimed root
+    // stay intact, so only per-chunk content verification can catch it.
+    let mut byz = honest.clone();
+    byz.entries.clear();
+    let mut tampered = 0;
+    for chunk in byz.chunks.iter_mut().skip(1).step_by(2) {
+        if let Some(e) = chunk.entries.first_mut() {
+            e.1 ^= 1;
+            tampered += 1;
+        }
+    }
+    assert!(tampered > 0);
+    requester.on_sync_response(byz, &mut ctx);
+    assert_eq!(
+        requester.metrics.snapshot_installs, 0,
+        "an incomplete chunk set must not install"
+    );
+    assert_eq!(
+        requester.exec.stashed_chunk_count(),
+        total - tampered,
+        "every clean chunk must survive the Byzantine ones' rejection"
+    );
+    assert_eq!(requester.exec.applied(), 0);
+
+    // Retry with the refreshed advertisement: the responder now serves
+    // only the lanes the stash does not already cover.
+    let req2 = requester.build_sync_request();
+    let mut resp2 = responder
+        .build_sync_response(&req2)
+        .expect("retry must be served");
+    // Keep the exchange on the snapshot path: log entries would repair
+    // the tail and move the root past the snapshot's.
+    resp2.entries.clear();
+    assert!(
+        resp2.chunks.len() < total,
+        "retry must not re-ship already-verified chunks"
+    );
+    for chunk in &resp2.chunks {
+        assert!(
+            requester.exec.stashed_chunk(&chunk.root).is_none(),
+            "lane {} was already stashed yet got re-served",
+            chunk.lane
+        );
+    }
+    requester.on_sync_response(resp2, &mut ctx);
+    assert_eq!(requester.metrics.snapshot_installs, 1);
+    assert_eq!(
+        requester.exec.lane_roots(),
+        snap.lane_roots,
+        "delta-synced lane roots must be byte-identical to the snapshot's"
+    );
+    assert_eq!(requester.exec.applied(), snap.applied);
+    assert_eq!(
+        requester.exec.stashed_chunk_count(),
+        0,
+        "the stash must be cleared once the install lands"
+    );
+    assert_eq!(requester.metrics.skipped_sns, snap.applied);
+}
+
+/// Capped transfers resume: a response carrying `chunks_remaining > 0`
+/// triggers an immediate follow-up request with an advanced cursor, and
+/// round-robin targeting rotates the follow-ups across peers — a
+/// responder that keeps serving garbage is simply left behind.
+#[test]
+fn partial_chunk_responses_trigger_cursor_resume_and_peer_rotation() {
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 12.0,
+        ..Default::default()
+    });
+    c.run_secs(15.0);
+    let responder = c.node(0);
+    assert!(responder.exec.latest_snapshot().is_some());
+
+    let mut sys = c.sys.clone();
+    sys.sync_chunks_per_response = 8;
+    let mut requester = from_zero_node(&c, sys);
+    let mut ctx = DirectCtx::new();
+    let req = requester.build_sync_request();
+    assert_eq!(req.chunk_cursor, 0);
+    let full = responder.build_sync_response(&req).expect("served");
+    assert!(full.chunks.len() > 2);
+
+    // Simulate a capped responder: ship one chunk, declare the rest
+    // outstanding.
+    let mut partial = full.clone();
+    partial.entries.clear();
+    let rest = partial.chunks.split_off(1);
+    partial.chunks_remaining = rest.len() as u32;
+    requester.on_sync_response(partial, &mut ctx);
+    assert_eq!(requester.metrics.snapshot_installs, 0);
+    assert_eq!(requester.exec.stashed_chunk_count(), 1);
+    let targets = ctx.sync_req_targets();
+    assert_eq!(
+        targets.len(),
+        1,
+        "a partial response must trigger an immediate follow-up request"
+    );
+    let NodeMsg::SyncReq(follow_up) = &ctx.sent[0].1 else {
+        panic!("captured message must be the follow-up request");
+    };
+    assert_eq!(
+        follow_up.chunk_cursor, 8,
+        "the follow-up must resume past the served window (cursor += cap)"
+    );
+
+    // A second partial response: the next follow-up rotates to another
+    // peer.
+    let mut partial2 = full.clone();
+    partial2.entries.clear();
+    partial2.chunks = rest[..1].to_vec();
+    partial2.chunks_remaining = (rest.len() - 1) as u32;
+    requester.on_sync_response(partial2, &mut ctx);
+    assert_eq!(requester.exec.stashed_chunk_count(), 2);
+    let targets = ctx.sync_req_targets();
+    assert_eq!(targets.len(), 2);
+    assert_ne!(
+        targets[0], targets[1],
+        "follow-up requests must rotate round-robin across peers"
+    );
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ladon-{tag}-{}", std::process::id()))
+}
+
+/// Crash in the middle of a chunked install: verified chunks persist in
+/// the content-addressed stash, a restarted process reloads and
+/// re-verifies them, and the resumed transfer fetches only the missing
+/// lanes. Run at execution-worker counts {1, 4}; the delta-synced final
+/// roots must be byte-identical to the responder's snapshot root.
+fn resume_after_crash_at(lanes: u32) -> ladon::types::Digest {
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 12.0,
+        exec_lanes: Some(lanes),
+        ..Default::default()
+    });
+    c.run_secs(15.0);
+    let responder = c.node(0);
+    let snap = responder
+        .exec
+        .latest_snapshot()
+        .expect("responder must have checkpointed")
+        .clone();
+
+    let dir = scratch_dir(&format!("chunk-resume-{lanes}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exec = ExecutionPipeline::recover_with(&dir, c.sys.exec_keyspace, lanes)
+        .expect("durable pipeline");
+    let mut requester = MultiBftNode::with_execution(
+        NodeConfig {
+            sys: c.sys.clone(),
+            protocol: c.protocol,
+            me: ReplicaId(3),
+            registry: c.registry.clone(),
+            behavior: Behavior::default(),
+            sample_interval: None,
+        },
+        exec,
+    );
+    let mut ctx = DirectCtx::new();
+
+    let req = requester.build_sync_request();
+    let full = responder.build_sync_response(&req).expect("served");
+    let total = full.chunks.len();
+    assert!(total > 2);
+
+    // Half the chunks arrive, then the process dies.
+    let keep = total / 2;
+    let mut partial = full.clone();
+    partial.entries.clear();
+    partial.chunks.truncate(keep);
+    partial.chunks_remaining = (total - keep) as u32;
+    requester.on_sync_response(partial, &mut ctx);
+    assert_eq!(requester.metrics.snapshot_installs, 0);
+    assert_eq!(requester.exec.stashed_chunk_count(), keep);
+    drop(requester);
+
+    // Restart from the same directory: the stash is reloaded from its
+    // content-addressed files and re-verified, nothing decode-failed.
+    let exec = ExecutionPipeline::recover_with(&dir, c.sys.exec_keyspace, lanes)
+        .expect("recovery must succeed");
+    assert_eq!(
+        exec.stashed_chunk_count(),
+        keep,
+        "lanes={lanes}: verified chunks must survive the crash"
+    );
+    assert_eq!(exec.snapshot_decode_failures(), 0);
+    let mut requester = MultiBftNode::with_execution(
+        NodeConfig {
+            sys: c.sys.clone(),
+            protocol: c.protocol,
+            me: ReplicaId(3),
+            registry: c.registry.clone(),
+            behavior: Behavior::default(),
+            sample_interval: None,
+        },
+        exec,
+    );
+
+    // Resume: only the missing chunks travel.
+    let req2 = requester.build_sync_request();
+    let mut resp2 = responder.build_sync_response(&req2).expect("served");
+    // Snapshot path only: log entries would execute the tail and move
+    // the root past the snapshot's.
+    resp2.entries.clear();
+    assert_eq!(
+        resp2.chunks.len(),
+        total - keep,
+        "lanes={lanes}: the resumed transfer must fetch only missing chunks"
+    );
+    for chunk in &resp2.chunks {
+        assert!(requester.exec.stashed_chunk(&chunk.root).is_none());
+    }
+    requester.on_sync_response(resp2, &mut ctx);
+    assert_eq!(requester.metrics.snapshot_installs, 1, "lanes={lanes}");
+    assert_eq!(
+        requester.exec.lane_roots(),
+        snap.lane_roots,
+        "lanes={lanes}: resumed delta install must reproduce the \
+         snapshot's lane roots byte-identically"
+    );
+    assert_eq!(requester.exec.stashed_chunk_count(), 0);
+    let root = requester.exec.state_root();
+    drop(requester);
+    let _ = std::fs::remove_dir_all(&dir);
+    root
+}
+
+#[test]
+fn interrupted_chunked_install_resumes_from_stash_across_lane_counts() {
+    let roots: Vec<(u32, ladon::types::Digest)> = [1u32, 4]
+        .iter()
+        .map(|&l| (l, resume_after_crash_at(l)))
+        .collect();
+    assert!(
+        roots.windows(2).all(|w| w[0].1 == w[1].1),
+        "crash-resume delta sync: final roots differ across lane counts: {roots:?}"
+    );
+}

@@ -20,13 +20,17 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
+use ladon_core::{Behavior, MultiBftNode, NodeConfig, NodeMode, NodeMsg};
+use ladon_crypto::KeyRegistry;
 use ladon_obs::{fields, BenchReport, Json, BENCH_JSON_ENV};
+use ladon_sim::{ActorId, Context, Engine, NicNetwork, SimRng, Topology};
 use ladon_state::{
-    delta_lanes, lane_of, static_lane_mask, ChunkCache, CommitWal, ExecutionPipeline, FileBackend,
-    KvState, Snapshot, SnapshotChunk, SnapshotStore, WalOptions, WalRecord, MERKLE_LANES,
+    delta_lanes, lane_of, static_lane_mask, ChunkCache, CommitWal, ExecutionPipeline, FaultBackend,
+    FaultPlan, FileBackend, KvState, Snapshot, SnapshotChunk, SnapshotStore, WalOptions, WalRecord,
+    MERKLE_LANES,
 };
-use ladon_types::{Block, NetEnv, ProtocolKind, TxOp, WireSize};
-use ladon_workload::{run_experiment, ExperimentConfig, Report};
+use ladon_types::{Block, NetEnv, ProtocolKind, ReplicaId, SystemConfig, TimeNs, TxOp, WireSize};
+use ladon_workload::{run_experiment, ClientFleet, ExperimentConfig, Report};
 
 const TARGETS: [&str; 9] = [
     "fig2_straggler_impact",
@@ -244,7 +248,162 @@ fn run_smoke_suite(pass: &str) -> BenchReport {
     report.add_figure("trace_lifecycle", lifecycle_fields(&base));
     report.add_figure("fig_recovery_scaling", recovery_fields(pass));
     report.add_figure("fig_snapshot_delta", snapshot_delta_fields(pass));
+    report.add_figure("fig_fault_matrix", fault_matrix_fields(pass));
     report
+}
+
+/// Minimal context for driving node sync handlers outside the engine
+/// (the responder-quarantine exchange below).
+struct MiniCtx {
+    rng: SimRng,
+}
+
+impl Context<NodeMsg> for MiniCtx {
+    fn now(&self) -> TimeNs {
+        TimeNs(0)
+    }
+    fn self_id(&self) -> ActorId {
+        3
+    }
+    fn send_sized(&mut self, _to: ActorId, _msg: NodeMsg, _bytes: u64) {}
+    fn set_timer(&mut self, _delay: TimeNs, _id: u64) {}
+    fn crash(&mut self, _actor: ActorId) {}
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+/// `fig_fault_matrix`: the durability degradation state machine and
+/// responder quarantine, exercised end-to-end in one seeded simulated
+/// deployment. Replica 3 journals through a [`FaultPlan`]-driven
+/// backend; its disk fills mid-run, it degrades, backoff retries run
+/// against the full disk, space frees, it recovers and reconverges.
+/// Afterwards the same deployment's checkpointed snapshot drives the
+/// responder-health exchange: a stale-but-signed snapshot replayed past
+/// the threshold quarantines its sender. All gates are deterministic
+/// counts under the smoke seed.
+fn fault_matrix_fields(pass: &str) -> Vec<(String, Json)> {
+    let n = 4usize;
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("ladon-repro-faults-{pass}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut sys = SystemConfig::paper_default(n, NetEnv::Lan);
+    sys.epoch_length = 16;
+    sys.snapshot_min_lag = sys.snapshot_min_lag.min(16);
+    sys.validate().expect("smoke fault config");
+    let registry = KeyRegistry::generate(n, sys.opt_keys, SMOKE_SEED ^ 0x5eed);
+    let mut engine: Engine<NodeMsg> = Engine::new(
+        NicNetwork::new(Topology::paper(NetEnv::Lan, n + 1)),
+        SMOKE_SEED,
+    );
+    let node_cfg = |r: usize| NodeConfig {
+        sys: sys.clone(),
+        protocol: ProtocolKind::LadonPbft,
+        me: ReplicaId(r as u32),
+        registry: registry.clone(),
+        behavior: Behavior::default(),
+        sample_interval: None,
+    };
+    for r in 0..n {
+        engine.add_actor(Box::new(MultiBftNode::new(node_cfg(r))));
+    }
+    let tx_rate = sys.total_block_rate * sys.batch_size as f64;
+    engine.add_actor(Box::new(ClientFleet::new(
+        n,
+        sys.m,
+        tx_rate,
+        sys.tx_bytes,
+        TimeNs::from_secs_f64(12.0),
+    )));
+    // Replica 3 journals durably through the fault-injecting backend.
+    let plan = FaultPlan::unlimited();
+    let backend = FaultBackend::new(
+        FileBackend::open_dir(dir.join("wal")).expect("open faulted wal dir"),
+        plan.clone(),
+    );
+    let wal_opts = WalOptions {
+        lane_groups: sys.wal_lane_groups,
+        segment_records: sys.wal_segment_records,
+    };
+    let exec = ExecutionPipeline::recover_backend(
+        &dir,
+        Box::new(backend),
+        sys.exec_keyspace,
+        sys.exec_lanes,
+        wal_opts,
+    )
+    .expect("recover faulted pipeline");
+    engine.restart_actor(3, Box::new(MultiBftNode::with_execution(node_cfg(3), exec)));
+
+    // Healthy warm-up, then the disk fills under live load.
+    engine.run_until(TimeNs::from_secs_f64(4.0));
+    let _ = plan.clone().enospc_after(0);
+    engine.run_until(TimeNs::from_secs_f64(9.0));
+    {
+        let n3 = engine.actor_as::<MultiBftNode>(3).expect("replica 3");
+        assert_eq!(
+            n3.mode(),
+            NodeMode::Degraded,
+            "ENOSPC under load must degrade the replica"
+        );
+    }
+    // Space frees; the next backoff retry repairs and the node recovers.
+    plan.free_space();
+    engine.run_until(TimeNs::from_secs_f64(30.0));
+    let (degraded_entries, degraded_retries, recovered, flush_failures) = {
+        let n3 = engine.actor_as::<MultiBftNode>(3).expect("replica 3");
+        assert_eq!(n3.mode(), NodeMode::Normal, "replica must recover");
+        assert!(n3.metrics.degraded_entries >= 1);
+        assert!(n3.metrics.degraded_retries >= 1);
+        (
+            n3.metrics.degraded_entries,
+            n3.metrics.degraded_retries,
+            u64::from(n3.mode() == NodeMode::Normal),
+            n3.metrics.wal_flush_failures,
+        )
+    };
+
+    // Responder health: a from-zero requester installs an honest
+    // snapshot, then a peer replays the same (now stale, still signed)
+    // response past the threshold and is quarantined.
+    let responder = engine.actor_as::<MultiBftNode>(0).expect("replica 0");
+    let mut requester = MultiBftNode::new(node_cfg(3));
+    let mut ctx = MiniCtx {
+        rng: SimRng::new(SMOKE_SEED),
+    };
+    let req = requester.build_sync_request();
+    let honest = responder
+        .build_sync_response(&req)
+        .expect("checkpointed responder serves a from-zero requester");
+    assert!(honest.snapshot.is_some(), "snapshot must be worthwhile");
+    let stale = honest.clone();
+    requester.on_sync_response_from(ReplicaId(0), honest, &mut ctx);
+    assert_eq!(requester.metrics.snapshot_installs, 1);
+    for _ in 0..sys.sync_quarantine_threshold {
+        requester.on_sync_response_from(ReplicaId(1), stale.clone(), &mut ctx);
+    }
+    assert_eq!(requester.metrics.sync_responders_quarantined, 1);
+    let stale_rejections = requester.responder_health()[1].rejected_chunks;
+    assert_eq!(stale_rejections, sys.sync_quarantine_threshold as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    fields(vec![
+        ("degraded_entries", Json::U64(degraded_entries)),
+        ("degraded_retries", Json::U64(degraded_retries)),
+        ("recovered", Json::U64(recovered)),
+        ("wal_flush_failures", Json::U64(flush_failures)),
+        ("injected_faults", Json::U64(plan.injected_faults())),
+        (
+            "responders_quarantined",
+            Json::U64(requester.metrics.sync_responders_quarantined),
+        ),
+        ("stale_rejections", Json::U64(stale_rejections)),
+        (
+            "verified_chunks",
+            Json::U64(requester.metrics.sync_chunks_verified),
+        ),
+    ])
 }
 
 /// Per-transition stage-latency fields, one triple per lifecycle edge.

@@ -41,7 +41,10 @@ pub use bucket::{Mempool, RotatingBuckets, TxGroup};
 pub use dqbft::DqbftOrderer;
 pub use epoch::{CheckpointMsg, EpochEvent, EpochPacemaker, StableCheckpoint};
 pub use msg::{ClientTxs, NodeMsg};
-pub use node::{Behavior, CommitRecord, ConfirmRecord, MultiBftNode, NodeConfig, NodeMetrics};
+pub use node::{
+    Behavior, CommitRecord, ConfirmRecord, MultiBftNode, NodeConfig, NodeMetrics, NodeMode,
+    ResponderHealth,
+};
 pub use ordering::{ConfirmedBlock, GlobalOrderer, LadonOrderer};
 pub use predetermined::{BaselineKind, PredeterminedOrderer};
 pub use sync::{snapshot_worthwhile, SyncEntry, SyncRequest, SyncResponse};

@@ -243,6 +243,36 @@ pub struct NodeMetrics {
     /// Per-barrier wall-clock in-flight (overlap) window samples, from
     /// the same counters.
     pub barrier_overlap: ladon_obs::Histogram,
+    /// `true` while the durability degradation state machine is in
+    /// [`NodeMode::Degraded`]: a run of consecutive failed flush
+    /// barriers crossed `SystemConfig::wal_failure_degrade_threshold`,
+    /// so the node has stopped draining barriers, checkpointing, and
+    /// serving snapshots, and is retrying the durable path on a capped
+    /// exponential backoff timer. Exported as the `node.mode` gauge.
+    pub degraded: bool,
+    /// Times the node *entered* `Degraded` mode (a flap counts once per
+    /// entry, however long the outage lasted).
+    pub degraded_entries: u64,
+    /// Durability retry attempts fired while degraded (each `T_RETRY`
+    /// expiry, successful or not).
+    pub degraded_retries: u64,
+    /// Stale per-lane chunk files pruned from the snapshot-store stash
+    /// at checkpoints (abandoned transfers whose roots no pending
+    /// install references any more), mirrored from
+    /// [`ladon_state::SnapshotStore`].
+    pub snapshot_chunks_pruned: u64,
+    /// State-transfer probes whose responder never answered before the
+    /// next probe window (per-responder health: feeds rotation backoff).
+    pub sync_responder_timeouts: u64,
+    /// Responders quarantined for repeatedly serving unverifiable
+    /// responses (`SystemConfig::sync_quarantine_threshold` consecutive
+    /// failures). Counts quarantine *events*.
+    pub sync_responders_quarantined: u64,
+    /// Sync-response chunks that failed verification against the
+    /// quorum-proven head (Byzantine or corrupt responder payloads).
+    pub sync_chunks_rejected: u64,
+    /// Sync-response chunks that verified and entered the stash.
+    pub sync_chunks_verified: u64,
     /// Per-block lifecycle journal: timestamped stage transitions
     /// (submitted → proposed → confirmed → staged → flushed → applied →
     /// checkpointed) with incrementally maintained stage-latency
@@ -293,6 +323,17 @@ impl ladon_obs::SnapshotInto for NodeMetrics {
         );
         registry.merge_histogram("pipeline.wall_barrier_wait_ns", &self.barrier_wait);
         registry.merge_histogram("pipeline.wall_barrier_overlap_ns", &self.barrier_overlap);
+        registry.gauge("node.mode", if self.degraded { 1.0 } else { 0.0 });
+        registry.counter("node.degraded_entries", self.degraded_entries);
+        registry.counter("node.degraded_retries", self.degraded_retries);
+        registry.counter("node.snapshot_chunks_pruned", self.snapshot_chunks_pruned);
+        registry.counter("sync.responder_timeouts", self.sync_responder_timeouts);
+        registry.counter(
+            "sync.responders_quarantined",
+            self.sync_responders_quarantined,
+        );
+        registry.counter("sync.chunks_rejected", self.sync_chunks_rejected);
+        registry.counter("sync.chunks_verified", self.sync_chunks_verified);
         self.trace.snapshot_into(registry);
     }
 }
@@ -321,9 +362,60 @@ const T_SYNC: u64 = 7;
 /// submit even when the record-count threshold has not been reached
 /// (`SystemConfig::wal_flush_interval_ms`; 0 disables the timer).
 const T_FLUSH: u64 = 8;
+/// Durability retry while [`NodeMode::Degraded`]: re-attempts the failed
+/// durable path (resolve the in-flight barrier, rewrite every segment
+/// from the in-memory mirror) on a capped exponential backoff
+/// (`SystemConfig::wal_retry_backoff_ms` doubling up to
+/// `wal_retry_backoff_max_ms`).
+const T_RETRY: u64 = 9;
 
 /// State-transfer probe period.
 const SYNC_PERIOD: TimeNs = TimeNs::from_millis(1000);
+
+/// Durability mode of the replica (the degradation state machine).
+///
+/// `Normal → Degraded` when `wal_failure_degrade_threshold` consecutive
+/// flush barriers fail: the node keeps *staging* confirmed blocks (they
+/// stay unacknowledged in the WAL front buffer and the pipeline's staged
+/// queue) but stops submitting new barriers, stops checkpointing, and
+/// stops serving snapshots — nothing is treated as durable while the
+/// backend is failing. A `T_RETRY` timer retries the durable path with
+/// capped exponential backoff; `Degraded → Normal` once a retry rewrites
+/// the log from the in-memory mirror and the staged backlog drains
+/// through a successful barrier, leaving the state roots byte-identical
+/// to a never-degraded run. If peers compact their logs past this
+/// replica's frontier meanwhile, the ordinary sync path escalates to a
+/// snapshot reinstall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeMode {
+    /// Durable path healthy: barriers drain and checkpoints run.
+    Normal,
+    /// Durable path failing: staging only, retries on `T_RETRY`.
+    Degraded,
+}
+
+/// Per-peer state-transfer responder health. Verified chunks reset the
+/// failure streak; unverifiable responses and timeouts grow it.
+/// Timeouts put the responder on exponential probe backoff; repeated
+/// unverifiable payloads quarantine it outright (only a liveness
+/// fallback — every other peer also unhealthy — sends to it again).
+#[derive(Clone, Debug, Default)]
+pub struct ResponderHealth {
+    /// Chunks from this responder that verified into the stash.
+    pub verified_chunks: u64,
+    /// Chunks (or whole responses) that failed verification.
+    pub rejected_chunks: u64,
+    /// Probes this responder never answered before the next window.
+    pub timeouts: u64,
+    /// Consecutive unverifiable responses (quarantine trigger).
+    fail_streak: u32,
+    /// Consecutive timeouts (probe-backoff exponent).
+    timeout_streak: u32,
+    /// Probe counter until which rotation skips this responder.
+    skip_until: u64,
+    /// Permanently distrusted (Byzantine payloads); rotation skips it.
+    pub quarantined: bool,
+}
 
 fn enc(kind: u64, instance: u64, view: u64, round: u64) -> u64 {
     kind | (instance << 4) | (view << 20) | (round << 36)
@@ -378,6 +470,22 @@ pub struct MultiBftNode {
     /// installs jump it without recording — the fast-forwarded prefix
     /// was never traced here).
     ckpt_traced_upto: u64,
+    /// Durability mode (the degradation state machine; see [`NodeMode`]).
+    mode: NodeMode,
+    /// Retry attempts since entering `Degraded` (backoff exponent).
+    retry_attempt: u32,
+    /// Lane roots of the last *accepted but not yet installed* snapshot
+    /// head — the stash chunks a checkpoint-time prune must keep. Empty
+    /// when no transfer is in flight.
+    pending_sync_roots: Vec<Digest>,
+    /// Per-peer responder health for state-transfer rotation.
+    responders: Vec<ResponderHealth>,
+    /// Monotonic count of `T_SYNC` probe windows (the clock responder
+    /// backoff is expressed in).
+    sync_probes: u64,
+    /// The probe in flight: `(responder, probe counter at send)`. Still
+    /// present when the next probe fires ⇒ the responder timed out.
+    outstanding_sync: Option<(usize, u64)>,
     /// Metrics sink.
     pub metrics: NodeMetrics,
     crashed: bool,
@@ -513,10 +621,34 @@ impl MultiBftNode {
             sync_cursor: 0,
             bucket_epoch: 0,
             ckpt_traced_upto: applied_at_start,
+            mode: NodeMode::Normal,
+            retry_attempt: 0,
+            pending_sync_roots: Vec::new(),
+            responders: vec![ResponderHealth::default(); sys.n],
+            sync_probes: 0,
+            outstanding_sync: None,
             metrics: NodeMetrics::default(),
             crashed: false,
             cfg,
         }
+    }
+
+    /// Current durability mode (the degradation state machine's state).
+    pub fn mode(&self) -> NodeMode {
+        self.mode
+    }
+
+    /// Per-peer state-transfer responder health (indexed by replica id).
+    pub fn responder_health(&self) -> &[ResponderHealth] {
+        &self.responders
+    }
+
+    /// Forces the durability mode to `Degraded` without a storage fault
+    /// behind it. Tests use this to observe the mode's *gates* (snapshot
+    /// serving, checkpointing) in isolation from the retry machinery.
+    pub fn set_degraded_for_test(&mut self) {
+        self.mode = NodeMode::Degraded;
+        self.metrics.degraded = true;
     }
 
     /// Mirrors pacemaker-side counters into the metrics sink (call after
@@ -716,8 +848,15 @@ impl MultiBftNode {
         if i < self.cfg.sys.m {
             let mut broadcast = None;
             let mut pending_advance = None;
+            let degraded = self.mode == NodeMode::Degraded;
             if let Some(pm) = &mut self.pacemaker {
-                if pm.on_commit(i, rank) {
+                // While degraded, consume the epoch-completion event but
+                // skip the checkpoint entirely: checkpointing flushes and
+                // compacts through the failing backend, and a root signed
+                // over an undurable prefix must never be broadcast. The
+                // cluster's quorum completes the epoch without us; we
+                // rejoin via `on_stable_checkpoint` / sync once recovered.
+                if pm.on_commit(i, rank) && !degraded {
                     // Epoch complete: checkpoint the executed state (this
                     // snapshots the KV contents and compacts the WAL) and
                     // sign its root into the checkpoint message. The
@@ -773,6 +912,12 @@ impl MultiBftNode {
                     if let Some(snap) = self.exec.latest_snapshot() {
                         self.chunk_cache.borrow_mut().retain(&snap.lane_roots);
                     }
+                    // Same moment for the durable stash: drop chunk files
+                    // left behind by abandoned transfers — every root not
+                    // referenced by the still-pending install (if any) is
+                    // stale now that a newer local head exists.
+                    self.exec.prune_stale_chunks(&self.pending_sync_roots);
+                    self.metrics.snapshot_chunks_pruned = self.exec.snapshot_chunks_pruned();
                     self.metrics.state_roots.push((now, epoch.0, root));
                     let signer = self.cfg.registry.signer(self.cfg.me);
                     broadcast = Some(pm.make_checkpoint(&signer, root));
@@ -792,6 +937,11 @@ impl MultiBftNode {
             }
             self.sync_pacemaker_metrics();
         }
+
+        // Both the confirm drain and the checkpoint above can resolve a
+        // flush barrier: evaluate the degradation trigger while a timer
+        // context is in hand.
+        self.check_durability(ctx);
 
         // A commit can unblock proposals (rank sets complete, HS QCs form,
         // DQBFT refs accumulate).
@@ -877,14 +1027,19 @@ impl MultiBftNode {
                 }
             }
         }
-        if self.exec.staged_records() as u64 >= self.cfg.sys.wal_flush_max_records.max(1) as u64 {
+        if self.mode == NodeMode::Normal
+            && self.exec.staged_records() as u64 >= self.cfg.sys.wal_flush_max_records.max(1) as u64
+        {
             // Pipelined drain: submit this accumulation's barrier and
             // apply the *previous* batch whose barrier token just
             // resolved — in File mode batch N's write+fsync now runs on
             // the writer thread while the next drain stages batch N+1.
             // Mirror (raising `wal_flush_failures`) BEFORE tracing the
             // resolved range as flushed+applied: a failed barrier must
-            // alarm before any range is treated as durable.
+            // alarm before any range is treated as durable. While
+            // degraded the drain is skipped: records keep *staging*
+            // (unacknowledged, memory only) but no new barrier touches
+            // the failing backend until a retry heals it.
             let flushed = self.exec.submit_staged();
             Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
             Self::trace_flushed(&mut self.metrics, flushed, now);
@@ -893,6 +1048,73 @@ impl MultiBftNode {
         // drain so a failed WAL write is visible the moment it happens,
         // not only at the next checkpoint.
         Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
+    }
+
+    /// Degradation trigger: call with `ctx` after any path that can
+    /// resolve a flush barrier. Crossing
+    /// `wal_failure_degrade_threshold` consecutive failed barriers
+    /// flips the node into [`NodeMode::Degraded`] and arms the first
+    /// `T_RETRY` timer at the base backoff.
+    fn check_durability(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        if self.mode == NodeMode::Degraded {
+            return;
+        }
+        let threshold = self.cfg.sys.wal_failure_degrade_threshold as u64;
+        if self.exec.perf().consecutive_flush_failures >= threshold {
+            self.mode = NodeMode::Degraded;
+            self.retry_attempt = 0;
+            self.metrics.degraded = true;
+            self.metrics.degraded_entries += 1;
+            self.metrics.trace.note_event("mode_degraded", ctx.now());
+            self.arm_retry(ctx);
+        }
+    }
+
+    /// Arms the next `T_RETRY` expiry: base backoff doubled per failed
+    /// attempt, capped at `wal_retry_backoff_max_ms`.
+    fn arm_retry(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        let base = self.cfg.sys.wal_retry_backoff_ms as u64;
+        let cap = self.cfg.sys.wal_retry_backoff_max_ms as u64;
+        let delay = base
+            .saturating_mul(1u64 << self.retry_attempt.min(32))
+            .min(cap.max(base));
+        ctx.set_timer(TimeNs::from_millis(delay), enc(T_RETRY, 0, 0, 0));
+    }
+
+    /// One `T_RETRY` expiry while degraded: re-attempt the durable path
+    /// (resolve the failed in-flight barrier, rewrite every segment from
+    /// the in-memory mirror). On success the staged backlog drains
+    /// through a real barrier and the node re-enters `Normal` — the
+    /// backlog was confirmed in dense order all along, so the resulting
+    /// roots are byte-identical to a never-degraded run. On failure the
+    /// timer re-arms with doubled (capped) backoff.
+    fn retry_degraded(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        if self.mode != NodeMode::Degraded {
+            return; // stale timer from a previous degradation
+        }
+        let now = ctx.now();
+        self.metrics.degraded_retries += 1;
+        if self.exec.retry_durability() {
+            let flushed = self.exec.flush_staged();
+            // Mirror (raising the alarm on a re-failed backlog barrier)
+            // before stamping the applied range — same
+            // alarm-before-durable ordering as the live drains.
+            Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
+            Self::trace_flushed(&mut self.metrics, flushed, now);
+            if self.exec.perf().consecutive_flush_failures == 0 {
+                // Backlog durable and applied: back to normal service.
+                self.mode = NodeMode::Normal;
+                self.retry_attempt = 0;
+                self.metrics.degraded = false;
+                self.metrics.trace.note_event("mode_normal", now);
+                return;
+            }
+            // The repair succeeded but the backlog barrier failed again
+            // (flutter): stay degraded, keep backing off.
+        }
+        Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
+        self.retry_attempt = self.retry_attempt.saturating_add(1);
+        self.arm_retry(ctx);
     }
 
     /// Stamps `Flushed` + `Applied` lifecycle events for every block a
@@ -935,6 +1157,7 @@ impl MultiBftNode {
         metrics.exec_cross_lane_edges = sched.cross_lane_edges;
         metrics.exec_max_wave_ops = sched.max_wave_ops;
         metrics.snapshot_decode_failures = exec.snapshot_decode_failures();
+        metrics.snapshot_chunks_pruned = exec.snapshot_chunks_pruned();
         let replay = exec.recovery_stats();
         metrics.records_torn = replay.records_torn;
         metrics.records_unacked_lost = replay.records_unacked_lost;
@@ -1060,7 +1283,7 @@ impl MultiBftNode {
                 self.sync_pacemaker_metrics();
             }
             NodeMsg::SyncReq(req) => self.on_sync_request(from, req, ctx),
-            NodeMsg::SyncResp(resp) => self.on_sync_response(resp, ctx),
+            NodeMsg::SyncResp(resp) => self.on_sync_response_from(from, resp, ctx),
             NodeMsg::ClientTxs(group) => self.on_client_txs(group, ctx),
         }
     }
@@ -1172,17 +1395,54 @@ impl MultiBftNode {
         }
     }
 
-    /// Sends one state-transfer request to the next peer in round-robin
-    /// order.
+    /// Sends one state-transfer request to the next *healthy* peer in
+    /// round-robin order. A probe still outstanding from an earlier
+    /// window means its responder timed out: its timeout streak grows
+    /// and rotation skips it for exponentially more probe windows
+    /// (capped), so an unresponsive peer costs one probe per backoff
+    /// expiry instead of one per window. Quarantined responders
+    /// (repeatedly unverifiable payloads) are skipped outright. If every
+    /// peer is unhealthy, plain round-robin resumes — backoff trades
+    /// probe placement, never liveness.
     fn send_sync_request(&mut self, ctx: &mut dyn Context<NodeMsg>) {
+        // A same-window re-request (chunked-transfer continuation) is
+        // not a timeout: the previous request never had a full window
+        // to answer.
+        if let Some((peer, probe)) = self.outstanding_sync.take() {
+            if self.sync_probes > probe {
+                let h = &mut self.responders[peer];
+                h.timeouts += 1;
+                h.timeout_streak = h.timeout_streak.saturating_add(1);
+                h.skip_until = self.sync_probes + (1u64 << h.timeout_streak.min(6));
+                self.metrics.sync_responder_timeouts += 1;
+            }
+        }
         let req = self.build_sync_request();
         let n = self.cfg.sys.n;
-        let mut target = self.sync_rr % n;
-        if target == self.cfg.me.as_usize() {
-            target = (target + 1) % n;
+        let me = self.cfg.me.as_usize();
+        let mut target = None;
+        for k in 0..n {
+            let cand = (self.sync_rr + k) % n;
+            if cand == me {
+                continue;
+            }
+            let h = &self.responders[cand];
+            if h.quarantined || h.skip_until > self.sync_probes {
+                continue;
+            }
+            target = Some(cand);
+            break;
         }
+        let target = target.unwrap_or_else(|| {
+            let mut t = self.sync_rr % n;
+            if t == me {
+                t = (t + 1) % n;
+            }
+            t
+        });
         self.sync_rr = (target + 1) % n;
         self.metrics.sync_requests += 1;
+        self.outstanding_sync = Some((target, self.sync_probes));
         ctx.send(target, NodeMsg::SyncReq(req));
     }
 
@@ -1256,7 +1516,15 @@ impl MultiBftNode {
         let mut chunks = Vec::new();
         let mut chunks_remaining = 0;
         if let Some(pm) = &self.pacemaker {
-            if let Some(snap) = self.exec.latest_snapshot() {
+            // A degraded replica stops serving snapshots: its own durable
+            // path is failing, so it must not become the source other
+            // replicas fast-forward their state from. Log entries are
+            // still served — they carry their own QCs.
+            if let Some(snap) = self
+                .exec
+                .latest_snapshot()
+                .filter(|_| self.mode == NodeMode::Normal)
+            {
                 if crate::sync::snapshot_worthwhile(
                     snap.applied,
                     req.applied,
@@ -1320,11 +1588,28 @@ impl MultiBftNode {
         })
     }
 
-    /// Verifies and installs a peer's sync response. `pub` so the fault
-    /// tests can drive the chunked request/response exchange directly
-    /// (Byzantine chunk rejection, crash-resume) without a network.
+    /// Verifies and installs a sync response with no sender attribution
+    /// (responder health untouched). `pub` so the fault tests can drive
+    /// the chunked request/response exchange directly (Byzantine chunk
+    /// rejection, crash-resume) without a network.
     pub fn on_sync_response(&mut self, resp: SyncResponse, ctx: &mut dyn Context<NodeMsg>) {
+        self.on_sync_response_from(ReplicaId(u32::MAX), resp, ctx);
+    }
+
+    /// Verifies and installs a peer's sync response, scoring `from`'s
+    /// responder health from the outcome: verified chunks clear the
+    /// failure streak, unverifiable chunks or a rejected snapshot head
+    /// grow it, and crossing `sys.sync_quarantine_threshold` consecutive
+    /// failures quarantines the responder out of rotation.
+    pub fn on_sync_response_from(
+        &mut self,
+        from: ReplicaId,
+        resp: SyncResponse,
+        ctx: &mut dyn Context<NodeMsg>,
+    ) {
         let now = ctx.now();
+        let mut ok_chunks = 0u64;
+        let mut bad_chunks = 0u64;
         // Snapshot fast-forward: only with a verified stable checkpoint
         // whose quorum-signed root matches the snapshot head's manifest
         // root. The head alone proves the lane-root vector; each chunk
@@ -1353,9 +1638,17 @@ impl MultiBftNode {
                     if head.lane_roots.get(chunk.lane as usize) == Some(&chunk.root)
                         && chunk.verify()
                     {
+                        ok_chunks += 1;
                         self.exec.stash_chunk(chunk.clone());
+                    } else {
+                        bad_chunks += 1;
                     }
                 }
+                // A transfer is now in flight toward this head: its lane
+                // roots are the stash entries a checkpoint-time prune
+                // must preserve until the install lands (or a newer head
+                // supersedes it).
+                self.pending_sync_roots = head.lane_roots.clone();
                 // Assemble: resolve all 64 lanes from the stash plus
                 // lanes our local state already holds at the right root
                 // (those were advertised, so the responder never shipped
@@ -1397,6 +1690,7 @@ impl MultiBftNode {
                         // the WAL behind the snapshot; the stash has
                         // served its purpose, on disk and in memory.
                         self.exec.clear_chunk_stash();
+                        self.pending_sync_roots.clear();
                         self.sync_cursor = 0;
                         Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
                         // The fast-forwarded prefix never gets
@@ -1488,6 +1782,14 @@ impl MultiBftNode {
             }
         }
         self.sync_pacemaker_metrics();
+        // A snapshot head the responder advertised but we rejected
+        // (stale applied frontier, root/checkpoint mismatch, failed
+        // proof) counts against its health exactly like a bad chunk: a
+        // stale-but-signed snapshot replayed forever would otherwise
+        // stall the transfer without ever tripping chunk verification.
+        let head_rejected = resp.snapshot.is_some() && !head_accepted;
+        let had_checkpoint = resp.checkpoint.is_some();
+        let mut entries_useful = false;
         for e in resp.entries {
             let i = e.instance.as_usize();
             if i >= self.cfg.sys.m {
@@ -1497,8 +1799,35 @@ impl MultiBftNode {
                 let actions = inst.install_committed(e.block, e.qc, now, &mut self.cur_rank);
                 if !actions.is_empty() {
                     self.metrics.sync_installed += 1;
+                    entries_useful = true;
                 }
                 self.handle_pbft_actions(i, actions, ctx);
+            }
+        }
+        let peer = from.as_usize();
+        if peer < self.cfg.sys.n && peer != self.cfg.me.as_usize() {
+            if self.outstanding_sync.is_some_and(|(p, _)| p == peer) {
+                self.outstanding_sync = None;
+            }
+            self.metrics.sync_chunks_verified += ok_chunks;
+            self.metrics.sync_chunks_rejected += bad_chunks;
+            let h = &mut self.responders[peer];
+            h.verified_chunks += ok_chunks;
+            h.rejected_chunks += bad_chunks + u64::from(head_rejected);
+            // It answered: whatever the payload quality, the peer is
+            // responsive — timeout backoff resets independently of the
+            // verification streak.
+            h.timeout_streak = 0;
+            h.skip_until = 0;
+            if bad_chunks > 0 || head_rejected {
+                h.fail_streak = h.fail_streak.saturating_add(1);
+                if !h.quarantined && h.fail_streak >= self.cfg.sys.sync_quarantine_threshold {
+                    h.quarantined = true;
+                    self.metrics.sync_responders_quarantined += 1;
+                    self.metrics.trace.note_event("responder_quarantined", now);
+                }
+            } else if ok_chunks > 0 || snapshot_installed || entries_useful || had_checkpoint {
+                h.fail_streak = 0;
             }
         }
     }
@@ -1646,6 +1975,11 @@ impl Actor<NodeMsg> for MultiBftNode {
                 }
             }
             T_SYNC => {
+                // Each probe window advances the health clock responder
+                // backoff is expressed in (timeout detection happens in
+                // `send_sync_request`, where the previous outstanding
+                // probe is inspected).
+                self.sync_probes += 1;
                 if self.sync_lagging() {
                     self.send_sync_request(ctx);
                 }
@@ -1656,17 +1990,24 @@ impl Actor<NodeMsg> for MultiBftNode {
                 // threshold, and resolve any in-flight barrier token so
                 // its batch gets applied even if no further confirm ever
                 // arrives. Same alarm-before-durable ordering as the
-                // threshold drain in `record_confirms`.
-                if self.exec.staged_records() > 0 || self.exec.inflight_records() > 0 {
+                // threshold drain in `record_confirms`. Skipped while
+                // degraded — no new barrier touches the failing backend.
+                if self.mode == NodeMode::Normal
+                    && (self.exec.staged_records() > 0 || self.exec.inflight_records() > 0)
+                {
                     let now = ctx.now();
                     let flushed = self.exec.submit_staged();
                     Self::mirror_exec_metrics(&mut self.metrics, &self.exec);
                     Self::trace_flushed(&mut self.metrics, flushed, now);
+                    self.check_durability(ctx);
                 }
                 ctx.set_timer(
                     TimeNs::from_millis(self.cfg.sys.wal_flush_interval_ms as u64),
                     enc(T_FLUSH, 0, 0, 0),
                 );
+            }
+            T_RETRY => {
+                self.retry_degraded(ctx);
             }
             T_QUIET
                 // `round` carries the commit count captured at arming time:
@@ -1678,6 +2019,7 @@ impl Actor<NodeMsg> for MultiBftNode {
                             let confirmed = o.on_quiet_leader(InstanceId(i as u32), ctx.now());
                             let now = ctx.now();
                             self.record_confirms(confirmed, now);
+                            self.check_durability(ctx);
                         }
                     }
                     ctx.set_timer(

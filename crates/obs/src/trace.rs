@@ -104,6 +104,11 @@ pub struct TraceJournal {
     latency: [Histogram; Stage::ALL.len() - 1],
     recorded: u64,
     dropped_transitions: u64,
+    /// Out-of-band node events (mode transitions, quarantines, …):
+    /// timestamped tags outside the per-block stage machinery, bounded
+    /// by the same ring capacity. Per-tag counts survive eviction.
+    node_events: Vec<(&'static str, TimeNs)>,
+    node_event_counts: BTreeMap<&'static str, u64>,
 }
 
 impl Default for TraceJournal {
@@ -126,7 +131,33 @@ impl TraceJournal {
             latency: Default::default(),
             recorded: 0,
             dropped_transitions: 0,
+            node_events: Vec::new(),
+            node_event_counts: BTreeMap::new(),
         }
+    }
+
+    /// Records a timestamped node-level event (e.g.
+    /// `"mode_degraded"` / `"mode_normal"` transitions of the
+    /// durability state machine, or a responder quarantine) outside the
+    /// per-block stage pipeline. The event list is bounded by the
+    /// journal capacity (oldest evicted first); per-tag counts are
+    /// kept exactly.
+    pub fn note_event(&mut self, tag: &'static str, at: TimeNs) {
+        if self.node_events.len() >= self.capacity {
+            self.node_events.remove(0);
+        }
+        self.node_events.push((tag, at));
+        *self.node_event_counts.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Node-level events still held (oldest first).
+    pub fn node_events(&self) -> &[(&'static str, TimeNs)] {
+        &self.node_events
+    }
+
+    /// Exact occurrence count for one node-event tag.
+    pub fn node_event_count(&self, tag: &str) -> u64 {
+        self.node_event_counts.get(tag).copied().unwrap_or(0)
     }
 
     /// Records a stage transition for block `sn` at time `at`.
@@ -235,6 +266,9 @@ impl TraceJournal {
         }
         self.recorded += other.recorded;
         self.dropped_transitions += other.dropped_transitions;
+        for (tag, count) in &other.node_event_counts {
+            *self.node_event_counts.entry(tag).or_insert(0) += count;
+        }
     }
 }
 
@@ -242,6 +276,9 @@ impl SnapshotInto for TraceJournal {
     fn snapshot_into(&self, registry: &mut MetricsRegistry) {
         registry.counter("trace.events_recorded", self.recorded);
         registry.counter("trace.dropped_transitions", self.dropped_transitions);
+        for (tag, count) in &self.node_event_counts {
+            registry.counter(&format!("trace.event.{tag}"), *count);
+        }
         for (name, h) in self.stage_latencies() {
             if !h.is_empty() {
                 registry.merge_histogram(&format!("trace.{name}_ns"), h);
@@ -312,6 +349,25 @@ mod tests {
         // All 10 transitions observed despite eviction.
         assert_eq!(j.stage_latency(Stage::WalStaged).unwrap().count(), 10);
         assert!((j.stage_latency(Stage::WalStaged).unwrap().mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_events_counted_and_bounded() {
+        let mut j = TraceJournal::with_capacity(2);
+        j.note_event("mode_degraded", t(10));
+        j.note_event("mode_normal", t(20));
+        j.note_event("mode_degraded", t(30));
+        assert_eq!(j.node_events().len(), 2, "ring bounded");
+        assert_eq!(j.node_event_count("mode_degraded"), 2, "counts exact");
+        assert_eq!(j.node_event_count("mode_normal"), 1);
+        let mut r = MetricsRegistry::new();
+        j.snapshot_into(&mut r);
+        assert_eq!(r.counter_value("trace.event.mode_degraded"), 2);
+
+        let mut other = TraceJournal::new();
+        other.note_event("mode_degraded", t(40));
+        j.merge_latencies(&other);
+        assert_eq!(j.node_event_count("mode_degraded"), 3);
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! - [`pipeline`]: the [`ExecutionPipeline`] gluing the three together:
 //!   WAL-append → apply → per-epoch checkpoint (snapshot + WAL compaction),
 //!   plus snapshot install and crash recovery (snapshot + WAL replay).
+//! - [`faults`]: deterministic, scriptable storage-fault injection
+//!   ([`FaultPlan`] driving [`FaultBackend`] / [`FaultStore`]) so every
+//!   failure path above can be exercised from tests, benches, and the
+//!   simulator with the same reusable machinery.
 //!
 //! Determinism contract: executing the same confirmed block sequence from
 //! the same starting state always yields the same state root, so honest
@@ -33,11 +37,13 @@
 //! replica that recovers from `snapshot + WAL tail` rejoins with exactly
 //! the state it crashed with.
 
+pub mod faults;
 pub mod kv;
 pub mod pipeline;
 pub mod snapshot;
 pub mod wal;
 
+pub use faults::{FaultBackend, FaultPlan, FaultStore};
 pub use kv::{
     lane_of, BatchOutcome, ExecEffects, KvState, DEFAULT_EXEC_LANES, DEFAULT_KEYSPACE, MERKLE_LANES,
 };

@@ -169,6 +169,13 @@ pub struct PipelinePerf {
     /// durable. Previously this outcome was swallowed inside
     /// `flush_staged`.
     pub wal_flush_failures: u64,
+    /// Flush barriers that failed with no intervening success — the
+    /// degradation trigger: a node compares this against its
+    /// `wal_failure_degrade_threshold` after every drain. Reset by a
+    /// successful barrier (or a successful degraded-mode repair), so
+    /// isolated hiccups never degrade, while a persistently broken
+    /// backend crosses any threshold quickly.
+    pub consecutive_flush_failures: u64,
     /// Barriers submitted while the previous barrier was still in
     /// flight — each one is a genuine write/execute overlap window
     /// (deterministic: the submit/complete structure is identical in
@@ -192,6 +199,10 @@ impl ladon_obs::SnapshotInto for PipelinePerf {
         registry.counter("pipeline.flush_barriers", self.flush_barriers);
         registry.counter("pipeline.wal_flush_failures", self.wal_flush_failures);
         registry.counter("pipeline.pipelined_submits", self.pipelined_submits);
+        registry.gauge(
+            "pipeline.consecutive_flush_failures",
+            self.consecutive_flush_failures as f64,
+        );
         registry.gauge(
             "pipeline.inflight_records_peak",
             self.inflight_records_peak as f64,
@@ -692,6 +703,9 @@ impl ExecutionPipeline {
     fn apply_blocks(&mut self, blocks: &[(u64, Vec<TxOp>)], ok: bool) -> std::ops::Range<u64> {
         if !ok {
             self.perf.wal_flush_failures += 1;
+            self.perf.consecutive_flush_failures += 1;
+        } else {
+            self.perf.consecutive_flush_failures = 0;
         }
         let first = blocks.first().map_or(self.applied, |(sn, _)| *sn);
         let total: usize = blocks.iter().map(|(_, ops)| ops.len()).sum();
@@ -819,6 +833,34 @@ impl ExecutionPipeline {
             self.wal.compact(self.applied);
         }
         root
+    }
+
+    /// Degraded-mode repair: resolves any in-flight barrier, then asks
+    /// the WAL to rewrite the backend from its authoritative mirror
+    /// ([`CommitWal::repair_backend`]). Returns `true` when the backend
+    /// fully caught up with the mirror — every previously alarmed
+    /// record is durable again, [`PipelinePerf::consecutive_flush_failures`]
+    /// resets, and the caller may drain staged blocks and resume
+    /// acknowledging.
+    pub fn retry_durability(&mut self) -> bool {
+        self.complete_inflight();
+        let ok = self.wal.repair_backend();
+        if ok {
+            self.perf.consecutive_flush_failures = 0;
+        }
+        ok
+    }
+
+    /// Drops stashed sync chunks whose lane roots no pending head
+    /// references (checkpoint-time reclamation; see
+    /// [`SnapshotStore::prune_stale_chunks`]). Returns the count pruned.
+    pub fn prune_stale_chunks(&mut self, keep: &[Digest]) -> u64 {
+        self.store.prune_stale_chunks(keep)
+    }
+
+    /// Cumulative stale chunks reclaimed by [`Self::prune_stale_chunks`].
+    pub fn snapshot_chunks_pruned(&self) -> u64 {
+        self.store.chunks_pruned()
     }
 
     /// Installs a verified peer snapshot when it is ahead of the local

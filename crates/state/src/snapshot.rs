@@ -708,6 +708,10 @@ pub struct SnapshotStore {
     /// the recovery floor to the previous epoch — this counter is the
     /// signal that it happened.
     decode_failures: u64,
+    /// Stale stashed chunks dropped by [`Self::prune_stale_chunks`] —
+    /// the checkpoint-time reclamation that stops the durable stash
+    /// growing unboundedly across epochs.
+    chunks_pruned: u64,
 }
 
 impl SnapshotStore {
@@ -718,6 +722,7 @@ impl SnapshotStore {
             latest: None,
             stash: BTreeMap::new(),
             decode_failures: 0,
+            chunks_pruned: 0,
         }
     }
 
@@ -763,6 +768,7 @@ impl SnapshotStore {
             latest: best,
             stash,
             decode_failures,
+            chunks_pruned: 0,
         })
     }
 
@@ -805,6 +811,36 @@ impl SnapshotStore {
     /// Stashed chunk count.
     pub fn stash_len(&self) -> usize {
         self.stash.len()
+    }
+
+    /// Drops every stashed chunk whose lane root is **not** in `keep`
+    /// (with its `chunk-*.bin` file, when disk-backed), returning how
+    /// many were pruned. Called at checkpoint with the roots of the
+    /// still-pending sync target (empty when no chunked install is in
+    /// flight): once no newer head references a stashed root, the chunk
+    /// can never be assembled into anything and only bloats the
+    /// directory across epochs.
+    pub fn prune_stale_chunks(&mut self, keep: &[Digest]) -> u64 {
+        let stale: Vec<Digest> = self
+            .stash
+            .keys()
+            .filter(|root| !keep.contains(root))
+            .copied()
+            .collect();
+        for root in &stale {
+            if let Some(chunk) = self.stash.remove(root) {
+                if let Some(dir) = &self.dir {
+                    let _ = std::fs::remove_file(dir.join(chunk.file_name()));
+                }
+            }
+        }
+        self.chunks_pruned += stale.len() as u64;
+        stale.len() as u64
+    }
+
+    /// Cumulative chunks dropped by [`Self::prune_stale_chunks`].
+    pub fn chunks_pruned(&self) -> u64 {
+        self.chunks_pruned
     }
 
     /// Drops the stash (and its files): the pending install completed
@@ -1137,6 +1173,32 @@ mod tests {
         store.clear_stash();
         assert_eq!(store.stash_len(), 0);
         assert!(!dir.join(nonempty[0].file_name()).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_stale_chunks_drops_unreferenced_files_only() {
+        let dir = std::env::temp_dir().join(format!("ladon-chunk-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = Snapshot::capture(1, 10, 100, Vec::new(), Vec::new(), &sample_state());
+        let (_, chunks) = snap.split();
+        let nonempty: Vec<&SnapshotChunk> =
+            chunks.iter().filter(|c| !c.entries.is_empty()).collect();
+        assert!(nonempty.len() >= 2);
+        let mut store = SnapshotStore::at_dir(&dir).unwrap();
+        assert!(store.stash_chunk(nonempty[0].clone()));
+        assert!(store.stash_chunk(nonempty[1].clone()));
+        // A checkpoint whose pending head still references chunk 0:
+        // chunk 1 is stale and goes, file included; chunk 0 stays.
+        assert_eq!(store.prune_stale_chunks(&[nonempty[0].root]), 1);
+        assert_eq!(store.stash_len(), 1);
+        assert!(dir.join(nonempty[0].file_name()).exists());
+        assert!(!dir.join(nonempty[1].file_name()).exists());
+        // No pending head at all: everything goes.
+        assert_eq!(store.prune_stale_chunks(&[]), 1);
+        assert_eq!(store.stash_len(), 0);
+        assert!(!dir.join(nonempty[0].file_name()).exists());
+        assert_eq!(store.chunks_pruned(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1621,6 +1621,45 @@ impl CommitWal {
         });
     }
 
+    /// Re-pushes the authoritative mirror into the backend: every live
+    /// segment with records is rewritten from mirrored records and a
+    /// fresh manifest is published, under the same atomic rotation
+    /// discipline as [`Self::compact`]. This is the repair step behind
+    /// degraded-mode retries — after a run of failed barriers the
+    /// backend is missing (or has torn) records the mirror still holds,
+    /// and a successful rewrite makes every mirrored record durable
+    /// again in one shot.
+    ///
+    /// Returns `true` when the whole repair (rewrite + manifest
+    /// publish + old-file deletes, plus the initial staged-record
+    /// drain) ran without a single backend failure; on `false` the old
+    /// manifest still governs a readable log and the caller should
+    /// retry later.
+    pub fn repair_backend(&mut self) -> bool {
+        // Drain staged/in-flight records into the mirror first (they may
+        // alarm if the backend is still broken — the rotation below
+        // rewrites them from the mirror regardless).
+        self.flush();
+        let before = self
+            .back
+            .as_ref()
+            .expect("back home after flush")
+            .write_failures;
+        let back = self.back.as_mut().expect("back home after flush");
+        back.rotate_segments(&self.records, |meta| {
+            if meta.records == 0 {
+                SegmentFate::Keep
+            } else {
+                SegmentFate::Rewrite {
+                    first: meta.first_sn,
+                    last: meta.last_sn,
+                }
+            }
+        });
+        let back = self.back.as_ref().expect("back home after rotation");
+        back.write_failures == before
+    }
+
     /// Drops records with `sn >= from_sn` from the log — the unreplayable
     /// dangling suffix left when corruption opened a gap below it.
     /// Records the mirror no longer holds (covered, torn, or past the
@@ -2085,6 +2124,39 @@ mod tests {
         bytes[2 * record_size + 10] ^= 0xff; // flip a bit inside record 2
         let decoded = decode_records(&bytes);
         assert_eq!(decoded.len(), 2, "replay must stop at the bad checksum");
+    }
+
+    #[test]
+    fn repair_backend_rewrites_mirror_after_failed_barriers() {
+        use crate::faults::{FaultBackend, FaultPlan};
+        let disk = SharedMem::default();
+        let plan = FaultPlan::unlimited();
+        let mut wal = CommitWal::open(
+            Box::new(FaultBackend::new(disk.clone(), plan.clone())),
+            opts(2, 4),
+        );
+        for sn in 0..6 {
+            wal.append(rec(sn));
+        }
+        assert_eq!(wal.write_failures(), 0);
+        // Disk fills: further appends alarm but stay in the mirror.
+        let _ = plan.clone().enospc_after(0);
+        for sn in 6..10 {
+            wal.append(rec(sn));
+        }
+        assert!(wal.write_failures() > 0, "full disk must alarm");
+        assert_eq!(wal.len(), 10, "mirror is authoritative regardless");
+        assert!(
+            !wal.repair_backend(),
+            "repair against a still-full disk must report failure"
+        );
+        plan.free_space();
+        assert!(wal.repair_backend(), "repair succeeds once space is freed");
+        drop(wal);
+        // The repaired on-disk log holds every mirrored record.
+        let reopened = CommitWal::open(Box::new(disk), opts(2, 4));
+        assert_eq!(reopened.len(), 10);
+        assert_eq!(reopened.records().last().unwrap().sn, 9);
     }
 
     #[test]

@@ -199,6 +199,33 @@ pub struct SystemConfig {
     /// delta in one response (lowest sync latency); smaller values
     /// bound per-message bytes at millions-of-accounts state sizes.
     pub sync_chunks_per_response: u32,
+    /// Durability degradation trigger (≥ 1): consecutive failed WAL
+    /// flush barriers a node tolerates before it enters `Degraded` mode
+    /// — where it stops acknowledging/staging new confirmed blocks and
+    /// stops serving snapshots, and instead retries the failed flush on
+    /// a backoff timer until the backend heals (or a peer snapshot
+    /// reinstall overtakes it). `1` degrades on the first failure;
+    /// larger values ride out transient hiccups at the cost of more
+    /// alarmed-but-applied blocks before the gate closes.
+    pub wal_failure_degrade_threshold: u32,
+    /// Base delay of the degraded-mode flush retry timer, in
+    /// milliseconds (≥ 1). Each failed retry doubles the delay up to
+    /// [`Self::wal_retry_backoff_max_ms`]. Deterministic in simulation:
+    /// retries are sim timers, not wall clocks.
+    pub wal_retry_backoff_ms: u32,
+    /// Cap on the degraded-mode retry backoff, in milliseconds (≥ the
+    /// base): keeps a long outage probing at a bounded rate instead of
+    /// backing off into oblivion.
+    pub wal_retry_backoff_max_ms: u32,
+    /// Responder-health quarantine threshold (≥ 1): consecutive sync
+    /// chunks (or whole responses) from one responder that fail
+    /// verification before the requester quarantines it — removing it
+    /// from the sync rotation entirely. Honest responders never ship an
+    /// unverifiable chunk, so a small threshold only tolerates
+    /// re-requests racing a responder's own state advance; unresponsive
+    /// (as opposed to Byzantine) peers are handled separately by
+    /// timeout-driven exponential backoff.
+    pub sync_quarantine_threshold: u32,
 }
 
 impl SystemConfig {
@@ -224,6 +251,10 @@ impl SystemConfig {
             wal_flush_max_records: 1,
             wal_flush_interval_ms: 0,
             sync_chunks_per_response: MERKLE_LANES,
+            wal_failure_degrade_threshold: 3,
+            wal_retry_backoff_ms: 50,
+            wal_retry_backoff_max_ms: 1000,
+            sync_quarantine_threshold: 3,
         }
     }
 
@@ -325,6 +356,27 @@ impl SystemConfig {
                 "sync_chunks_per_response = {} must be in 1..={MERKLE_LANES}",
                 self.sync_chunks_per_response
             )));
+        }
+        if self.wal_failure_degrade_threshold == 0 {
+            return Err(LadonError::Config(
+                "wal_failure_degrade_threshold must be > 0".into(),
+            ));
+        }
+        if self.wal_retry_backoff_ms == 0 {
+            return Err(LadonError::Config(
+                "wal_retry_backoff_ms must be > 0".into(),
+            ));
+        }
+        if self.wal_retry_backoff_max_ms < self.wal_retry_backoff_ms {
+            return Err(LadonError::Config(format!(
+                "wal_retry_backoff_max_ms = {} must be >= wal_retry_backoff_ms = {}",
+                self.wal_retry_backoff_max_ms, self.wal_retry_backoff_ms
+            )));
+        }
+        if self.sync_quarantine_threshold == 0 {
+            return Err(LadonError::Config(
+                "sync_quarantine_threshold must be > 0".into(),
+            ));
         }
         Ok(())
     }
@@ -458,6 +510,39 @@ mod tests {
 
         let mut ok = c;
         ok.sync_chunks_per_response = 1;
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_knobs_validated() {
+        let c = SystemConfig::paper_default(16, NetEnv::Wan);
+        assert_eq!(c.wal_failure_degrade_threshold, 3);
+        assert_eq!(c.wal_retry_backoff_ms, 50);
+        assert_eq!(c.wal_retry_backoff_max_ms, 1000);
+        assert_eq!(c.sync_quarantine_threshold, 3);
+
+        let mut bad = c.clone();
+        bad.wal_failure_degrade_threshold = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = c.clone();
+        bad.wal_retry_backoff_ms = 0;
+        assert!(bad.validate().is_err());
+
+        // The cap must not undercut the base delay.
+        let mut bad = c.clone();
+        bad.wal_retry_backoff_max_ms = bad.wal_retry_backoff_ms - 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = c.clone();
+        bad.sync_quarantine_threshold = 0;
+        assert!(bad.validate().is_err());
+
+        let mut ok = c;
+        ok.wal_failure_degrade_threshold = 1;
+        ok.wal_retry_backoff_ms = 1;
+        ok.wal_retry_backoff_max_ms = 1;
+        ok.sync_quarantine_threshold = 1;
         ok.validate().unwrap();
     }
 

@@ -180,6 +180,26 @@ pub struct Report {
     /// windows under pipelined durability. Deterministic: inline
     /// (simulation) and writer-thread (File) modes count identically.
     pub wal_pipelined_submits: u64,
+    /// Times replicas entered `Degraded` durability mode (consecutive
+    /// failed flush barriers crossed the degrade threshold), summed
+    /// across replicas. Must be 0 in every healthy run.
+    pub degraded_entries: u64,
+    /// Durability retry attempts fired while degraded (`T_RETRY`
+    /// expiries, successful or not), summed across replicas.
+    pub degraded_retries: u64,
+    /// Stale stash chunk files pruned at checkpoints, summed across
+    /// replicas.
+    pub snapshot_chunks_pruned: u64,
+    /// State-transfer probes whose responder never answered before the
+    /// next probe window, summed across replicas.
+    pub sync_responder_timeouts: u64,
+    /// Responders quarantined for repeatedly unverifiable sync payloads,
+    /// summed across replicas (quarantine events). Must be 0 without a
+    /// Byzantine responder in the run.
+    pub sync_responders_quarantined: u64,
+    /// Sync-response chunks that failed verification, summed across
+    /// replicas.
+    pub sync_chunks_rejected: u64,
     /// The unified metrics snapshot: every replica's counters merged
     /// through the order-invariant registry, plus run-level network and
     /// crypto counters (filled by the runner). `to_json()` is the one
@@ -382,6 +402,16 @@ pub fn aggregate(data: &RunData) -> Report {
     let flush_barriers = data.nodes.iter().map(|n| n.flush_barriers).sum();
     let wal_flush_failures = data.nodes.iter().map(|n| n.wal_flush_failures).sum();
     let wal_pipelined_submits = data.nodes.iter().map(|n| n.wal_pipelined_submits).sum();
+    let degraded_entries = data.nodes.iter().map(|n| n.degraded_entries).sum();
+    let degraded_retries = data.nodes.iter().map(|n| n.degraded_retries).sum();
+    let snapshot_chunks_pruned = data.nodes.iter().map(|n| n.snapshot_chunks_pruned).sum();
+    let sync_responder_timeouts = data.nodes.iter().map(|n| n.sync_responder_timeouts).sum();
+    let sync_responders_quarantined = data
+        .nodes
+        .iter()
+        .map(|n| n.sync_responders_quarantined)
+        .sum();
+    let sync_chunks_rejected = data.nodes.iter().map(|n| n.sync_chunks_rejected).sum();
 
     // Reference-replica lifecycle stage latencies (sim-time ns →
     // milliseconds). Log2-bucketed, so p50/p99 carry bucket resolution.
@@ -487,6 +517,12 @@ pub fn aggregate(data: &RunData) -> Report {
         flush_barriers,
         wal_flush_failures,
         wal_pipelined_submits,
+        degraded_entries,
+        degraded_retries,
+        snapshot_chunks_pruned,
+        sync_responder_timeouts,
+        sync_responders_quarantined,
+        sync_chunks_rejected,
         metrics,
     }
 }
@@ -684,6 +720,36 @@ mod tests {
         // And a healthy fleet reports zero failed barriers.
         let rep = aggregate(&run_data(empty_nodes(4)));
         assert_eq!(rep.wal_flush_failures, 0);
+    }
+
+    #[test]
+    fn fault_counters_summed_across_replicas() {
+        let mut nodes = empty_nodes(4);
+        nodes[1].degraded_entries = 2;
+        nodes[1].degraded_retries = 5;
+        nodes[2].snapshot_chunks_pruned = 3;
+        nodes[0].sync_responder_timeouts = 4;
+        nodes[3].sync_responders_quarantined = 1;
+        nodes[3].sync_chunks_rejected = 9;
+        let rep = aggregate(&run_data(nodes));
+        assert_eq!(rep.degraded_entries, 2);
+        assert_eq!(rep.degraded_retries, 5);
+        assert_eq!(rep.snapshot_chunks_pruned, 3);
+        assert_eq!(rep.sync_responder_timeouts, 4);
+        assert_eq!(rep.sync_responders_quarantined, 1);
+        assert_eq!(rep.sync_chunks_rejected, 9);
+        // The unified registry carries the same counters.
+        let reg = rep.metrics.registry();
+        assert_eq!(reg.counter_value("node.degraded_entries"), 2);
+        assert_eq!(reg.counter_value("node.degraded_retries"), 5);
+        assert_eq!(reg.counter_value("node.snapshot_chunks_pruned"), 3);
+        assert_eq!(reg.counter_value("sync.responder_timeouts"), 4);
+        assert_eq!(reg.counter_value("sync.responders_quarantined"), 1);
+        assert_eq!(reg.counter_value("sync.chunks_rejected"), 9);
+        // And a healthy fleet reports zero everywhere.
+        let rep = aggregate(&run_data(empty_nodes(4)));
+        assert_eq!(rep.degraded_entries, 0);
+        assert_eq!(rep.sync_responders_quarantined, 0);
     }
 
     #[test]

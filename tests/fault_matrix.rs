@@ -1,0 +1,550 @@
+//! Adversarial fault-scenario matrix for the durability degradation
+//! state machine and responder-health sync rotation.
+//!
+//! Scenarios: a replica's disk fills under live load (degrade → space
+//! freed → backoff retries → recovery, roots byte-identical to its
+//! never-degraded peers), a Byzantine responder replaying stale-but-
+//! signed snapshots is quarantined while the cluster still syncs,
+//! flapping fsync failures flutter the node between Normal and Degraded
+//! without ever acknowledging an undurable range, and a crash while
+//! Degraded loses only unacknowledged staged records. Faults are
+//! injected through the first-class `ladon::state::faults` plan — no
+//! test-local storage wrappers.
+
+mod common;
+
+use common::{cluster, ClusterOpts, TestCluster};
+use ladon::core::{Behavior, MultiBftNode, NodeConfig, NodeMode, NodeMsg};
+use ladon::sim::{ActorId, Context, SimRng};
+use ladon::state::{ExecutionPipeline, FaultBackend, FaultPlan, FileBackend, WalOptions};
+use ladon::types::{Digest, ProtocolKind, ReplicaId, Round, SystemConfig, TimeNs};
+use std::collections::BTreeMap;
+
+/// The lane counts the disk-full scenario runs at (the degraded →
+/// recovered root must be lane-count invariant like every other root).
+const LANE_MATRIX: [u32; 2] = [1, 4];
+
+fn scratch_dir(tag: &str, k: u32) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ladon-{tag}-{}-{k}", std::process::id()))
+}
+
+fn wal_opts(sys: &SystemConfig) -> WalOptions {
+    WalOptions {
+        lane_groups: sys.wal_lane_groups,
+        segment_records: sys.wal_segment_records,
+    }
+}
+
+/// Swaps replica 3 for one journaling to `dir` through a fault-injecting
+/// WAL backend driven by `plan` (the plan handle stays with the caller:
+/// its shared atomics script faults mid-run deterministically).
+fn add_faulted_replica(c: &mut TestCluster, dir: &std::path::Path, plan: &FaultPlan, lanes: u32) {
+    let backend = FaultBackend::new(
+        FileBackend::open_dir(dir.join("wal")).unwrap(),
+        plan.clone(),
+    );
+    let exec = ExecutionPipeline::recover_backend(
+        dir,
+        Box::new(backend),
+        c.sys.exec_keyspace,
+        lanes,
+        wal_opts(&c.sys),
+    )
+    .unwrap();
+    let node = MultiBftNode::with_execution(
+        NodeConfig {
+            sys: c.sys.clone(),
+            protocol: c.protocol,
+            me: ReplicaId(3),
+            registry: c.registry.clone(),
+            behavior: Behavior::default(),
+            sample_interval: None,
+        },
+        exec,
+    );
+    c.engine.restart_actor(3, Box::new(node));
+}
+
+/// Asserts replicas `a` and `b` reported byte-identical checkpoint roots
+/// at every epoch both checkpointed, returning how many epochs compared.
+/// The healthy peers are the fault-free same-seed replicas, so equality
+/// here *is* the "byte-identical to a never-degraded run" claim.
+fn assert_epoch_roots_match(c: &TestCluster, a: usize, b: usize) -> usize {
+    let roots = |r: usize| -> BTreeMap<u64, Digest> {
+        c.node(r)
+            .metrics
+            .state_roots
+            .iter()
+            .map(|&(_, e, d)| (e, d))
+            .collect()
+    };
+    let ra = roots(a);
+    let rb = roots(b);
+    let mut shared = 0;
+    for (e, d) in &ra {
+        if let Some(d2) = rb.get(e) {
+            assert_eq!(d, d2, "epoch {e}: roots diverge between {a} and {b}");
+            shared += 1;
+        }
+    }
+    shared
+}
+
+/// Drains replica 3's pipeline (staged + in-flight) so its on-disk
+/// artifacts and in-memory frontier can be compared exactly, then
+/// asserts a fresh process recovering from the directory reproduces the
+/// applied frontier and root byte-for-byte.
+fn assert_disk_coherent(c: &mut TestCluster, dir: &std::path::Path, lanes: u32, tag: &str) {
+    let n3 = c.engine.actor_as_mut::<MultiBftNode>(3).unwrap();
+    n3.exec.flush_staged();
+    let applied = n3.exec.applied();
+    let root = n3.exec.state_root();
+    let recovered =
+        ExecutionPipeline::recover_opts(dir, c.sys.exec_keyspace, lanes, wal_opts(&c.sys)).unwrap();
+    assert_eq!(
+        recovered.applied(),
+        applied,
+        "{tag}: disk recovery frontier diverges from the live replica"
+    );
+    assert_eq!(
+        recovered.state_root(),
+        root,
+        "{tag}: disk recovery root diverges — an undurable range was \
+         treated as applied"
+    );
+}
+
+/// Disk-full under live load: replica 3's storage rejects writes with
+/// ENOSPC mid-run. The replica must (a) cross the consecutive-failure
+/// threshold and enter Degraded, (b) stop checkpointing while degraded,
+/// (c) keep retrying on backoff, (d) recover once space frees, and
+/// (e) end with checkpoint roots byte-identical to its never-degraded
+/// peers and a disk image that reproduces its state exactly.
+fn disk_full_degrades_then_recovers_at(lanes: u32) {
+    let dir = scratch_dir("fault-enospc", lanes);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 20.0,
+        exec_lanes: Some(lanes),
+        ..Default::default()
+    });
+    let plan = FaultPlan::unlimited();
+    add_faulted_replica(&mut c, &dir, &plan, lanes);
+
+    // Healthy warm-up: the replica journals durably.
+    c.run_secs(6.0);
+    assert_eq!(c.node(3).mode(), NodeMode::Normal);
+    assert!(
+        c.node(3).exec.applied() > 0,
+        "lanes={lanes}: no execution progress before the fault"
+    );
+
+    // The disk fills while the workload keeps running.
+    let _ = plan.clone().enospc_after(0);
+    c.run_secs(14.0);
+    {
+        let n3 = c.node(3);
+        assert_eq!(
+            n3.mode(),
+            NodeMode::Degraded,
+            "lanes={lanes}: ENOSPC under load must degrade the replica"
+        );
+        assert!(n3.metrics.degraded_entries >= 1);
+        assert!(
+            n3.metrics.degraded_retries >= 1,
+            "lanes={lanes}: the retry timer must have fired against the \
+             still-full disk"
+        );
+        assert!(
+            n3.metrics.trace.node_event_count("mode_degraded") >= 1,
+            "lanes={lanes}: the transition must reach the trace journal"
+        );
+        assert_eq!(
+            n3.metrics.trace.node_event_count("mode_normal"),
+            0,
+            "lanes={lanes}: no recovery is possible while the disk is full"
+        );
+    }
+
+    // Space frees: the next backoff retry rewrites the log from the
+    // in-memory mirror and drains the staged backlog.
+    plan.free_space();
+    c.run_secs(60.0);
+    {
+        let n3 = c.node(3);
+        assert_eq!(
+            n3.mode(),
+            NodeMode::Normal,
+            "lanes={lanes}: the replica must re-enter Normal once space frees"
+        );
+        assert!(n3.metrics.trace.node_event_count("mode_normal") >= 1);
+        assert!(
+            n3.metrics.wal_flush_failures > 0,
+            "lanes={lanes}: the outage must have been loud, not silent"
+        );
+        // Execution resumed past the degraded window.
+        assert!(
+            n3.exec.applied() > 0,
+            "lanes={lanes}: no execution after recovery"
+        );
+    }
+    // Checkpoint roots at every epoch shared with a healthy peer are
+    // byte-identical: degradation deferred durability, it never forked
+    // the state machine.
+    let shared = assert_epoch_roots_match(&c, 3, 0);
+    assert!(
+        shared >= 1,
+        "lanes={lanes}: the recovered replica must checkpoint again \
+         (no comparable epochs found)"
+    );
+    c.assert_agreement(&[0, 1, 2, 3]);
+    assert_disk_coherent(&mut c, &dir, lanes, &format!("enospc lanes={lanes}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_full_degrades_then_recovers_lane_matrix() {
+    for lanes in LANE_MATRIX {
+        disk_full_degrades_then_recovers_at(lanes);
+    }
+}
+
+/// Flapping fsync: two separate bursts of fsync failures flutter the
+/// replica Normal → Degraded → Normal twice. Every entry is counted,
+/// recovery completes after each burst, and the final disk image is
+/// coherent — the flutter never acknowledged an undurable range.
+#[test]
+fn fsync_flutter_degrades_twice_and_stays_coherent() {
+    let lanes = 4;
+    let dir = scratch_dir("fault-flutter", lanes);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 30.0,
+        exec_lanes: Some(lanes),
+        ..Default::default()
+    });
+    let plan = FaultPlan::unlimited();
+    add_faulted_replica(&mut c, &dir, &plan, lanes);
+
+    c.run_secs(5.0);
+    // First burst: a flush job fsyncs every lane group it staged into,
+    // so the budget is sized in *barriers*: enough failing syncs to
+    // cross the consecutive-failure threshold, finite so the backoff
+    // retries exhaust the burst and repair.
+    let _ = plan.clone().fail_fsyncs(64);
+    c.run_secs(10.0);
+    assert!(
+        c.node(3).metrics.degraded_entries >= 1,
+        "first fsync burst must degrade the replica"
+    );
+    assert_eq!(
+        c.node(3).mode(),
+        NodeMode::Normal,
+        "the burst must exhaust against retries and recover"
+    );
+
+    // Second burst: the state machine must re-enter cleanly, not latch.
+    let _ = plan.clone().fail_fsyncs(64);
+    c.run_secs(20.0);
+    let n3 = c.node(3);
+    assert!(
+        n3.metrics.degraded_entries >= 2,
+        "the second burst must degrade the replica again \
+         (got {} entries)",
+        n3.metrics.degraded_entries
+    );
+    assert_eq!(n3.mode(), NodeMode::Normal);
+    assert!(n3.metrics.trace.node_event_count("mode_degraded") >= 2);
+    assert!(n3.metrics.trace.node_event_count("mode_normal") >= 2);
+
+    // Quiesce, then the durability contract: nothing applied that the
+    // disk cannot reproduce.
+    c.run_secs(45.0);
+    let shared = assert_epoch_roots_match(&c, 3, 0);
+    assert!(shared >= 1, "flutter: no comparable checkpoint epochs");
+    c.assert_agreement(&[0, 1, 2, 3]);
+    assert_disk_coherent(&mut c, &dir, lanes, "flutter");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash while Degraded: the staged-but-never-flushed backlog is lost
+/// with the process — by design, it was never acknowledged — and the
+/// restarted replica recovers the durable prefix from disk, re-syncs
+/// from peers, and converges.
+#[test]
+fn crash_while_degraded_loses_only_unacknowledged_records() {
+    let lanes = 4;
+    let dir = scratch_dir("fault-crash-degraded", lanes);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 30.0,
+        exec_lanes: Some(lanes),
+        ..Default::default()
+    });
+    let plan = FaultPlan::unlimited();
+    add_faulted_replica(&mut c, &dir, &plan, lanes);
+
+    c.run_secs(6.0);
+    let _ = plan.clone().enospc_after(0);
+    c.run_secs(8.0);
+    let (pre_applied, pre_staged) = {
+        let n3 = c.node(3);
+        assert_eq!(n3.mode(), NodeMode::Degraded, "replica must be degraded");
+        (n3.exec.applied(), n3.exec.staged_records())
+    };
+    assert!(
+        pre_staged > 0,
+        "load must have accumulated an unacknowledged staged backlog"
+    );
+
+    // Process dies while degraded. A new process recovers from the disk
+    // artifacts with healthy storage: it holds at most the durable
+    // prefix — the staged backlog vanished with the process, and that is
+    // legal precisely because it was never acknowledged.
+    let recovered =
+        ExecutionPipeline::recover_opts(&dir, c.sys.exec_keyspace, lanes, wal_opts(&c.sys))
+            .unwrap();
+    assert!(
+        recovered.applied() <= pre_applied,
+        "recovery must not conjure records the live replica never applied"
+    );
+    let node = MultiBftNode::with_execution(
+        NodeConfig {
+            sys: c.sys.clone(),
+            protocol: c.protocol,
+            me: ReplicaId(3),
+            registry: c.registry.clone(),
+            behavior: Behavior::default(),
+            sample_interval: None,
+        },
+        recovered,
+    );
+    c.engine.restart_actor(3, Box::new(node));
+    c.run_secs(60.0);
+
+    let n3 = c.node(3);
+    assert_eq!(n3.mode(), NodeMode::Normal, "fresh process starts Normal");
+    assert!(
+        n3.metrics.sync_requests > 0,
+        "the restarted replica must detect its lag and sync"
+    );
+    assert!(
+        n3.exec.applied() > pre_applied,
+        "execution must move past the pre-crash frontier after rejoin"
+    );
+    assert_eq!(
+        n3.epoch(),
+        c.node(0).epoch(),
+        "the restarted replica must rejoin the cluster's epoch"
+    );
+    c.assert_agreement(&[0, 1, 2, 3]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Responder health: driven through the real request/response handlers
+// with sender attribution, no network in between.
+// ---------------------------------------------------------------------
+
+/// Minimal context for driving node handlers directly.
+struct DirectCtx {
+    rng: SimRng,
+    sent: Vec<(ActorId, NodeMsg)>,
+}
+
+impl DirectCtx {
+    fn new() -> Self {
+        Self {
+            rng: SimRng::new(7),
+            sent: Vec::new(),
+        }
+    }
+}
+
+impl Context<NodeMsg> for DirectCtx {
+    fn now(&self) -> TimeNs {
+        TimeNs(0)
+    }
+    fn self_id(&self) -> ActorId {
+        3
+    }
+    fn send_sized(&mut self, to: ActorId, msg: NodeMsg, _bytes: u64) {
+        self.sent.push((to, msg));
+    }
+    fn set_timer(&mut self, _delay: TimeNs, _id: u64) {}
+    fn crash(&mut self, _actor: ActorId) {}
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+/// A Byzantine responder that keeps replaying a stale-but-signed
+/// snapshot (old head + its genuine checkpoint proof) is quarantined
+/// after `sync_quarantine_threshold` consecutive rejections — and the
+/// requester still syncs from honest peers afterwards.
+#[test]
+fn stale_snapshot_responder_quarantined_while_cluster_still_syncs() {
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 12.0,
+        ..Default::default()
+    });
+    c.run_secs(15.0);
+    let snap = c
+        .node(0)
+        .exec
+        .latest_snapshot()
+        .expect("responder must have checkpointed")
+        .clone();
+
+    let mut requester = MultiBftNode::new(NodeConfig {
+        sys: c.sys.clone(),
+        protocol: c.protocol,
+        me: ReplicaId(3),
+        registry: c.registry.clone(),
+        behavior: Behavior::default(),
+        sample_interval: None,
+    });
+    let mut ctx = DirectCtx::new();
+
+    // Honest install from peer 0 first: the requester fast-forwards to
+    // the snapshot, which also makes any replay of that snapshot stale.
+    let req = requester.build_sync_request();
+    let honest = c
+        .node(0)
+        .build_sync_response(&req)
+        .expect("a from-zero requester must be served");
+    assert!(honest.snapshot.is_some());
+    let stale = honest.clone();
+    requester.on_sync_response_from(ReplicaId(0), honest, &mut ctx);
+    assert_eq!(requester.metrics.snapshot_installs, 1);
+    assert_eq!(requester.exec.applied(), snap.applied);
+    let h0 = &requester.responder_health()[0];
+    assert!(
+        h0.verified_chunks > 0,
+        "peer 0's chunks must score verified"
+    );
+    assert!(!h0.quarantined);
+
+    // Peer 1 replays the same (now stale) snapshot over and over. Every
+    // proof still verifies — only the applied frontier betrays it — and
+    // after the threshold the responder is quarantined.
+    let threshold = c.sys.sync_quarantine_threshold;
+    for i in 0..threshold {
+        assert!(
+            !requester.responder_health()[1].quarantined,
+            "quarantined after {i} rejections, threshold is {threshold}"
+        );
+        requester.on_sync_response_from(ReplicaId(1), stale.clone(), &mut ctx);
+    }
+    let h1 = &requester.responder_health()[1];
+    assert!(
+        h1.quarantined,
+        "{threshold} stale replays must quarantine the responder"
+    );
+    assert!(h1.rejected_chunks >= threshold as u64);
+    assert_eq!(requester.metrics.sync_responders_quarantined, 1);
+    assert_eq!(
+        requester.metrics.snapshot_installs, 1,
+        "stale replays must never install"
+    );
+
+    // The cluster still syncs: the workload continues, a newer snapshot
+    // appears, and an honest peer serves it to the requester despite the
+    // quarantined neighbor.
+    let mut c2 = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 28.0,
+        ..Default::default()
+    });
+    c2.run_secs(32.0);
+    let newer = c2
+        .node(2)
+        .exec
+        .latest_snapshot()
+        .expect("longer run must checkpoint")
+        .clone();
+    assert!(
+        newer.applied > snap.applied,
+        "the longer run must produce a newer snapshot"
+    );
+    let req2 = requester.build_sync_request();
+    let resp2 = c2
+        .node(2)
+        .build_sync_response(&req2)
+        .expect("an honest peer must serve the lagging requester");
+    requester.on_sync_response_from(ReplicaId(2), resp2, &mut ctx);
+    assert_eq!(
+        requester.metrics.snapshot_installs, 2,
+        "quarantining one responder must not stop syncing from others"
+    );
+    assert!(requester.responder_health()[1].quarantined);
+    assert!(!requester.responder_health()[2].quarantined);
+}
+
+/// Degraded replicas stop serving snapshots (their own durable path is
+/// suspect) but keep serving log entries.
+#[test]
+fn degraded_replica_stops_serving_snapshots_but_serves_entries() {
+    let mut c = cluster(ClusterOpts {
+        protocol: ProtocolKind::LadonPbft,
+        n: 4,
+        epoch_length: Some(16),
+        submit_until_s: 12.0,
+        ..Default::default()
+    });
+    c.run_secs(15.0);
+    // A requester trailing the responder by a couple of rounds per
+    // instance with an empty state machine: the gap is inside the
+    // retained log window (entries servable) AND far enough behind in
+    // applied terms that a healthy responder would ship its snapshot.
+    let mut lagging = c.node(0).build_sync_request();
+    for r in &mut lagging.frontier {
+        *r = Round(r.0.saturating_sub(2));
+    }
+    lagging.applied = 0;
+    lagging.lane_roots = Vec::new();
+
+    let healthy_resp = c
+        .node(0)
+        .build_sync_response(&lagging)
+        .expect("healthy replica serves");
+    assert!(
+        healthy_resp.snapshot.is_some(),
+        "a healthy replica serves the snapshot to a lagging requester"
+    );
+    assert!(
+        !healthy_resp.entries.is_empty(),
+        "a healthy replica serves the retained log entries"
+    );
+
+    // Same replica, forced Degraded: snapshot serving stops, entries
+    // remain. (`set_degraded_for_test` flips only the mode gate.)
+    let n0 = c.engine.actor_as_mut::<MultiBftNode>(0).unwrap();
+    n0.set_degraded_for_test();
+    let degraded_resp = c
+        .node(0)
+        .build_sync_response(&lagging)
+        .expect("entries must still be served");
+    assert!(
+        degraded_resp.snapshot.is_none(),
+        "a degraded replica must not serve snapshots"
+    );
+    assert!(
+        !degraded_resp.entries.is_empty(),
+        "log entries carry their own proofs and must still be served"
+    );
+}

@@ -15,7 +15,8 @@ mod common;
 use common::{cluster, ClusterOpts, TestCluster};
 use ladon::core::{Behavior, MultiBftNode, NodeConfig, SyncRequest};
 use ladon::state::{
-    CommitWal, ExecutionPipeline, FileBackend, WalBackend, WalOptions, WalRecord, DEFAULT_KEYSPACE,
+    CommitWal, ExecutionPipeline, FaultBackend, FileBackend, WalOptions, WalRecord,
+    DEFAULT_KEYSPACE,
 };
 use ladon::types::{Digest, ProtocolKind, Round};
 use std::collections::BTreeMap;
@@ -514,68 +515,23 @@ fn one_block_behind_gets_log_sync_not_snapshot() {
 
 /// Storage that "loses power" after a budgeted number of mutating
 /// operations: once the budget is exhausted, every subsequent append,
-/// rewrite, delete, and manifest publish silently fails — exactly what a
-/// kill between two protocol steps leaves on disk.
-struct CrashBackend {
-    inner: FileBackend,
-    budget: Arc<AtomicI64>,
-    /// Route barriers through the dedicated `ladon-wal-writer` thread
-    /// (the pipelined-durability path) instead of running them inline —
-    /// the budget cell is shared, so the sweep kills storage at the same
-    /// op boundaries either way.
+/// rewrite, delete, manifest publish, *and fsync* silently fails —
+/// exactly what a kill between two protocol steps leaves on disk.
+/// Shared with the whole fault matrix via `ladon::state::faults` (the
+/// old test-local `CrashBackend`, promoted to a first-class wrapper);
+/// `threaded` routes barriers through the dedicated `ladon-wal-writer`
+/// thread (the pipelined-durability path) — the budget cell is shared,
+/// so the sweep kills storage at the same op boundaries either way.
+fn crash_backend(
+    dir: &std::path::Path,
+    budget: &Arc<AtomicI64>,
     threaded: bool,
-}
-
-impl CrashBackend {
-    fn alive(&self) -> bool {
-        self.budget.fetch_sub(1, Ordering::SeqCst) > 0
-    }
-}
-
-impl WalBackend for CrashBackend {
-    fn append_segment_batch(
-        &mut self,
-        group: u32,
-        seq: u64,
-        records: &[u8],
-        trailer: &[u8],
-    ) -> bool {
-        self.alive()
-            && self
-                .inner
-                .append_segment_batch(group, seq, records, trailer)
-    }
-    fn sync_group(&mut self, group: u32) -> bool {
-        // The fsync barrier is a storage op like any other: dying here
-        // models a kill after the write() but before the fdatasync() —
-        // the staged batch may or may not be on the platter, and the WAL
-        // must not have acknowledged it.
-        self.alive() && self.inner.sync_group(group)
-    }
-    fn write_segment(&mut self, group: u32, seq: u64, bytes: &[u8]) -> bool {
-        self.alive() && self.inner.write_segment(group, seq, bytes)
-    }
-    fn delete_segment(&mut self, group: u32, seq: u64) -> bool {
-        self.alive() && self.inner.delete_segment(group, seq)
-    }
-    fn publish_manifest(&mut self, bytes: &[u8]) -> bool {
-        self.alive() && self.inner.publish_manifest(bytes)
-    }
-    fn read_segment(&mut self, group: u32, seq: u64) -> Option<Vec<u8>> {
-        self.inner.read_segment(group, seq)
-    }
-    fn load_manifest(&mut self) -> Option<Vec<u8>> {
-        self.inner.load_manifest()
-    }
-    fn list_segments(&mut self) -> Vec<(u32, u64)> {
-        self.inner.list_segments()
-    }
-    fn io_stats(&self) -> ladon::state::WalIoStats {
-        self.inner.io_stats()
-    }
-    fn prefers_writer_thread(&self) -> bool {
-        self.threaded
-    }
+) -> FaultBackend<FileBackend> {
+    FaultBackend::kill_budget(
+        FileBackend::open_dir(dir).unwrap(),
+        budget.clone(),
+        threaded,
+    )
 }
 
 fn scratch_dir(tag: &str, k: i64) -> std::path::PathBuf {
@@ -615,11 +571,7 @@ fn wal_append_crash_matrix_preserves_acked_records() {
         let budget = Arc::new(AtomicI64::new(k));
         let mut acked = 0u64;
         {
-            let backend = CrashBackend {
-                inner: FileBackend::open_dir(&dir).unwrap(),
-                budget: budget.clone(),
-                threaded: false,
-            };
+            let backend = crash_backend(&dir, &budget, false);
             let mut wal = CommitWal::open(Box::new(backend), opts);
             for sn in 0..12 {
                 wal.append(raw_record(sn));
@@ -660,11 +612,7 @@ fn wal_compaction_crash_matrix_loses_no_record() {
         let _ = std::fs::remove_dir_all(&dir);
         let budget = Arc::new(AtomicI64::new(i64::MAX));
         {
-            let backend = CrashBackend {
-                inner: FileBackend::open_dir(&dir).unwrap(),
-                budget: budget.clone(),
-                threaded: false,
-            };
+            let backend = crash_backend(&dir, &budget, false);
             let mut wal = CommitWal::open(Box::new(backend), opts);
             for sn in 0..records {
                 wal.append(raw_record(sn));
@@ -711,11 +659,7 @@ fn checkpoint_compaction_crash_matrix_recovers_exact_state() {
         let _ = std::fs::remove_dir_all(&dir);
         let budget = Arc::new(AtomicI64::new(i64::MAX));
         let (pre_root, pre_lane_roots) = {
-            let backend = CrashBackend {
-                inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
-                budget: budget.clone(),
-                threaded: false,
-            };
+            let backend = crash_backend(&dir.join("wal"), &budget, false);
             let mut p = ExecutionPipeline::recover_backend(
                 &dir,
                 Box::new(backend),
@@ -782,11 +726,7 @@ fn wal_group_commit_crash_matrix_preserves_flushed_batches() {
         let budget = Arc::new(AtomicI64::new(k));
         let mut acked = 0u64;
         {
-            let backend = CrashBackend {
-                inner: FileBackend::open_dir(&dir).unwrap(),
-                budget: budget.clone(),
-                threaded: false,
-            };
+            let backend = crash_backend(&dir, &budget, false);
             let mut wal = CommitWal::open(Box::new(backend), opts);
             let mut sn = 0u64;
             for _batch in 0..5 {
@@ -858,11 +798,7 @@ fn cross_drain_accumulation_crash_matrix_never_acks_unflushed_records() {
             let _ = std::fs::remove_dir_all(&dir);
             let budget = Arc::new(AtomicI64::new(i64::MAX));
             let acked = {
-                let backend = CrashBackend {
-                    inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
-                    budget: budget.clone(),
-                    threaded: false,
-                };
+                let backend = crash_backend(&dir.join("wal"), &budget, false);
                 let mut p = ExecutionPipeline::recover_backend(
                     &dir,
                     Box::new(backend),
@@ -995,11 +931,7 @@ fn batched_execution_crash_matrix_recovers_acked_prefix() {
         let _ = std::fs::remove_dir_all(&dir);
         let budget = Arc::new(AtomicI64::new(i64::MAX));
         let acked = {
-            let backend = CrashBackend {
-                inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
-                budget: budget.clone(),
-                threaded: false,
-            };
+            let backend = crash_backend(&dir.join("wal"), &budget, false);
             let mut p = ExecutionPipeline::recover_backend(
                 &dir,
                 Box::new(backend),
@@ -1163,11 +1095,7 @@ fn failed_flush_barrier_raises_alarm_through_report() {
         );
         let _ = std::fs::remove_dir_all(&dir);
         let budget = Arc::new(AtomicI64::new(i64::MAX));
-        let backend = CrashBackend {
-            inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
-            budget: budget.clone(),
-            threaded,
-        };
+        let backend = crash_backend(&dir.join("wal"), &budget, threaded);
         let mut p = ExecutionPipeline::recover_backend(
             &dir,
             Box::new(backend),
@@ -1248,11 +1176,7 @@ fn writer_thread_crash_matrix_never_acks_before_durability() {
         let _ = std::fs::remove_dir_all(&dir);
         let budget = Arc::new(AtomicI64::new(i64::MAX));
         let acked = {
-            let backend = CrashBackend {
-                inner: FileBackend::open_dir(dir.join("wal")).unwrap(),
-                budget: budget.clone(),
-                threaded: true,
-            };
+            let backend = crash_backend(&dir.join("wal"), &budget, true);
             let mut p = ExecutionPipeline::recover_backend(
                 &dir,
                 Box::new(backend),
